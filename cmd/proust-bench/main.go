@@ -1,0 +1,140 @@
+// Command proust-bench regenerates the evaluation of the Proust paper
+// (Figure 4 and the Section 7 trend claims) on the local machine.
+//
+// Usage:
+//
+//	proust-bench -experiment figure4          # the full 4×5 grid
+//	proust-bench -experiment figure4memo      # memoizing shadow-copy row
+//	proust-bench -experiment trends           # summary of claims (a)-(d)
+//	proust-bench -experiment quick            # reduced grid for smoke runs
+//	proust-bench -ops 1000000 -warmups 10 -reps 10   # the paper's protocol
+//
+// The absolute numbers differ from the paper's EC2 m4.10xlarge/JVM setup;
+// the shapes (who wins, scaling trends, the effect of o and u) are the
+// reproduction target. See EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+
+	"proust/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "proust-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("proust-bench", flag.ContinueOnError)
+	var (
+		experiment = fs.String("experiment", "quick", "figure4 | figure4memo | trends | quick")
+		ops        = fs.Int("ops", 0, "operations per configuration (0 = experiment default)")
+		warmups    = fs.Int("warmups", -1, "warm-up runs per configuration (-1 = experiment default)")
+		reps       = fs.Int("reps", -1, "timed repetitions per configuration (-1 = experiment default)")
+		threads    = fs.String("threads", "", "comma-separated thread counts (default per experiment)")
+		keyRange   = fs.Int("keyrange", 0, "key range (0 = experiment default)")
+		systems    = fs.String("systems", "", "comma-separated system subset (default: all)")
+		csvPath    = fs.String("csv", "", "also write results as CSV to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := bench.DefaultSweep(os.Stdout)
+	switch *experiment {
+	case "figure4":
+		cfg.TotalOps = 1000000
+		cfg.Warmups = 2
+		cfg.Reps = 3
+	case "figure4memo":
+		cfg.TotalOps = 1000000
+		cfg.OpsPerTxn = []int{16, 256}
+		cfg.WriteFrac = []float64{0.5, 1}
+		cfg.Systems = []string{"proust-lazy-memo", "proust-lazy-memo-combining", "predication"}
+	case "trends", "quick":
+		cfg.TotalOps = 100000
+		cfg.Threads = []int{1, 2, 4, 8}
+		cfg.OpsPerTxn = []int{1, 16, 256}
+		cfg.WriteFrac = []float64{0, 0.5, 1}
+		cfg.Warmups = 1
+		cfg.Reps = 2
+	case "contention":
+		// High-contention configuration that exposes false conflicts even
+		// without parallel hardware: a small key range concentrated into
+		// few pure-STM buckets, and long transactions so goroutine
+		// interleaving creates real overlap. Compare abort rates: the
+		// pure-STM map aborts on disjoint keys (false conflicts); the
+		// Proustian/predication maps only on genuine key collisions.
+		cfg.TotalOps = 50000
+		cfg.Threads = []int{8}
+		cfg.OpsPerTxn = []int{16, 64}
+		cfg.WriteFrac = []float64{0.5}
+		cfg.KeyRange = 128
+		cfg.Warmups = 1
+		cfg.Reps = 2
+		cfg.Interleave = true
+	default:
+		return fmt.Errorf("unknown experiment %q", *experiment)
+	}
+	if *ops > 0 {
+		cfg.TotalOps = *ops
+	}
+	if *warmups >= 0 {
+		cfg.Warmups = *warmups
+	}
+	if *reps >= 0 {
+		cfg.Reps = *reps
+	}
+	if *threads != "" {
+		var ts []int
+		for _, part := range strings.Split(*threads, ",") {
+			var t int
+			if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d", &t); err != nil || t < 1 {
+				return fmt.Errorf("bad -threads entry %q", part)
+			}
+			ts = append(ts, t)
+		}
+		cfg.Threads = ts
+	}
+	if *keyRange > 0 {
+		cfg.KeyRange = *keyRange
+	}
+	if *systems != "" {
+		cfg.Systems = strings.Split(*systems, ",")
+	}
+
+	fmt.Printf("# proust-bench: experiment=%s GOMAXPROCS=%d ops=%d warmups=%d reps=%d keyRange=%d\n",
+		*experiment, runtime.GOMAXPROCS(0), cfg.TotalOps, cfg.Warmups, cfg.Reps, cfg.KeyRange)
+
+	results, err := bench.Sweep(cfg)
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("\n# Trend summary (paper Section 7 claims)")
+	for _, tr := range bench.AnalyzeTrends(results) {
+		status := "HOLDS"
+		if !tr.Holds {
+			status = "DOES NOT HOLD"
+		}
+		fmt.Printf("  %-70s %s\n      %s\n", tr.Name, status, tr.Details)
+	}
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			return fmt.Errorf("create csv: %w", err)
+		}
+		defer f.Close()
+		bench.WriteCSV(f, results)
+		fmt.Printf("\n# wrote %d results to %s\n", len(results), *csvPath)
+	}
+	return nil
+}

@@ -1,0 +1,149 @@
+// Designspace: a tour of the Proust design space on one workload.
+//
+// The same transfer workload runs over the same abstract data type — a
+// transactional map — assembled at every point of the paper's 2×2 design
+// space (optimistic/pessimistic lock-allocator policy × eager/lazy update
+// strategy), on the matching STM detection policies, and reports timing,
+// commits and aborts for each. This is Figure 1 as a runnable program:
+// which combinations exist, which STM each needs, and how they behave.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"proust/internal/conc"
+	"proust/internal/core"
+	"proust/internal/stm"
+)
+
+type combo struct {
+	name       string
+	optimistic bool
+	strat      core.UpdateStrategy
+	policy     stm.DetectionPolicy
+}
+
+func main() {
+	combos := []combo{
+		{"pessimistic+eager (boosting)      on mixed     ", false, core.Eager, stm.MixedEagerWWLazyRW},
+		{"pessimistic+lazy                  on mixed     ", false, core.Lazy, stm.MixedEagerWWLazyRW},
+		{"optimistic+eager  (Thm 5.2)       on eager-eager", true, core.Eager, stm.EagerEager},
+		{"optimistic+lazy   (predication-ish) on lazy-lazy", true, core.Lazy, stm.LazyLazy},
+		{"optimistic+lazy                   on mixed     ", true, core.Lazy, stm.MixedEagerWWLazyRW},
+	}
+
+	fmt.Println("design-space tour: 8 goroutines × 2000 transfer txns over 64 keys")
+	fmt.Printf("%-52s %10s %9s %9s %9s\n", "combination", "time", "commits", "aborts", "abort%")
+	for _, c := range combos {
+		if err := core.CheckCombo(c.optimistic, c.strat, c.policy); err != nil {
+			fmt.Printf("%-52s SKIPPED: %v\n", c.name, err)
+			continue
+		}
+		elapsed, st, err := runCombo(c)
+		if err != nil {
+			fmt.Printf("%-52s ERROR: %v\n", c.name, err)
+			continue
+		}
+		rate := 0.0
+		if st.Commits+st.Aborts > 0 {
+			rate = 100 * float64(st.Aborts) / float64(st.Commits+st.Aborts)
+		}
+		fmt.Printf("%-52s %10s %9d %9d %8.1f%%\n", c.name, elapsed.Round(time.Millisecond), st.Commits, st.Aborts, rate)
+	}
+
+	// And one combination that CheckCombo rejects, to show the guard rail.
+	if err := core.CheckCombo(true, core.Eager, stm.LazyLazy); err == nil {
+		fmt.Println("BUG: eager+optimistic on lazy-lazy should be rejected")
+	} else if errors.Is(err, core.ErrOpacityNotGuaranteed) {
+		fmt.Println("\noptimistic+eager on lazy-lazy correctly rejected:")
+		fmt.Println("   ", err)
+	}
+}
+
+func runCombo(c combo) (time.Duration, stm.StatsSnapshot, error) {
+	s := stm.New(stm.WithPolicy(c.policy))
+	hash := func(k int) uint64 { return conc.IntHasher(k) }
+	var lap core.LockAllocatorPolicy[int]
+	if c.optimistic {
+		lap = core.NewOptimisticLAP(s, hash, 256)
+	} else {
+		lap = core.NewPessimisticLAP(hash, 256, core.DefaultLockTimeout)
+	}
+	var m core.TxMap[int, int]
+	if c.strat == core.Eager {
+		m = core.NewMap[int, int](s, lap, conc.IntHasher)
+	} else {
+		m = core.NewLazySnapshotMap[int, int](s, lap, conc.IntHasher)
+	}
+
+	const keys = 64
+	if err := s.Atomically(func(tx *stm.Txn) error {
+		for k := 0; k < keys; k++ {
+			m.Put(tx, k, 100)
+		}
+		return nil
+	}); err != nil {
+		return 0, stm.StatsSnapshot{}, err
+	}
+	s.ResetStats()
+
+	var (
+		wg     sync.WaitGroup
+		outErr error
+		mu     sync.Mutex
+	)
+	start := time.Now()
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 2000; i++ {
+				from, to := rng.Intn(keys), rng.Intn(keys)
+				if from == to {
+					continue
+				}
+				if err := s.Atomically(func(tx *stm.Txn) error {
+					fv, _ := m.Get(tx, from)
+					tv, _ := m.Get(tx, to)
+					m.Put(tx, from, fv-1)
+					m.Put(tx, to, tv+1)
+					return nil
+				}); err != nil {
+					mu.Lock()
+					if outErr == nil {
+						outErr = err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if outErr != nil {
+		return 0, stm.StatsSnapshot{}, outErr
+	}
+
+	// Conservation audit.
+	var total int
+	if err := s.Atomically(func(tx *stm.Txn) error {
+		total = 0
+		for k := 0; k < keys; k++ {
+			v, _ := m.Get(tx, k)
+			total += v
+		}
+		return nil
+	}); err != nil {
+		return 0, stm.StatsSnapshot{}, err
+	}
+	if total != keys*100 {
+		return 0, stm.StatsSnapshot{}, fmt.Errorf("conservation violated: total %d", total)
+	}
+	return elapsed, s.Stats(), nil
+}

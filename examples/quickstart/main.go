@@ -1,0 +1,43 @@
+// Quickstart: a transactional map in thirty lines.
+//
+// A Proustian map wraps a thread-safe concurrent hash trie with per-key
+// conflict abstraction: transactions spanning several keys compose
+// atomically, and transactions on distinct keys never conflict.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"proust/internal/conc"
+	"proust/internal/core"
+	"proust/internal/stm"
+)
+
+func main() {
+	s := stm.New()
+	lap := core.NewOptimisticLAP(s, func(k string) uint64 { return conc.StringHasher(k) }, 256)
+	m := core.NewLazySnapshotMap[string, int](s, lap, conc.StringHasher)
+
+	// A multi-key transaction: all or nothing.
+	err := s.Atomically(func(tx *stm.Txn) error {
+		m.Put(tx, "apples", 3)
+		m.Put(tx, "oranges", 5)
+		total := 0
+		for _, k := range []string{"apples", "oranges"} {
+			v, _ := m.Get(tx, k)
+			total += v
+		}
+		m.Put(tx, "total", total)
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	_ = s.Atomically(func(tx *stm.Txn) error {
+		total, _ := m.Get(tx, "total")
+		fmt.Printf("total fruit: %d (map size %d)\n", total, m.Size(tx))
+		return nil
+	})
+}

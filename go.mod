@@ -1,0 +1,3 @@
+module proust
+
+go 1.22

@@ -1,0 +1,100 @@
+package baseline
+
+import (
+	"proust/internal/conc"
+	"proust/internal/core"
+	"proust/internal/stm"
+)
+
+// predState is the value of a predicate: whether the key is present and, if
+// so, its mapping.
+type predState[V any] struct {
+	present bool
+	val     V
+}
+
+// PredicationMap is transactional predication (Bronson, Casper, Chafi,
+// Olukotun — PODC 2010): a non-transactional thread-safe map links each key
+// to a unique STM location (the predicate); map operations become plain STM
+// reads and writes of that location, so the STM's own conflict detection
+// yields exactly per-key conflicts. Unlike Proust, the data itself lives in
+// the STM locations — the structure delegates state to the STM rather than
+// wrapping an existing container.
+//
+// Predicates are allocated on demand and never reclaimed; the paper notes
+// predicate garbage collection is orthogonal (and fixes the benchmark key
+// range accordingly).
+type PredicationMap[K comparable, V any] struct {
+	s     *stm.STM
+	preds *conc.HashMap[K, *stm.Ref[predState[V]]]
+	size  *stm.Ref[int]
+}
+
+var _ core.TxMap[int, int] = (*PredicationMap[int, int])(nil)
+
+// NewPredicationMap creates an empty predication map.
+func NewPredicationMap[K comparable, V any](s *stm.STM, hash conc.Hasher[K]) *PredicationMap[K, V] {
+	return &PredicationMap[K, V]{
+		s:     s,
+		preds: conc.NewHashMap[K, *stm.Ref[predState[V]]](hash),
+		size:  stm.NewRef(s, 0),
+	}
+}
+
+// predicate returns the STM location for k, allocating it non-transactionally
+// on first use (the paper's "allocate an unused index m into the STM-managed
+// region, non-transactionally bind k to m").
+func (m *PredicationMap[K, V]) predicate(k K) *stm.Ref[predState[V]] {
+	if p, ok := m.preds.Get(k); ok {
+		return p
+	}
+	fresh := stm.NewRef(m.s, predState[V]{})
+	p, _ := m.preds.PutIfAbsent(k, fresh)
+	return p
+}
+
+// Get returns the value stored under k.
+func (m *PredicationMap[K, V]) Get(tx *stm.Txn, k K) (V, bool) {
+	st := m.predicate(k).Get(tx)
+	if !st.present {
+		var zero V
+		return zero, false
+	}
+	return st.val, true
+}
+
+// Contains reports whether k is present.
+func (m *PredicationMap[K, V]) Contains(tx *stm.Txn, k K) bool {
+	return m.predicate(k).Get(tx).present
+}
+
+// Put stores v under k, returning the previous value if any.
+func (m *PredicationMap[K, V]) Put(tx *stm.Txn, k K, v V) (V, bool) {
+	p := m.predicate(k)
+	old := p.Get(tx)
+	p.Set(tx, predState[V]{present: true, val: v})
+	if !old.present {
+		m.size.Modify(tx, func(n int) int { return n + 1 })
+		var zero V
+		return zero, false
+	}
+	return old.val, true
+}
+
+// Remove deletes k, returning the previous value if any.
+func (m *PredicationMap[K, V]) Remove(tx *stm.Txn, k K) (V, bool) {
+	p := m.predicate(k)
+	old := p.Get(tx)
+	if !old.present {
+		var zero V
+		return zero, false
+	}
+	p.Set(tx, predState[V]{})
+	m.size.Modify(tx, func(n int) int { return n - 1 })
+	return old.val, true
+}
+
+// Size returns the committed size.
+func (m *PredicationMap[K, V]) Size(tx *stm.Txn) int {
+	return m.size.Get(tx)
+}

@@ -1,0 +1,124 @@
+// Package baseline implements the two comparators of the paper's
+// evaluation: a "traditional" pure-STM hash map, whose read/write-set
+// conflict detection suffers false conflicts (whole-bucket granularity),
+// and a transactional-predication map after Bronson et al. (PODC 2010),
+// which attaches one STM location to each key through a non-transactional
+// concurrent map.
+package baseline
+
+import (
+	"proust/internal/conc"
+	"proust/internal/core"
+	"proust/internal/stm"
+)
+
+// pureEntry is one key-value pair in a pure-STM bucket.
+type pureEntry[K comparable, V any] struct {
+	k K
+	v V
+}
+
+// PureSTMMap is the traditional STM hash map: a fixed array of buckets,
+// each an STM reference holding an immutable slice of entries. Every
+// operation reads its whole bucket and updates rewrite it, so two
+// transactions touching *different keys* in the same bucket conflict — the
+// false conflicts that motivate Proust. Size is reified into an STM
+// reference exactly as in the Proustian wrappers, for comparability.
+type PureSTMMap[K comparable, V any] struct {
+	hash    conc.Hasher[K]
+	buckets []*stm.Ref[[]pureEntry[K, V]]
+	size    *stm.Ref[int]
+}
+
+var _ core.TxMap[int, int] = (*PureSTMMap[int, int])(nil)
+
+// NewPureSTMMap creates a pure-STM map with n buckets (rounded up to a
+// power of two).
+func NewPureSTMMap[K comparable, V any](s *stm.STM, hash conc.Hasher[K], n int) *PureSTMMap[K, V] {
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	m := &PureSTMMap[K, V]{
+		hash:    hash,
+		buckets: make([]*stm.Ref[[]pureEntry[K, V]], size),
+		size:    stm.NewRef(s, 0),
+	}
+	for i := range m.buckets {
+		m.buckets[i] = stm.NewRef[[]pureEntry[K, V]](s, nil)
+	}
+	return m
+}
+
+func (m *PureSTMMap[K, V]) bucket(k K) *stm.Ref[[]pureEntry[K, V]] {
+	return m.buckets[m.hash(k)&uint64(len(m.buckets)-1)]
+}
+
+// Get returns the value stored under k.
+func (m *PureSTMMap[K, V]) Get(tx *stm.Txn, k K) (V, bool) {
+	for _, e := range m.bucket(k).Get(tx) {
+		if e.k == k {
+			return e.v, true
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// Contains reports whether k is present.
+func (m *PureSTMMap[K, V]) Contains(tx *stm.Txn, k K) bool {
+	_, ok := m.Get(tx, k)
+	return ok
+}
+
+// Put stores v under k, returning the previous value if any.
+func (m *PureSTMMap[K, V]) Put(tx *stm.Txn, k K, v V) (V, bool) {
+	b := m.bucket(k)
+	old := b.Get(tx)
+	next := make([]pureEntry[K, V], 0, len(old)+1)
+	var (
+		prev V
+		had  bool
+	)
+	for _, e := range old {
+		if e.k == k {
+			prev, had = e.v, true
+			continue
+		}
+		next = append(next, e)
+	}
+	next = append(next, pureEntry[K, V]{k: k, v: v})
+	b.Set(tx, next)
+	if !had {
+		m.size.Modify(tx, func(n int) int { return n + 1 })
+	}
+	return prev, had
+}
+
+// Remove deletes k, returning the previous value if any.
+func (m *PureSTMMap[K, V]) Remove(tx *stm.Txn, k K) (V, bool) {
+	b := m.bucket(k)
+	old := b.Get(tx)
+	var (
+		prev V
+		had  bool
+	)
+	next := make([]pureEntry[K, V], 0, len(old))
+	for _, e := range old {
+		if e.k == k {
+			prev, had = e.v, true
+			continue
+		}
+		next = append(next, e)
+	}
+	if had {
+		b.Set(tx, next)
+		m.size.Modify(tx, func(n int) int { return n - 1 })
+	}
+	return prev, had
+}
+
+// Size returns the committed size.
+func (m *PureSTMMap[K, V]) Size(tx *stm.Txn) int {
+	return m.size.Get(tx)
+}

@@ -1,0 +1,286 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"proust/internal/stm"
+)
+
+func smallWorkload(threads, opsPerTxn int, u float64) Workload {
+	return Workload{
+		Threads:       threads,
+		OpsPerTxn:     opsPerTxn,
+		WriteFraction: u,
+		KeyRange:      128,
+		TotalOps:      4000,
+		Seed:          7,
+	}
+}
+
+func TestRunAllFactories(t *testing.T) {
+	for _, f := range Factories() {
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			o := 4
+			if f.OnlyO1 {
+				o = 1
+			}
+			res, err := Run(f, smallWorkload(4, o, 0.5))
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if res.System != f.Name {
+				t.Errorf("System = %q, want %q", res.System, f.Name)
+			}
+			if res.TotalOps == 0 || res.Duration <= 0 {
+				t.Errorf("suspicious result: %+v", res)
+			}
+			if res.Commits == 0 {
+				t.Error("no commits recorded")
+			}
+		})
+	}
+}
+
+// TestRunPreservesConsistency replays a workload and then audits the final
+// map: Size must equal the count of present keys.
+func TestRunPreservesConsistency(t *testing.T) {
+	for _, f := range Factories() {
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			sys := f.New()
+			w := smallWorkload(4, 1, 0.75)
+			if err := Prepopulate(sys, w.KeyRange); err != nil {
+				t.Fatalf("prepopulate: %v", err)
+			}
+			// Inline a small run against this instance.
+			done := make(chan error, w.Threads)
+			for th := 0; th < w.Threads; th++ {
+				go func(id int) {
+					r := newRNG(w.Seed + uint64(id))
+					for i := 0; i < 500; i++ {
+						op := genOp(r, w)
+						err := sys.STM.Atomically(func(tx *stm.Txn) error {
+							switch op.Kind {
+							case OpGet:
+								sys.Map.Get(tx, op.Key)
+							case OpPut:
+								sys.Map.Put(tx, op.Key, op.Val)
+							case OpRemove:
+								sys.Map.Remove(tx, op.Key)
+							}
+							return nil
+						})
+						if err != nil {
+							done <- err
+							return
+						}
+					}
+					done <- nil
+				}(th)
+			}
+			for th := 0; th < w.Threads; th++ {
+				if err := <-done; err != nil {
+					t.Fatalf("worker: %v", err)
+				}
+			}
+			var size, present int
+			if err := sys.STM.Atomically(func(tx *stm.Txn) error {
+				size = sys.Map.Size(tx)
+				present = 0
+				for k := 0; k < w.KeyRange; k++ {
+					if sys.Map.Contains(tx, k) {
+						present++
+					}
+				}
+				return nil
+			}); err != nil {
+				t.Fatalf("audit: %v", err)
+			}
+			if size != present {
+				t.Fatalf("Size = %d but %d keys present", size, present)
+			}
+		})
+	}
+}
+
+func TestWorkloadDeterministic(t *testing.T) {
+	w := smallWorkload(1, 1, 0.5)
+	r1 := newRNG(w.Seed)
+	r2 := newRNG(w.Seed)
+	for i := 0; i < 1000; i++ {
+		a := genOp(r1, w)
+		b := genOp(r2, w)
+		if a != b {
+			t.Fatalf("op %d: %+v != %+v", i, a, b)
+		}
+	}
+}
+
+func TestWorkloadMix(t *testing.T) {
+	tests := []struct {
+		u float64
+	}{{0}, {0.25}, {0.5}, {1}}
+	for _, tt := range tests {
+		w := smallWorkload(1, 1, tt.u)
+		r := newRNG(1)
+		const n = 20000
+		writes := 0
+		puts, removes := 0, 0
+		for i := 0; i < n; i++ {
+			op := genOp(r, w)
+			if op.Key < 0 || op.Key >= w.KeyRange {
+				t.Fatalf("key %d out of range", op.Key)
+			}
+			switch op.Kind {
+			case OpPut:
+				writes++
+				puts++
+			case OpRemove:
+				writes++
+				removes++
+			}
+		}
+		got := float64(writes) / n
+		if got < tt.u-0.02 || got > tt.u+0.02 {
+			t.Errorf("u=%.2f: measured write fraction %.3f", tt.u, got)
+		}
+		if tt.u > 0 {
+			ratio := float64(puts) / float64(writes)
+			if ratio < 0.45 || ratio > 0.55 {
+				t.Errorf("u=%.2f: put/remove split %.3f, want ~0.5", tt.u, ratio)
+			}
+		}
+	}
+}
+
+func TestWorkloadReplaceOnly(t *testing.T) {
+	w := smallWorkload(1, 1, 1)
+	w.ReplaceOnly = true
+	r := newRNG(3)
+	for i := 0; i < 5000; i++ {
+		op := genOp(r, w)
+		if op.Kind == OpRemove {
+			t.Fatal("ReplaceOnly workload generated a remove")
+		}
+		if op.Key%2 != 0 {
+			t.Fatalf("ReplaceOnly workload touched odd (absent) key %d", op.Key)
+		}
+	}
+}
+
+func TestResultDerivedMetrics(t *testing.T) {
+	r := Result{TotalOps: 1000, Duration: 500 * time.Millisecond, Commits: 90, Aborts: 10}
+	if got := r.Millis(); got != 500 {
+		t.Errorf("Millis = %v", got)
+	}
+	if got := r.OpsPerSec(); got != 2000 {
+		t.Errorf("OpsPerSec = %v", got)
+	}
+	if got := r.AbortRate(); got != 0.1 {
+		t.Errorf("AbortRate = %v", got)
+	}
+	var zero Result
+	if zero.OpsPerSec() != 0 || zero.AbortRate() != 0 {
+		t.Error("zero result should produce zero rates")
+	}
+}
+
+func TestFactoryByName(t *testing.T) {
+	if _, ok := FactoryByName("predication"); !ok {
+		t.Error("predication factory missing")
+	}
+	if _, ok := FactoryByName("nope"); ok {
+		t.Error("unknown factory should miss")
+	}
+}
+
+func TestSweepSmall(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := SweepConfig{
+		Threads:   []int{1, 2},
+		OpsPerTxn: []int{1, 4},
+		WriteFrac: []float64{0.5},
+		TotalOps:  2000,
+		KeyRange:  64,
+		Warmups:   0,
+		Reps:      1,
+		Systems:   []string{"predication", "proust-lazy-memo", "proust-pessimistic"},
+		Out:       &buf,
+	}
+	results, err := Sweep(cfg)
+	if err != nil {
+		t.Fatalf("Sweep: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "u=0.50 o=1") || !strings.Contains(out, "u=0.50 o=4") {
+		t.Errorf("missing chart headers in output:\n%s", out)
+	}
+	if !strings.Contains(out, "proust-pessimistic") {
+		t.Error("pessimistic series missing from o=1 chart")
+	}
+	// Pessimistic must be excluded from o=4 (OnlyO1).
+	for _, r := range results {
+		if r.System == "proust-pessimistic" && r.OpsPerTxn != 1 {
+			t.Errorf("pessimistic ran at o=%d", r.OpsPerTxn)
+		}
+	}
+	var csv bytes.Buffer
+	WriteCSV(&csv, results)
+	if lines := strings.Count(csv.String(), "\n"); lines != len(results)+1 {
+		t.Errorf("CSV has %d lines, want %d", lines, len(results)+1)
+	}
+}
+
+func TestSweepUnknownSystem(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := DefaultSweep(&buf)
+	cfg.Systems = []string{"bogus"}
+	if _, err := Sweep(cfg); err == nil {
+		t.Fatal("expected error for unknown system")
+	}
+}
+
+func TestAnalyzeTrends(t *testing.T) {
+	mk := func(system string, o int, ms float64) Result {
+		return Result{
+			System: system, Threads: 4, OpsPerTxn: o, WriteFraction: 0.5,
+			TotalOps: 1000, Duration: time.Duration(ms * float64(time.Millisecond)),
+		}
+	}
+	results := []Result{
+		mk("pure-stm", 1, 400), mk("pure-stm", 256, 500),
+		mk("predication", 1, 50), mk("predication", 256, 60),
+		mk("proust-eager-opt", 1, 100), mk("proust-eager-opt", 256, 200),
+		mk("proust-lazy-snapshot", 1, 120), mk("proust-lazy-snapshot", 256, 240),
+		mk("proust-lazy-memo", 1, 110), mk("proust-lazy-memo", 256, 260),
+		mk("proust-lazy-memo-combining", 1, 115), mk("proust-lazy-memo-combining", 256, 180),
+	}
+	trends := AnalyzeTrends(results)
+	if len(trends) != 4 {
+		t.Fatalf("got %d trends, want 4", len(trends))
+	}
+	for _, tr := range trends {
+		if !tr.Holds {
+			t.Errorf("trend %q should hold on synthetic paper-shaped data: %s", tr.Name, tr.Details)
+		}
+	}
+}
+
+func TestRunRepeatedMeans(t *testing.T) {
+	f, _ := FactoryByName("predication")
+	res, durs, err := RunRepeated(f, smallWorkload(2, 2, 0.25), 1, 2)
+	if err != nil {
+		t.Fatalf("RunRepeated: %v", err)
+	}
+	if len(durs) != 2 {
+		t.Fatalf("durs = %d, want 2", len(durs))
+	}
+	want := (durs[0] + durs[1]) / 2
+	if res.Duration != want {
+		t.Fatalf("mean duration = %v, want %v", res.Duration, want)
+	}
+}

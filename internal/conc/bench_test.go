@@ -1,0 +1,122 @@
+package conc
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkMapsGet(b *testing.B) {
+	const n = 1024
+	hm := NewHashMap[int, int](IntHasher)
+	ct := NewCtrie[int, int](IntHasher)
+	sl := NewSkipListMap[int, int](intCmp)
+	for i := 0; i < n; i++ {
+		hm.Put(i, i)
+		ct.Put(i, i)
+		sl.Put(i, i)
+	}
+	b.Run("hashmap", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			hm.Get(i % n)
+		}
+	})
+	b.Run("ctrie", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ct.Get(i % n)
+		}
+	})
+	b.Run("skiplist", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sl.Get(i % n)
+		}
+	})
+}
+
+func BenchmarkMapsPut(b *testing.B) {
+	const n = 1024
+	b.Run("hashmap", func(b *testing.B) {
+		m := NewHashMap[int, int](IntHasher)
+		for i := 0; i < b.N; i++ {
+			m.Put(i%n, i)
+		}
+	})
+	b.Run("ctrie", func(b *testing.B) {
+		m := NewCtrie[int, int](IntHasher)
+		for i := 0; i < b.N; i++ {
+			m.Put(i%n, i)
+		}
+	})
+	b.Run("skiplist", func(b *testing.B) {
+		m := NewSkipListMap[int, int](intCmp)
+		for i := 0; i < b.N; i++ {
+			m.Put(i%n, i)
+		}
+	})
+}
+
+// BenchmarkCtrieSnapshot measures the constant-time snapshot at several map
+// sizes — the property the lazy Proustian wrappers depend on.
+func BenchmarkCtrieSnapshot(b *testing.B) {
+	for _, n := range []int{100, 10000, 100000} {
+		n := n
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			ct := NewCtrie[int, int](IntHasher)
+			for i := 0; i < n; i++ {
+				ct.Put(i, i)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				snap := ct.Snapshot()
+				_ = snap
+			}
+		})
+	}
+}
+
+// BenchmarkCtriePutAfterSnapshot measures the lazy path-copying cost a
+// writer pays right after a snapshot.
+func BenchmarkCtriePutAfterSnapshot(b *testing.B) {
+	ct := NewCtrie[int, int](IntHasher)
+	for i := 0; i < 10000; i++ {
+		ct.Put(i, i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ct.Snapshot()
+		ct.Put(i%10000, i)
+	}
+}
+
+func BenchmarkPQueueAddRemove(b *testing.B) {
+	b.Run("heap-lazy-deletion", func(b *testing.B) {
+		q := NewPQueue(intLess)
+		for i := 0; i < b.N; i++ {
+			q.Add(i % 1000)
+			if i%2 == 1 {
+				q.RemoveMin()
+				q.RemoveMin()
+			}
+		}
+	})
+	b.Run("cow-heap", func(b *testing.B) {
+		h := NewCOWHeap(intLess)
+		for i := 0; i < b.N; i++ {
+			h.Insert(i % 1000)
+			if i%2 == 1 {
+				h.RemoveMin()
+				h.RemoveMin()
+			}
+		}
+	})
+}
+
+func BenchmarkCOWHeapSnapshot(b *testing.B) {
+	h := NewCOWHeap(intLess)
+	for i := 0; i < 10000; i++ {
+		h.Insert(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = h.Snapshot()
+	}
+}

@@ -1,0 +1,680 @@
+package conc
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// Ctrie is a concurrent hash-trie map with lock-free updates and
+// constant-time snapshots, following Prokopec, Bronson, Bagwell and
+// Odersky, "Concurrent Tries with Efficient Non-Blocking Snapshots"
+// (PPoPP 2012) — the algorithm behind Scala's concurrent TrieMap, which
+// ScalaProust uses as the base structure for its TrieMap wrappers.
+//
+// Updates use GCAS (generation-compare-and-swap) on interior nodes and
+// RDCSS on the root, so Snapshot is O(1): it installs a root with a fresh
+// generation, and subsequent writers lazily copy the path they touch.
+type Ctrie[K comparable, V any] struct {
+	hash     Hasher[K]
+	readOnly bool
+	root     atomic.Pointer[rootRef[K, V]]
+}
+
+// ctGen is a trie generation; identity only.
+type ctGen struct{ _ int8 }
+
+// rootRef holds either the live root INode or an in-flight RDCSS
+// descriptor.
+type rootRef[K comparable, V any] struct {
+	in   *ctINode[K, V]
+	desc *rdcssDesc[K, V]
+}
+
+type rdcssDesc[K comparable, V any] struct {
+	old       *rootRef[K, V]
+	expMain   *ctMain[K, V]
+	nv        *rootRef[K, V]
+	committed atomic.Bool
+}
+
+// ctMain is a tagged union of the main-node kinds (CNode, TNode, LNode) plus
+// the GCAS failed-node marker. Exactly one of cn/tn/ln/failed is set.
+type ctMain[K comparable, V any] struct {
+	cn     *ctCNode[K, V]
+	tn     *ctTNode[K, V]
+	ln     *ctLNode[K, V]
+	failed *ctMain[K, V]
+
+	prev atomic.Pointer[ctMain[K, V]]
+}
+
+type ctINode[K comparable, V any] struct {
+	gen  *ctGen
+	main atomic.Pointer[ctMain[K, V]]
+}
+
+func newCtINode[K comparable, V any](gen *ctGen, m *ctMain[K, V]) *ctINode[K, V] {
+	in := &ctINode[K, V]{gen: gen}
+	in.main.Store(m)
+	return in
+}
+
+// ctBranch is either *ctINode or *ctSNode.
+type ctBranch[K comparable, V any] interface {
+	isCtBranch()
+}
+
+func (*ctINode[K, V]) isCtBranch() {}
+func (*ctSNode[K, V]) isCtBranch() {}
+
+type ctSNode[K comparable, V any] struct {
+	hc uint32
+	k  K
+	v  V
+}
+
+type ctTNode[K comparable, V any] struct {
+	sn *ctSNode[K, V]
+}
+
+type ctLNode[K comparable, V any] struct {
+	entries []*ctSNode[K, V]
+}
+
+type ctCNode[K comparable, V any] struct {
+	bmp   uint32
+	array []ctBranch[K, V]
+	gen   *ctGen
+}
+
+// NewCtrie creates an empty Ctrie with the given hasher.
+func NewCtrie[K comparable, V any](hash Hasher[K]) *Ctrie[K, V] {
+	gen := &ctGen{}
+	root := newCtINode(gen, &ctMain[K, V]{cn: &ctCNode[K, V]{gen: gen}})
+	ct := &Ctrie[K, V]{hash: hash}
+	ct.root.Store(&rootRef[K, V]{in: root})
+	return ct
+}
+
+func (ct *Ctrie[K, V]) hc(k K) uint32 {
+	h := ct.hash(k)
+	return uint32(h ^ (h >> 32))
+}
+
+// --- RDCSS on the root -------------------------------------------------
+
+func (ct *Ctrie[K, V]) rdcssReadRootRef(abort bool) *rootRef[K, V] {
+	for {
+		r := ct.root.Load()
+		if r.in != nil {
+			return r
+		}
+		ct.rdcssComplete(abort)
+	}
+}
+
+func (ct *Ctrie[K, V]) rdcssReadRoot(abort bool) *ctINode[K, V] {
+	return ct.rdcssReadRootRef(abort).in
+}
+
+func (ct *Ctrie[K, V]) rdcssComplete(abort bool) {
+	for {
+		r := ct.root.Load()
+		if r.in != nil {
+			return
+		}
+		desc := r.desc
+		if abort {
+			if ct.root.CompareAndSwap(r, desc.old) {
+				return
+			}
+			continue
+		}
+		oldMain := ct.gcasRead(desc.old.in)
+		if oldMain == desc.expMain {
+			if ct.root.CompareAndSwap(r, desc.nv) {
+				desc.committed.Store(true)
+				return
+			}
+			continue
+		}
+		if ct.root.CompareAndSwap(r, desc.old) {
+			return
+		}
+	}
+}
+
+func (ct *Ctrie[K, V]) rdcssRoot(ov *rootRef[K, V], expMain *ctMain[K, V], nv *ctINode[K, V]) bool {
+	desc := &rdcssDesc[K, V]{old: ov, expMain: expMain, nv: &rootRef[K, V]{in: nv}}
+	if ct.root.CompareAndSwap(ov, &rootRef[K, V]{desc: desc}) {
+		ct.rdcssComplete(false)
+		return desc.committed.Load()
+	}
+	return false
+}
+
+// --- GCAS on interior nodes --------------------------------------------
+
+func (ct *Ctrie[K, V]) gcas(in *ctINode[K, V], old, next *ctMain[K, V]) bool {
+	next.prev.Store(old)
+	if in.main.CompareAndSwap(old, next) {
+		ct.gcasComplete(in, next)
+		return next.prev.Load() == nil
+	}
+	return false
+}
+
+func (ct *Ctrie[K, V]) gcasRead(in *ctINode[K, V]) *ctMain[K, V] {
+	m := in.main.Load()
+	if m.prev.Load() == nil {
+		return m
+	}
+	return ct.gcasComplete(in, m)
+}
+
+func (ct *Ctrie[K, V]) gcasComplete(in *ctINode[K, V], m *ctMain[K, V]) *ctMain[K, V] {
+	for {
+		if m == nil {
+			return nil
+		}
+		prev := m.prev.Load()
+		if prev == nil {
+			return m
+		}
+		if prev.failed != nil {
+			// The GCAS failed: roll back to the previous main node.
+			if in.main.CompareAndSwap(m, prev.failed) {
+				return prev.failed
+			}
+			m = in.main.Load()
+			continue
+		}
+		root := ct.rdcssReadRoot(true)
+		if root.gen == in.gen && !ct.readOnly {
+			if m.prev.CompareAndSwap(prev, nil) {
+				return m
+			}
+			continue
+		}
+		// The node belongs to an older generation: fail the GCAS.
+		m.prev.CompareAndSwap(prev, &ctMain[K, V]{failed: prev})
+		m = in.main.Load()
+	}
+}
+
+// --- CNode helpers -------------------------------------------------------
+
+func ctFlagPos(hc uint32, lev uint, bmp uint32) (flag uint32, pos int) {
+	idx := (hc >> lev) & 0x1f
+	flag = uint32(1) << idx
+	pos = bits.OnesCount32(bmp & (flag - 1))
+	return flag, pos
+}
+
+func (cn *ctCNode[K, V]) insertedAt(pos int, flag uint32, b ctBranch[K, V], gen *ctGen) *ctMain[K, V] {
+	arr := make([]ctBranch[K, V], len(cn.array)+1)
+	copy(arr, cn.array[:pos])
+	arr[pos] = b
+	copy(arr[pos+1:], cn.array[pos:])
+	return &ctMain[K, V]{cn: &ctCNode[K, V]{bmp: cn.bmp | flag, array: arr, gen: gen}}
+}
+
+func (cn *ctCNode[K, V]) updatedAt(pos int, b ctBranch[K, V], gen *ctGen) *ctCNode[K, V] {
+	arr := make([]ctBranch[K, V], len(cn.array))
+	copy(arr, cn.array)
+	arr[pos] = b
+	return &ctCNode[K, V]{bmp: cn.bmp, array: arr, gen: gen}
+}
+
+func (cn *ctCNode[K, V]) removedAt(pos int, flag uint32, gen *ctGen) *ctCNode[K, V] {
+	arr := make([]ctBranch[K, V], len(cn.array)-1)
+	copy(arr, cn.array[:pos])
+	copy(arr[pos:], cn.array[pos+1:])
+	return &ctCNode[K, V]{bmp: cn.bmp &^ flag, array: arr, gen: gen}
+}
+
+// renewed copies the CNode to a new generation, copying child INodes along.
+func (ct *Ctrie[K, V]) renewed(cn *ctCNode[K, V], gen *ctGen) *ctCNode[K, V] {
+	arr := make([]ctBranch[K, V], len(cn.array))
+	for i, b := range cn.array {
+		if in, ok := b.(*ctINode[K, V]); ok {
+			arr[i] = ct.copyToGen(in, gen)
+		} else {
+			arr[i] = b
+		}
+	}
+	return &ctCNode[K, V]{bmp: cn.bmp, array: arr, gen: gen}
+}
+
+func (ct *Ctrie[K, V]) copyToGen(in *ctINode[K, V], gen *ctGen) *ctINode[K, V] {
+	return newCtINode(gen, ct.gcasRead(in))
+}
+
+// toContracted entombs a single-SNode CNode below the root.
+func (cn *ctCNode[K, V]) toContracted(lev uint) *ctMain[K, V] {
+	if lev > 0 && len(cn.array) == 1 {
+		if sn, ok := cn.array[0].(*ctSNode[K, V]); ok {
+			return &ctMain[K, V]{tn: &ctTNode[K, V]{sn: sn}}
+		}
+	}
+	return &ctMain[K, V]{cn: cn}
+}
+
+// toCompressed resurrects tombed children and contracts.
+func (ct *Ctrie[K, V]) toCompressed(cn *ctCNode[K, V], lev uint, gen *ctGen) *ctMain[K, V] {
+	arr := make([]ctBranch[K, V], len(cn.array))
+	for i, b := range cn.array {
+		if in, ok := b.(*ctINode[K, V]); ok {
+			m := ct.gcasRead(in)
+			if m != nil && m.tn != nil {
+				arr[i] = m.tn.sn
+				continue
+			}
+		}
+		arr[i] = b
+	}
+	return (&ctCNode[K, V]{bmp: cn.bmp, array: arr, gen: gen}).toContracted(lev)
+}
+
+func (ct *Ctrie[K, V]) clean(in *ctINode[K, V], lev uint) {
+	m := ct.gcasRead(in)
+	if m != nil && m.cn != nil {
+		ct.gcas(in, m, ct.toCompressed(m.cn, lev, in.gen))
+	}
+}
+
+// dual builds the subtree holding two colliding SNodes.
+func ctDual[K comparable, V any](x *ctSNode[K, V], xhc uint32, y *ctSNode[K, V], yhc uint32, lev uint, gen *ctGen) *ctMain[K, V] {
+	if lev < 35 {
+		xidx := (xhc >> lev) & 0x1f
+		yidx := (yhc >> lev) & 0x1f
+		bmp := (uint32(1) << xidx) | (uint32(1) << yidx)
+		if xidx == yidx {
+			sub := newCtINode(gen, ctDual(x, xhc, y, yhc, lev+5, gen))
+			return &ctMain[K, V]{cn: &ctCNode[K, V]{bmp: bmp, array: []ctBranch[K, V]{sub}, gen: gen}}
+		}
+		arr := []ctBranch[K, V]{x, y}
+		if xidx > yidx {
+			arr[0], arr[1] = y, x
+		}
+		return &ctMain[K, V]{cn: &ctCNode[K, V]{bmp: bmp, array: arr, gen: gen}}
+	}
+	return &ctMain[K, V]{ln: &ctLNode[K, V]{entries: []*ctSNode[K, V]{x, y}}}
+}
+
+// --- LNode helpers -------------------------------------------------------
+
+func (ln *ctLNode[K, V]) get(k K) (V, bool) {
+	for _, sn := range ln.entries {
+		if sn.k == k {
+			return sn.v, true
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+func (ln *ctLNode[K, V]) inserted(sn *ctSNode[K, V]) *ctLNode[K, V] {
+	out := &ctLNode[K, V]{entries: make([]*ctSNode[K, V], 0, len(ln.entries)+1)}
+	replaced := false
+	for _, e := range ln.entries {
+		if e.k == sn.k {
+			out.entries = append(out.entries, sn)
+			replaced = true
+		} else {
+			out.entries = append(out.entries, e)
+		}
+	}
+	if !replaced {
+		out.entries = append(out.entries, sn)
+	}
+	return out
+}
+
+func (ln *ctLNode[K, V]) removed(k K) (*ctMain[K, V], V, bool) {
+	idx := -1
+	for i, e := range ln.entries {
+		if e.k == k {
+			idx = i
+			break
+		}
+	}
+	if idx == -1 {
+		var zero V
+		return nil, zero, false
+	}
+	old := ln.entries[idx].v
+	rest := make([]*ctSNode[K, V], 0, len(ln.entries)-1)
+	rest = append(rest, ln.entries[:idx]...)
+	rest = append(rest, ln.entries[idx+1:]...)
+	if len(rest) == 1 {
+		return &ctMain[K, V]{tn: &ctTNode[K, V]{sn: rest[0]}}, old, true
+	}
+	return &ctMain[K, V]{ln: &ctLNode[K, V]{entries: rest}}, old, true
+}
+
+// --- public operations ---------------------------------------------------
+
+// Get returns the value for k.
+func (ct *Ctrie[K, V]) Get(k K) (V, bool) {
+	hc := ct.hc(k)
+	for {
+		r := ct.rdcssReadRoot(false)
+		v, ok, restart := ct.ilookup(r, k, hc, 0, nil, r.gen)
+		if !restart {
+			return v, ok
+		}
+	}
+}
+
+// Contains reports whether k is present.
+func (ct *Ctrie[K, V]) Contains(k K) bool {
+	_, ok := ct.Get(k)
+	return ok
+}
+
+// Put stores v under k and returns the previous value, if any.
+func (ct *Ctrie[K, V]) Put(k K, v V) (V, bool) {
+	if ct.readOnly {
+		panic("conc: Put on read-only Ctrie snapshot")
+	}
+	hc := ct.hc(k)
+	for {
+		r := ct.rdcssReadRoot(false)
+		old, had, restart := ct.iinsert(r, k, v, hc, 0, nil, r.gen)
+		if !restart {
+			return old, had
+		}
+	}
+}
+
+// Remove deletes k and returns the removed value, if any.
+func (ct *Ctrie[K, V]) Remove(k K) (V, bool) {
+	if ct.readOnly {
+		panic("conc: Remove on read-only Ctrie snapshot")
+	}
+	hc := ct.hc(k)
+	for {
+		r := ct.rdcssReadRoot(false)
+		old, had, restart := ct.iremove(r, k, hc, 0, nil, r.gen)
+		if !restart {
+			return old, had
+		}
+	}
+}
+
+// Snapshot returns a mutable snapshot in O(1). The snapshot and the
+// original evolve independently; writers lazily copy the paths they touch.
+// Proust uses one snapshot per transaction as the shadow copy.
+func (ct *Ctrie[K, V]) Snapshot() *Ctrie[K, V] {
+	for {
+		rref := ct.rdcssReadRootRef(false)
+		r := rref.in
+		expMain := ct.gcasRead(r)
+		if ct.rdcssRoot(rref, expMain, ct.copyToGen(r, &ctGen{})) {
+			snap := &Ctrie[K, V]{hash: ct.hash}
+			snap.root.Store(&rootRef[K, V]{in: ct.copyToGen(r, &ctGen{})})
+			return snap
+		}
+	}
+}
+
+// ReadOnlySnapshot returns a read-only snapshot in O(1); mutating it panics.
+func (ct *Ctrie[K, V]) ReadOnlySnapshot() *Ctrie[K, V] {
+	if ct.readOnly {
+		return ct
+	}
+	for {
+		rref := ct.rdcssReadRootRef(false)
+		r := rref.in
+		expMain := ct.gcasRead(r)
+		if ct.rdcssRoot(rref, expMain, ct.copyToGen(r, &ctGen{})) {
+			snap := &Ctrie[K, V]{hash: ct.hash, readOnly: true}
+			snap.root.Store(&rootRef[K, V]{in: r})
+			return snap
+		}
+	}
+}
+
+// Range calls f over a consistent snapshot of the map until f returns false.
+func (ct *Ctrie[K, V]) Range(f func(K, V) bool) {
+	snap := ct.ReadOnlySnapshot()
+	snap.walk(snap.rdcssReadRoot(false), f)
+}
+
+// Len counts the entries over a consistent snapshot.
+func (ct *Ctrie[K, V]) Len() int {
+	n := 0
+	ct.Range(func(K, V) bool {
+		n++
+		return true
+	})
+	return n
+}
+
+func (ct *Ctrie[K, V]) walk(in *ctINode[K, V], f func(K, V) bool) bool {
+	m := ct.gcasRead(in)
+	switch {
+	case m == nil:
+		return true
+	case m.cn != nil:
+		for _, b := range m.cn.array {
+			switch br := b.(type) {
+			case *ctSNode[K, V]:
+				if !f(br.k, br.v) {
+					return false
+				}
+			case *ctINode[K, V]:
+				if !ct.walk(br, f) {
+					return false
+				}
+			}
+		}
+	case m.tn != nil:
+		return f(m.tn.sn.k, m.tn.sn.v)
+	case m.ln != nil:
+		for _, sn := range m.ln.entries {
+			if !f(sn.k, sn.v) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// --- core recursive operations -------------------------------------------
+
+func (ct *Ctrie[K, V]) ilookup(in *ctINode[K, V], k K, hc uint32, lev uint, parent *ctINode[K, V], startgen *ctGen) (V, bool, bool) {
+	var zero V
+	m := ct.gcasRead(in)
+	switch {
+	case m.cn != nil:
+		cn := m.cn
+		flag, pos := ctFlagPos(hc, lev, cn.bmp)
+		if cn.bmp&flag == 0 {
+			return zero, false, false
+		}
+		switch b := cn.array[pos].(type) {
+		case *ctINode[K, V]:
+			if ct.readOnly || startgen == b.gen {
+				return ct.ilookup(b, k, hc, lev+5, in, startgen)
+			}
+			if ct.gcas(in, m, &ctMain[K, V]{cn: ct.renewed(cn, startgen)}) {
+				return ct.ilookup(in, k, hc, lev, parent, startgen)
+			}
+			return zero, false, true
+		case *ctSNode[K, V]:
+			if b.hc == hc && b.k == k {
+				return b.v, true, false
+			}
+			return zero, false, false
+		}
+		return zero, false, true
+	case m.tn != nil:
+		if ct.readOnly {
+			if m.tn.sn.hc == hc && m.tn.sn.k == k {
+				return m.tn.sn.v, true, false
+			}
+			return zero, false, false
+		}
+		ct.clean(parent, lev-5)
+		return zero, false, true
+	case m.ln != nil:
+		v, ok := m.ln.get(k)
+		return v, ok, false
+	}
+	return zero, false, true
+}
+
+func (ct *Ctrie[K, V]) iinsert(in *ctINode[K, V], k K, v V, hc uint32, lev uint, parent *ctINode[K, V], startgen *ctGen) (V, bool, bool) {
+	var zero V
+	m := ct.gcasRead(in)
+	switch {
+	case m.cn != nil:
+		cn := m.cn
+		flag, pos := ctFlagPos(hc, lev, cn.bmp)
+		if cn.bmp&flag == 0 {
+			rn := cn
+			if cn.gen != in.gen {
+				rn = ct.renewed(cn, in.gen)
+			}
+			if ct.gcas(in, m, rn.insertedAt(pos, flag, &ctSNode[K, V]{hc: hc, k: k, v: v}, in.gen)) {
+				return zero, false, false
+			}
+			return zero, false, true
+		}
+		switch b := cn.array[pos].(type) {
+		case *ctINode[K, V]:
+			if startgen == b.gen {
+				return ct.iinsert(b, k, v, hc, lev+5, in, startgen)
+			}
+			if ct.gcas(in, m, &ctMain[K, V]{cn: ct.renewed(cn, startgen)}) {
+				return ct.iinsert(in, k, v, hc, lev, parent, startgen)
+			}
+			return zero, false, true
+		case *ctSNode[K, V]:
+			rn := cn
+			if cn.gen != in.gen {
+				rn = ct.renewed(cn, in.gen)
+			}
+			if b.hc == hc && b.k == k {
+				ncn := rn.updatedAt(pos, &ctSNode[K, V]{hc: hc, k: k, v: v}, in.gen)
+				if ct.gcas(in, m, &ctMain[K, V]{cn: ncn}) {
+					return b.v, true, false
+				}
+				return zero, false, true
+			}
+			nsn := &ctSNode[K, V]{hc: hc, k: k, v: v}
+			nin := newCtINode(in.gen, ctDual(b, b.hc, nsn, hc, lev+5, in.gen))
+			ncn := rn.updatedAt(pos, nin, in.gen)
+			if ct.gcas(in, m, &ctMain[K, V]{cn: ncn}) {
+				return zero, false, false
+			}
+			return zero, false, true
+		}
+		return zero, false, true
+	case m.tn != nil:
+		ct.clean(parent, lev-5)
+		return zero, false, true
+	case m.ln != nil:
+		old, had := m.ln.get(k)
+		nln := m.ln.inserted(&ctSNode[K, V]{hc: hc, k: k, v: v})
+		if ct.gcas(in, m, &ctMain[K, V]{ln: nln}) {
+			return old, had, false
+		}
+		return zero, false, true
+	}
+	return zero, false, true
+}
+
+func (ct *Ctrie[K, V]) iremove(in *ctINode[K, V], k K, hc uint32, lev uint, parent *ctINode[K, V], startgen *ctGen) (V, bool, bool) {
+	var zero V
+	m := ct.gcasRead(in)
+	switch {
+	case m.cn != nil:
+		cn := m.cn
+		flag, pos := ctFlagPos(hc, lev, cn.bmp)
+		if cn.bmp&flag == 0 {
+			return zero, false, false
+		}
+		var (
+			res     V
+			removed bool
+			restart bool
+		)
+		switch b := cn.array[pos].(type) {
+		case *ctINode[K, V]:
+			if startgen == b.gen {
+				res, removed, restart = ct.iremove(b, k, hc, lev+5, in, startgen)
+			} else {
+				if ct.gcas(in, m, &ctMain[K, V]{cn: ct.renewed(cn, startgen)}) {
+					res, removed, restart = ct.iremove(in, k, hc, lev, parent, startgen)
+				} else {
+					restart = true
+				}
+			}
+		case *ctSNode[K, V]:
+			if b.hc == hc && b.k == k {
+				ncn := cn.removedAt(pos, flag, in.gen).toContracted(lev)
+				if ct.gcas(in, m, ncn) {
+					res, removed = b.v, true
+				} else {
+					restart = true
+				}
+			}
+		}
+		if restart {
+			return zero, false, true
+		}
+		if removed && parent != nil {
+			cur := ct.gcasRead(in)
+			if cur != nil && cur.tn != nil {
+				ct.cleanParent(parent, in, hc, lev-5, startgen)
+			}
+		}
+		return res, removed, false
+	case m.tn != nil:
+		ct.clean(parent, lev-5)
+		return zero, false, true
+	case m.ln != nil:
+		nmain, old, had := m.ln.removed(k)
+		if !had {
+			return zero, false, false
+		}
+		if ct.gcas(in, m, nmain) {
+			return old, true, false
+		}
+		return zero, false, true
+	}
+	return zero, false, true
+}
+
+// cleanParent unlinks a tombed INode from its parent CNode.
+func (ct *Ctrie[K, V]) cleanParent(parent, in *ctINode[K, V], hc uint32, plev uint, startgen *ctGen) {
+	for {
+		pm := ct.gcasRead(parent)
+		if pm == nil || pm.cn == nil {
+			return
+		}
+		cn := pm.cn
+		flag, pos := ctFlagPos(hc, plev, cn.bmp)
+		if cn.bmp&flag == 0 {
+			return
+		}
+		sub, ok := cn.array[pos].(*ctINode[K, V])
+		if !ok || sub != in {
+			return
+		}
+		m := ct.gcasRead(in)
+		if m == nil || m.tn == nil {
+			return
+		}
+		ncn := cn.updatedAt(pos, m.tn.sn, in.gen).toContracted(plev)
+		if ct.gcas(parent, pm, ncn) {
+			return
+		}
+		if ct.rdcssReadRoot(false).gen != startgen {
+			return
+		}
+	}
+}

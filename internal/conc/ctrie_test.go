@@ -1,0 +1,351 @@
+package conc
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func newTestCtrie() *Ctrie[int, int] {
+	return NewCtrie[int, int](IntHasher)
+}
+
+// badHasher forces full 32-bit collisions to exercise LNodes.
+func badHasher(k int) uint64 { return 42 }
+
+func TestCtrieBasics(t *testing.T) {
+	ct := newTestCtrie()
+	if _, ok := ct.Get(1); ok {
+		t.Fatal("empty trie should miss")
+	}
+	if _, had := ct.Put(1, 10); had {
+		t.Fatal("Put on empty returned old value")
+	}
+	if v, ok := ct.Get(1); !ok || v != 10 {
+		t.Fatalf("Get = %d,%v", v, ok)
+	}
+	if old, had := ct.Put(1, 20); !had || old != 10 {
+		t.Fatalf("Put replace = %d,%v", old, had)
+	}
+	if !ct.Contains(1) || ct.Contains(2) {
+		t.Fatal("Contains mismatch")
+	}
+	if old, had := ct.Remove(1); !had || old != 20 {
+		t.Fatalf("Remove = %d,%v", old, had)
+	}
+	if _, had := ct.Remove(1); had {
+		t.Fatal("second Remove should miss")
+	}
+	if ct.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", ct.Len())
+	}
+}
+
+func TestCtrieManyKeys(t *testing.T) {
+	ct := newTestCtrie()
+	const n = 10000
+	for i := 0; i < n; i++ {
+		ct.Put(i, i*2)
+	}
+	if ct.Len() != n {
+		t.Fatalf("Len = %d, want %d", ct.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		if v, ok := ct.Get(i); !ok || v != i*2 {
+			t.Fatalf("Get(%d) = %d,%v", i, v, ok)
+		}
+	}
+	for i := 0; i < n; i += 2 {
+		if _, ok := ct.Remove(i); !ok {
+			t.Fatalf("Remove(%d) missed", i)
+		}
+	}
+	if ct.Len() != n/2 {
+		t.Fatalf("Len = %d, want %d", ct.Len(), n/2)
+	}
+	for i := 0; i < n; i++ {
+		_, ok := ct.Get(i)
+		if want := i%2 == 1; ok != want {
+			t.Fatalf("Get(%d) present=%v, want %v", i, ok, want)
+		}
+	}
+}
+
+func TestCtrieHashCollisionsLNode(t *testing.T) {
+	ct := NewCtrie[int, int](badHasher)
+	const n = 40
+	for i := 0; i < n; i++ {
+		ct.Put(i, i)
+	}
+	if ct.Len() != n {
+		t.Fatalf("Len = %d, want %d", ct.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		if v, ok := ct.Get(i); !ok || v != i {
+			t.Fatalf("Get(%d) = %d,%v (LNode lookup)", i, v, ok)
+		}
+	}
+	// Replacement inside an LNode.
+	if old, had := ct.Put(7, 700); !had || old != 7 {
+		t.Fatalf("LNode replace = %d,%v", old, had)
+	}
+	if v, _ := ct.Get(7); v != 700 {
+		t.Fatalf("Get(7) = %d, want 700", v)
+	}
+	// Removal down to a single entry entombs.
+	for i := 0; i < n-1; i++ {
+		if _, ok := ct.Remove(i); !ok {
+			t.Fatalf("Remove(%d) missed", i)
+		}
+	}
+	if v, ok := ct.Get(n - 1); !ok || v != n-1 {
+		t.Fatalf("final entry Get = %d,%v", v, ok)
+	}
+	if ct.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", ct.Len())
+	}
+}
+
+func TestCtrieVsOracle(t *testing.T) {
+	f := func(ops []uint16) bool {
+		ct := newTestCtrie()
+		oracle := make(map[int]int)
+		for i, op := range ops {
+			k := int(op % 128)
+			switch op % 3 {
+			case 0:
+				gotOld, gotHad := ct.Put(k, i)
+				wantOld, wantHad := oracle[k]
+				oracle[k] = i
+				if gotHad != wantHad || (wantHad && gotOld != wantOld) {
+					return false
+				}
+			case 1:
+				gotOld, gotHad := ct.Remove(k)
+				wantOld, wantHad := oracle[k]
+				delete(oracle, k)
+				if gotHad != wantHad || (wantHad && gotOld != wantOld) {
+					return false
+				}
+			case 2:
+				got, gotOK := ct.Get(k)
+				want, wantOK := oracle[k]
+				if gotOK != wantOK || (wantOK && got != want) {
+					return false
+				}
+			}
+		}
+		return ct.Len() == len(oracle)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCtrieSnapshotIsolation(t *testing.T) {
+	ct := newTestCtrie()
+	for i := 0; i < 100; i++ {
+		ct.Put(i, i)
+	}
+	snap := ct.Snapshot()
+
+	// Mutations of the original do not affect the snapshot.
+	ct.Put(5, 500)
+	ct.Remove(6)
+	if v, _ := snap.Get(5); v != 5 {
+		t.Fatalf("snapshot Get(5) = %d, want 5", v)
+	}
+	if !snap.Contains(6) {
+		t.Fatal("snapshot must retain key 6")
+	}
+
+	// Mutations of the snapshot do not affect the original.
+	snap.Put(7, 700)
+	snap.Remove(8)
+	if v, _ := ct.Get(7); v != 7 {
+		t.Fatalf("original Get(7) = %d, want 7", v)
+	}
+	if !ct.Contains(8) {
+		t.Fatal("original must retain key 8")
+	}
+	if v, _ := snap.Get(7); v != 700 {
+		t.Fatalf("snapshot Get(7) = %d, want 700", v)
+	}
+	if snap.Contains(8) {
+		t.Fatal("snapshot must have dropped key 8")
+	}
+	if snap.Len() != 99 {
+		t.Fatalf("snapshot Len = %d, want 99 (100 - removed key 8)", snap.Len())
+	}
+}
+
+func TestCtrieReadOnlySnapshot(t *testing.T) {
+	ct := newTestCtrie()
+	for i := 0; i < 50; i++ {
+		ct.Put(i, i)
+	}
+	ro := ct.ReadOnlySnapshot()
+	ct.Put(0, 999)
+	if v, _ := ro.Get(0); v != 0 {
+		t.Fatalf("read-only snapshot Get(0) = %d, want 0", v)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Put on read-only snapshot must panic")
+			}
+		}()
+		ro.Put(1, 1)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Remove on read-only snapshot must panic")
+			}
+		}()
+		ro.Remove(1)
+	}()
+	if ro.ReadOnlySnapshot() != ro {
+		t.Error("ReadOnlySnapshot of a read-only trie should return itself")
+	}
+}
+
+func TestCtrieRangeConsistent(t *testing.T) {
+	ct := newTestCtrie()
+	for i := 0; i < 64; i++ {
+		ct.Put(i, i)
+	}
+	seen := make(map[int]int)
+	ct.Range(func(k, v int) bool {
+		seen[k] = v
+		return true
+	})
+	if len(seen) != 64 {
+		t.Fatalf("Range visited %d entries, want 64", len(seen))
+	}
+	// Early stop.
+	n := 0
+	ct.Range(func(int, int) bool {
+		n++
+		return n < 10
+	})
+	if n != 10 {
+		t.Fatalf("early-stop Range visited %d, want 10", n)
+	}
+}
+
+func TestCtrieConcurrentDisjoint(t *testing.T) {
+	ct := newTestCtrie()
+	const goroutines = 8
+	const perG = 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			base := g * perG
+			for i := 0; i < perG; i++ {
+				ct.Put(base+i, base+i)
+			}
+			for i := 0; i < perG; i++ {
+				if v, ok := ct.Get(base + i); !ok || v != base+i {
+					t.Errorf("Get(%d) = %d,%v", base+i, v, ok)
+					return
+				}
+			}
+			for i := 0; i < perG; i += 2 {
+				if _, ok := ct.Remove(base + i); !ok {
+					t.Errorf("Remove(%d) missed", base+i)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if ct.Len() != goroutines*perG/2 {
+		t.Fatalf("Len = %d, want %d", ct.Len(), goroutines*perG/2)
+	}
+}
+
+func TestCtrieConcurrentMixedWithSnapshots(t *testing.T) {
+	ct := newTestCtrie()
+	const goroutines = 6
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 1500; i++ {
+				k := rng.Intn(128)
+				switch rng.Intn(4) {
+				case 0:
+					ct.Put(k, k)
+				case 1:
+					ct.Remove(k)
+				case 2:
+					if v, ok := ct.Get(k); ok && v != k {
+						t.Errorf("Get(%d) = %d", k, v)
+						return
+					}
+				case 3:
+					snap := ct.Snapshot()
+					if v, ok := snap.Get(k); ok && v != k {
+						t.Errorf("snapshot Get(%d) = %d", k, v)
+						return
+					}
+					snap.Put(k, k) // isolated; must not affect ct
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	ct.Range(func(k, v int) bool {
+		if k != v {
+			t.Errorf("entry %d=%d violates workload invariant", k, v)
+			return false
+		}
+		return true
+	})
+}
+
+// TestCtrieSnapshotLinearizability: a snapshot taken during concurrent
+// writes must be a consistent cut — for a writer that performs paired
+// updates (k and k+1000 together), a snapshot must contain both or neither.
+func TestCtrieSnapshotPairedWrites(t *testing.T) {
+	ct := newTestCtrie()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			// Not atomic as a pair — the Ctrie alone cannot provide that
+			// (Proust exists to add it) — but each snapshot must still be
+			// an atomic cut of the *individual* linearizable operations.
+			ct.Put(i, i)
+			ct.Put(i+100000, i)
+			i++
+		}
+	}()
+	for n := 0; n < 200; n++ {
+		snap := ct.ReadOnlySnapshot()
+		// Within one read-only snapshot, two Gets of the same key agree.
+		for k := 0; k < 20; k++ {
+			v1, ok1 := snap.Get(k)
+			v2, ok2 := snap.Get(k)
+			if ok1 != ok2 || v1 != v2 {
+				t.Fatalf("snapshot not stable: Get(%d) = (%d,%v) then (%d,%v)", k, v1, ok1, v2, ok2)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

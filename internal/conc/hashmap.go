@@ -1,0 +1,190 @@
+// Package conc provides the thread-safe, linearizable concurrent data
+// structures that Proust wraps into transactional objects:
+//
+//   - HashMap: a striped-lock hash map (the ConcurrentHashMap stand-in used
+//     by the paper's LazyHashMap).
+//   - Ctrie: a concurrent hash-trie with constant-time snapshots (the Scala
+//     TrieMap stand-in used by the paper's TrieMap/LazyTrieMap).
+//   - SkipListMap: an ordered concurrent map.
+//   - PQueue: a lock-based binary heap with lazy-deletion wrappers (the
+//     PriorityBlockingQueue stand-in of the paper's Figure 3).
+//   - COWHeap: a copy-on-write persistent heap with O(1) snapshots (the
+//     paper's "new base copy-on-write data structure" for
+//     LazyPriorityQueue).
+//
+// Everything in this package is non-transactional: each individual operation
+// is linearizable and safe for concurrent use, but sequences of operations
+// are not atomic. The Proust wrappers in internal/core add transactionality.
+package conc
+
+import (
+	"sync"
+)
+
+const defaultStripes = 64
+
+// Hasher maps a key to a 64-bit hash. Keys equal under == must hash equally.
+type Hasher[K comparable] func(K) uint64
+
+// HashMap is a thread-safe hash map using lock striping: the table is split
+// into fixed stripes, each guarded by its own RWMutex, so operations on
+// different stripes proceed in parallel.
+type HashMap[K comparable, V any] struct {
+	hash    Hasher[K]
+	stripes []hashStripe[K, V]
+}
+
+type hashStripe[K comparable, V any] struct {
+	mu sync.RWMutex
+	m  map[K]V
+}
+
+// NewHashMap creates a HashMap with the given hasher and default striping.
+func NewHashMap[K comparable, V any](hash Hasher[K]) *HashMap[K, V] {
+	return NewHashMapStripes[K, V](hash, defaultStripes)
+}
+
+// NewHashMapStripes creates a HashMap with n stripes (rounded up to a power
+// of two).
+func NewHashMapStripes[K comparable, V any](hash Hasher[K], n int) *HashMap[K, V] {
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	h := &HashMap[K, V]{
+		hash:    hash,
+		stripes: make([]hashStripe[K, V], size),
+	}
+	for i := range h.stripes {
+		h.stripes[i].m = make(map[K]V)
+	}
+	return h
+}
+
+func (h *HashMap[K, V]) stripe(k K) *hashStripe[K, V] {
+	return &h.stripes[h.hash(k)&uint64(len(h.stripes)-1)]
+}
+
+// Get returns the value for k and whether it is present.
+func (h *HashMap[K, V]) Get(k K) (V, bool) {
+	s := h.stripe(k)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.m[k]
+	return v, ok
+}
+
+// Contains reports whether k is present.
+func (h *HashMap[K, V]) Contains(k K) bool {
+	_, ok := h.Get(k)
+	return ok
+}
+
+// Put stores v under k, returning the previous value if any.
+func (h *HashMap[K, V]) Put(k K, v V) (V, bool) {
+	s := h.stripe(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old, ok := s.m[k]
+	s.m[k] = v
+	return old, ok
+}
+
+// PutIfAbsent stores v under k only if k is absent. It returns the value now
+// mapped to k and whether the store happened.
+func (h *HashMap[K, V]) PutIfAbsent(k K, v V) (V, bool) {
+	s := h.stripe(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.m[k]; ok {
+		return old, false
+	}
+	s.m[k] = v
+	return v, true
+}
+
+// Update atomically computes k's new mapping: f receives the current value
+// (and whether one exists) and returns the new value (and whether the key
+// should remain present). Update returns f's outputs. It is the linearizable
+// compute primitive the Proustian multiset builds on.
+func (h *HashMap[K, V]) Update(k K, f func(V, bool) (V, bool)) (V, bool) {
+	s := h.stripe(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old, had := s.m[k]
+	next, keep := f(old, had)
+	if keep {
+		s.m[k] = next
+	} else if had {
+		delete(s.m, k)
+	}
+	return next, keep
+}
+
+// Remove deletes k, returning the previous value if any.
+func (h *HashMap[K, V]) Remove(k K) (V, bool) {
+	s := h.stripe(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old, ok := s.m[k]
+	if ok {
+		delete(s.m, k)
+	}
+	return old, ok
+}
+
+// Len counts the entries. It locks each stripe in turn, so the result is
+// only quiescently consistent (like ConcurrentHashMap.size()).
+func (h *HashMap[K, V]) Len() int {
+	n := 0
+	for i := range h.stripes {
+		s := &h.stripes[i]
+		s.mu.RLock()
+		n += len(s.m)
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// Range calls f for every entry until f returns false. Entries added or
+// removed concurrently may or may not be observed.
+func (h *HashMap[K, V]) Range(f func(K, V) bool) {
+	for i := range h.stripes {
+		s := &h.stripes[i]
+		s.mu.RLock()
+		for k, v := range s.m {
+			if !f(k, v) {
+				s.mu.RUnlock()
+				return
+			}
+		}
+		s.mu.RUnlock()
+	}
+}
+
+// IntHasher is a Hasher for integer keys (Fibonacci scrambling).
+func IntHasher(k int) uint64 {
+	return uint64(k) * 0x9e3779b97f4a7c15
+}
+
+// Uint64Hasher is a Hasher for uint64 keys.
+func Uint64Hasher(k uint64) uint64 {
+	k ^= k >> 33
+	k *= 0xff51afd7ed558ccd
+	k ^= k >> 33
+	return k
+}
+
+// StringHasher is an FNV-1a Hasher for string keys.
+func StringHasher(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}

@@ -1,0 +1,186 @@
+package conc
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestHashMapBasics(t *testing.T) {
+	m := NewHashMap[int, string](IntHasher)
+	if _, ok := m.Get(1); ok {
+		t.Fatal("empty map should miss")
+	}
+	if old, had := m.Put(1, "a"); had {
+		t.Fatalf("Put on empty returned old %q", old)
+	}
+	if v, ok := m.Get(1); !ok || v != "a" {
+		t.Fatalf("Get = %q,%v want a,true", v, ok)
+	}
+	if old, had := m.Put(1, "b"); !had || old != "a" {
+		t.Fatalf("Put replace = %q,%v want a,true", old, had)
+	}
+	if !m.Contains(1) || m.Contains(2) {
+		t.Fatal("Contains mismatch")
+	}
+	if m.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", m.Len())
+	}
+	if old, had := m.Remove(1); !had || old != "b" {
+		t.Fatalf("Remove = %q,%v want b,true", old, had)
+	}
+	if _, had := m.Remove(1); had {
+		t.Fatal("second Remove should miss")
+	}
+	if m.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", m.Len())
+	}
+}
+
+func TestHashMapPutIfAbsent(t *testing.T) {
+	m := NewHashMap[string, int](StringHasher)
+	if v, stored := m.PutIfAbsent("k", 1); !stored || v != 1 {
+		t.Fatalf("first PutIfAbsent = %d,%v", v, stored)
+	}
+	if v, stored := m.PutIfAbsent("k", 2); stored || v != 1 {
+		t.Fatalf("second PutIfAbsent = %d,%v want 1,false", v, stored)
+	}
+}
+
+func TestHashMapRange(t *testing.T) {
+	m := NewHashMap[int, int](IntHasher)
+	for i := 0; i < 100; i++ {
+		m.Put(i, i*i)
+	}
+	seen := make(map[int]int)
+	m.Range(func(k, v int) bool {
+		seen[k] = v
+		return true
+	})
+	if len(seen) != 100 {
+		t.Fatalf("Range visited %d entries, want 100", len(seen))
+	}
+	for k, v := range seen {
+		if v != k*k {
+			t.Fatalf("seen[%d] = %d, want %d", k, v, k*k)
+		}
+	}
+	// Early stop.
+	count := 0
+	m.Range(func(int, int) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Fatalf("early-stop Range visited %d, want 5", count)
+	}
+}
+
+// TestHashMapVsOracle drives a random op sequence against both the
+// concurrent map and Go's built-in map.
+func TestHashMapVsOracle(t *testing.T) {
+	f := func(ops []uint16) bool {
+		m := NewHashMapStripes[int, int](IntHasher, 4)
+		oracle := make(map[int]int)
+		for i, op := range ops {
+			k := int(op % 32)
+			switch op % 3 {
+			case 0:
+				gotOld, gotHad := m.Put(k, i)
+				wantOld, wantHad := oracle[k]
+				oracle[k] = i
+				if gotHad != wantHad || (wantHad && gotOld != wantOld) {
+					return false
+				}
+			case 1:
+				gotOld, gotHad := m.Remove(k)
+				wantOld, wantHad := oracle[k]
+				delete(oracle, k)
+				if gotHad != wantHad || (wantHad && gotOld != wantOld) {
+					return false
+				}
+			case 2:
+				got, gotOK := m.Get(k)
+				want, wantOK := oracle[k]
+				if gotOK != wantOK || (wantOK && got != want) {
+					return false
+				}
+			}
+		}
+		return m.Len() == len(oracle)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashMapConcurrentDisjoint(t *testing.T) {
+	m := NewHashMap[int, int](IntHasher)
+	const goroutines = 8
+	const perG = 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			base := g * perG
+			for i := 0; i < perG; i++ {
+				m.Put(base+i, i)
+			}
+			for i := 0; i < perG; i++ {
+				if v, ok := m.Get(base + i); !ok || v != i {
+					t.Errorf("Get(%d) = %d,%v", base+i, v, ok)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if m.Len() != goroutines*perG {
+		t.Fatalf("Len = %d, want %d", m.Len(), goroutines*perG)
+	}
+}
+
+func TestHashMapConcurrentMixed(t *testing.T) {
+	m := NewHashMap[int, int](IntHasher)
+	const goroutines = 8
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 2000; i++ {
+				k := rng.Intn(64)
+				switch rng.Intn(3) {
+				case 0:
+					m.Put(k, k)
+				case 1:
+					m.Remove(k)
+				case 2:
+					if v, ok := m.Get(k); ok && v != k {
+						t.Errorf("Get(%d) returned foreign value %d", k, v)
+						return
+					}
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+}
+
+func TestHashers(t *testing.T) {
+	if IntHasher(1) == IntHasher(2) {
+		t.Error("IntHasher collision on adjacent ints")
+	}
+	if Uint64Hasher(1) == Uint64Hasher(2) {
+		t.Error("Uint64Hasher collision on adjacent ints")
+	}
+	if StringHasher("a") == StringHasher("b") {
+		t.Error("StringHasher collision")
+	}
+	if StringHasher("abc") != StringHasher("abc") {
+		t.Error("StringHasher not deterministic")
+	}
+}

@@ -1,0 +1,179 @@
+package conc
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Less orders values; it must be a strict weak ordering.
+type Less[V any] func(a, b V) bool
+
+// Item is a lazy-deletion wrapper around a queued value. Proust's eager
+// priority-queue wrapper (paper Figure 3) inserts Items and registers
+// Item.Delete as the inverse of insert: a logically deleted item stays in
+// the heap and is skipped (and physically removed) by later operations.
+// This is the "same lazy-deletion trick utilized in the Boosting paper".
+type Item[V any] struct {
+	Value   V
+	deleted atomic.Bool
+}
+
+// Delete marks the item as logically removed.
+func (it *Item[V]) Delete() { it.deleted.Store(true) }
+
+// Deleted reports whether the item is logically removed.
+func (it *Item[V]) Deleted() bool { return it.deleted.Load() }
+
+// PQueue is a thread-safe priority queue: a binary min-heap guarded by a
+// single mutex, the design of java.util.concurrent.PriorityBlockingQueue
+// (minus blocking take, which Proust does not need). Values are stored in
+// lazy-deletion wrappers.
+type PQueue[V any] struct {
+	less Less[V]
+
+	mu   sync.Mutex
+	heap []*Item[V]
+	live int // items not logically deleted
+}
+
+// NewPQueue creates a priority queue ordered by less.
+func NewPQueue[V any](less Less[V]) *PQueue[V] {
+	return &PQueue[V]{less: less}
+}
+
+// Add inserts v and returns its lazy-deletion wrapper.
+func (q *PQueue[V]) Add(v V) *Item[V] {
+	it := &Item[V]{Value: v}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.heap = append(q.heap, it)
+	q.siftUp(len(q.heap) - 1)
+	q.live++
+	return it
+}
+
+// AddItem re-inserts an existing wrapper (the inverse of RemoveMin). The
+// item's deleted mark is cleared.
+func (q *PQueue[V]) AddItem(it *Item[V]) {
+	it.deleted.Store(false)
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.heap = append(q.heap, it)
+	q.siftUp(len(q.heap) - 1)
+	q.live++
+}
+
+// Min returns the smallest live value without removing it.
+func (q *PQueue[V]) Min() (V, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.purgeTop()
+	if len(q.heap) == 0 {
+		var zero V
+		return zero, false
+	}
+	return q.heap[0].Value, true
+}
+
+// RemoveMin removes and returns the smallest live item.
+func (q *PQueue[V]) RemoveMin() (*Item[V], bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.purgeTop()
+	if len(q.heap) == 0 {
+		return nil, false
+	}
+	it := q.heap[0]
+	q.popTop()
+	q.live--
+	return it, true
+}
+
+// Contains reports whether any live item equals v under eq.
+func (q *PQueue[V]) Contains(v V, eq func(a, b V) bool) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for _, it := range q.heap {
+		if !it.Deleted() && eq(it.Value, v) {
+			return true
+		}
+	}
+	return false
+}
+
+// Len returns the number of live items.
+func (q *PQueue[V]) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.live
+}
+
+// NoteDeleted records that an item previously added has been logically
+// deleted, keeping the live count accurate. The caller must have marked the
+// item via Delete.
+func (q *PQueue[V]) NoteDeleted() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.live--
+}
+
+// Drain removes and returns all live values in ascending order. Used by
+// tests and examples.
+func (q *PQueue[V]) Drain() []V {
+	var out []V
+	for {
+		it, ok := q.RemoveMin()
+		if !ok {
+			return out
+		}
+		out = append(out, it.Value)
+	}
+}
+
+// purgeTop physically removes logically deleted items from the heap top.
+// Deleted items below the top are removed when they surface.
+func (q *PQueue[V]) purgeTop() {
+	for len(q.heap) > 0 && q.heap[0].Deleted() {
+		q.popTop()
+	}
+}
+
+func (q *PQueue[V]) popTop() {
+	last := len(q.heap) - 1
+	q.heap[0] = q.heap[last]
+	q.heap[last] = nil
+	q.heap = q.heap[:last]
+	if len(q.heap) > 0 {
+		q.siftDown(0)
+	}
+}
+
+func (q *PQueue[V]) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(q.heap[i].Value, q.heap[parent].Value) {
+			return
+		}
+		q.heap[i], q.heap[parent] = q.heap[parent], q.heap[i]
+		i = parent
+	}
+}
+
+func (q *PQueue[V]) siftDown(i int) {
+	n := len(q.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && q.less(q.heap[l].Value, q.heap[smallest].Value) {
+			smallest = l
+		}
+		if r < n && q.less(q.heap[r].Value, q.heap[smallest].Value) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		q.heap[i], q.heap[smallest] = q.heap[smallest], q.heap[i]
+		i = smallest
+	}
+}

@@ -1,0 +1,191 @@
+package conc
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// QItem is a lazy-deletion wrapper for queue entries: the inverse of an
+// enqueue is a constant-time logical delete of exactly that entry, even if
+// other entries were enqueued after it.
+type QItem[V any] struct {
+	Value   V
+	deleted atomic.Bool
+	next    *QItem[V]
+	prev    *QItem[V]
+}
+
+// Delete marks the item as logically removed.
+func (it *QItem[V]) Delete() { it.deleted.Store(true) }
+
+// Deleted reports whether the item is logically removed.
+func (it *QItem[V]) Deleted() bool { return it.deleted.Load() }
+
+// Queue is a thread-safe FIFO queue (mutex-guarded doubly linked list) with
+// lazy deletion and front re-insertion — the two hooks Proust's eager
+// wrapper needs for inverses: Delete undoes an enqueue, PushFront undoes a
+// dequeue.
+type Queue[V any] struct {
+	mu   sync.Mutex
+	head *QItem[V]
+	tail *QItem[V]
+	live int
+}
+
+// NewQueue creates an empty queue.
+func NewQueue[V any]() *Queue[V] {
+	return &Queue[V]{}
+}
+
+// Enqueue appends v and returns its wrapper.
+func (q *Queue[V]) Enqueue(v V) *QItem[V] {
+	it := &QItem[V]{Value: v}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.pushBackLocked(it)
+	q.live++
+	return it
+}
+
+// Dequeue removes and returns the oldest live item.
+func (q *Queue[V]) Dequeue() (*QItem[V], bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.purgeFrontLocked()
+	if q.head == nil {
+		return nil, false
+	}
+	it := q.head
+	q.unlinkLocked(it)
+	q.live--
+	return it, true
+}
+
+// Peek returns the oldest live value without removing it.
+func (q *Queue[V]) Peek() (V, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.purgeFrontLocked()
+	if q.head == nil {
+		var zero V
+		return zero, false
+	}
+	return q.head.Value, true
+}
+
+// PushFront re-inserts an item at the head (the inverse of Dequeue). The
+// item's deleted mark is cleared.
+func (q *Queue[V]) PushFront(it *QItem[V]) {
+	it.deleted.Store(false)
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	it.prev = nil
+	it.next = q.head
+	if q.head != nil {
+		q.head.prev = it
+	} else {
+		q.tail = it
+	}
+	q.head = it
+	q.live++
+}
+
+// PopBack removes and returns the newest live item, making the queue usable
+// as a deque.
+func (q *Queue[V]) PopBack() (*QItem[V], bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.tail != nil && q.tail.Deleted() {
+		q.unlinkLocked(q.tail)
+	}
+	if q.tail == nil {
+		return nil, false
+	}
+	it := q.tail
+	q.unlinkLocked(it)
+	q.live--
+	return it, true
+}
+
+// PeekBack returns the newest live value without removing it.
+func (q *Queue[V]) PeekBack() (V, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.tail != nil && q.tail.Deleted() {
+		q.unlinkLocked(q.tail)
+	}
+	if q.tail == nil {
+		var zero V
+		return zero, false
+	}
+	return q.tail.Value, true
+}
+
+// PushBack re-inserts an item at the tail (the inverse of PopBack). The
+// item's deleted mark is cleared.
+func (q *Queue[V]) PushBack(it *QItem[V]) {
+	it.deleted.Store(false)
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.pushBackLocked(it)
+	q.live++
+}
+
+// NoteDeleted records a logical deletion performed via QItem.Delete.
+func (q *Queue[V]) NoteDeleted() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.live--
+}
+
+// Len returns the number of live items.
+func (q *Queue[V]) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.live
+}
+
+// Drain removes and returns all live values in FIFO order.
+func (q *Queue[V]) Drain() []V {
+	var out []V
+	for {
+		it, ok := q.Dequeue()
+		if !ok {
+			return out
+		}
+		out = append(out, it.Value)
+	}
+}
+
+func (q *Queue[V]) pushBackLocked(it *QItem[V]) {
+	it.prev = q.tail
+	it.next = nil
+	if q.tail != nil {
+		q.tail.next = it
+	} else {
+		q.head = it
+	}
+	q.tail = it
+}
+
+// purgeFrontLocked physically removes logically deleted items from the
+// front of the list.
+func (q *Queue[V]) purgeFrontLocked() {
+	for q.head != nil && q.head.Deleted() {
+		q.unlinkLocked(q.head)
+	}
+}
+
+func (q *Queue[V]) unlinkLocked(it *QItem[V]) {
+	if it.prev != nil {
+		it.prev.next = it.next
+	} else {
+		q.head = it.next
+	}
+	if it.next != nil {
+		it.next.prev = it.prev
+	} else {
+		q.tail = it.prev
+	}
+	it.prev, it.next = nil, nil
+}

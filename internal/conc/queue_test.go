@@ -1,0 +1,128 @@
+package conc
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestQueueFIFO(t *testing.T) {
+	q := NewQueue[int]()
+	if _, ok := q.Peek(); ok {
+		t.Fatal("Peek on empty should miss")
+	}
+	for i := 1; i <= 3; i++ {
+		q.Enqueue(i)
+	}
+	if q.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", q.Len())
+	}
+	if v, ok := q.Peek(); !ok || v != 1 {
+		t.Fatalf("Peek = %d,%v", v, ok)
+	}
+	got := q.Drain()
+	for i, want := range []int{1, 2, 3} {
+		if got[i] != want {
+			t.Fatalf("Drain = %v", got)
+		}
+	}
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("Dequeue on empty should miss")
+	}
+}
+
+func TestQueueLazyDeletion(t *testing.T) {
+	q := NewQueue[int]()
+	it1 := q.Enqueue(1)
+	q.Enqueue(2)
+	it1.Delete()
+	q.NoteDeleted()
+	if q.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", q.Len())
+	}
+	if v, ok := q.Peek(); !ok || v != 2 {
+		t.Fatalf("Peek = %d,%v want 2 (deleted head skipped)", v, ok)
+	}
+	// Deleting a middle element.
+	q2 := NewQueue[int]()
+	q2.Enqueue(1)
+	mid := q2.Enqueue(2)
+	q2.Enqueue(3)
+	mid.Delete()
+	q2.NoteDeleted()
+	got := q2.Drain()
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("Drain = %v, want [1 3]", got)
+	}
+}
+
+func TestQueuePushFrontInverse(t *testing.T) {
+	q := NewQueue[int]()
+	q.Enqueue(1)
+	q.Enqueue(2)
+	it, ok := q.Dequeue()
+	if !ok || it.Value != 1 {
+		t.Fatalf("Dequeue = %v,%v", it, ok)
+	}
+	q.PushFront(it)
+	got := q.Drain()
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("Drain after PushFront = %v, want [1 2]", got)
+	}
+	// PushFront into an empty queue.
+	q3 := NewQueue[int]()
+	it3 := q3.Enqueue(7)
+	it3b, _ := q3.Dequeue()
+	if it3b != it3 {
+		t.Fatal("dequeued wrapper mismatch")
+	}
+	q3.PushFront(it3b)
+	if v, ok := q3.Peek(); !ok || v != 7 {
+		t.Fatalf("Peek = %d,%v", v, ok)
+	}
+}
+
+func TestQueueConcurrent(t *testing.T) {
+	q := NewQueue[int]()
+	const producers = 4
+	const perP = 500
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perP; i++ {
+				q.Enqueue(p*perP + i)
+			}
+		}(p)
+	}
+	wg.Wait()
+	if q.Len() != producers*perP {
+		t.Fatalf("Len = %d, want %d", q.Len(), producers*perP)
+	}
+	var mu sync.Mutex
+	seen := make(map[int]bool)
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			prev := -1
+			_ = prev
+			for {
+				it, ok := q.Dequeue()
+				if !ok {
+					return
+				}
+				mu.Lock()
+				if seen[it.Value] {
+					t.Errorf("value %d dequeued twice", it.Value)
+				}
+				seen[it.Value] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if len(seen) != producers*perP {
+		t.Fatalf("drained %d unique, want %d", len(seen), producers*perP)
+	}
+}

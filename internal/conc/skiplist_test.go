@@ -1,0 +1,197 @@
+package conc
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func intCmp(a, b int) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func TestSkipListBasics(t *testing.T) {
+	m := NewSkipListMap[int, string](intCmp)
+	if _, ok := m.Get(1); ok {
+		t.Fatal("empty map should miss")
+	}
+	if _, had := m.Put(1, "a"); had {
+		t.Fatal("Put on empty returned old value")
+	}
+	if v, ok := m.Get(1); !ok || v != "a" {
+		t.Fatalf("Get = %q,%v", v, ok)
+	}
+	if old, had := m.Put(1, "b"); !had || old != "a" {
+		t.Fatalf("Put replace = %q,%v", old, had)
+	}
+	if v, ok := m.Get(1); !ok || v != "b" {
+		t.Fatalf("Get after replace = %q,%v", v, ok)
+	}
+	if m.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", m.Len())
+	}
+	if old, had := m.Remove(1); !had || old != "b" {
+		t.Fatalf("Remove = %q,%v", old, had)
+	}
+	if _, had := m.Remove(1); had {
+		t.Fatal("second Remove should miss")
+	}
+	if m.Contains(1) {
+		t.Fatal("Contains after Remove")
+	}
+}
+
+func TestSkipListOrderedRange(t *testing.T) {
+	m := NewSkipListMap[int, int](intCmp)
+	perm := rand.New(rand.NewSource(1)).Perm(200)
+	for _, k := range perm {
+		m.Put(k, k*10)
+	}
+	var keys []int
+	m.Range(func(k, v int) bool {
+		if v != k*10 {
+			t.Fatalf("value for %d = %d", k, v)
+		}
+		keys = append(keys, k)
+		return true
+	})
+	if len(keys) != 200 {
+		t.Fatalf("Range visited %d keys, want 200", len(keys))
+	}
+	if !sort.IntsAreSorted(keys) {
+		t.Fatal("Range must visit keys in ascending order")
+	}
+}
+
+func TestSkipListMin(t *testing.T) {
+	m := NewSkipListMap[int, string](intCmp)
+	if _, _, ok := m.Min(); ok {
+		t.Fatal("Min on empty should miss")
+	}
+	m.Put(5, "five")
+	m.Put(2, "two")
+	m.Put(9, "nine")
+	k, v, ok := m.Min()
+	if !ok || k != 2 || v != "two" {
+		t.Fatalf("Min = %d,%q,%v", k, v, ok)
+	}
+	m.Remove(2)
+	if k, _, _ := m.Min(); k != 5 {
+		t.Fatalf("Min after remove = %d, want 5", k)
+	}
+}
+
+func TestSkipListVsOracle(t *testing.T) {
+	f := func(ops []uint16) bool {
+		m := NewSkipListMap[int, int](intCmp)
+		oracle := make(map[int]int)
+		for i, op := range ops {
+			k := int(op % 64)
+			switch op % 3 {
+			case 0:
+				gotOld, gotHad := m.Put(k, i)
+				wantOld, wantHad := oracle[k]
+				oracle[k] = i
+				if gotHad != wantHad || (wantHad && gotOld != wantOld) {
+					return false
+				}
+			case 1:
+				gotOld, gotHad := m.Remove(k)
+				wantOld, wantHad := oracle[k]
+				delete(oracle, k)
+				if gotHad != wantHad || (wantHad && gotOld != wantOld) {
+					return false
+				}
+			case 2:
+				got, gotOK := m.Get(k)
+				want, wantOK := oracle[k]
+				if gotOK != wantOK || (wantOK && got != want) {
+					return false
+				}
+			}
+		}
+		return m.Len() == len(oracle)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSkipListConcurrentDisjoint(t *testing.T) {
+	m := NewSkipListMap[int, int](intCmp)
+	const goroutines = 8
+	const perG = 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			base := g * perG
+			for i := 0; i < perG; i++ {
+				m.Put(base+i, base+i)
+			}
+			for i := 0; i < perG; i++ {
+				if v, ok := m.Get(base + i); !ok || v != base+i {
+					t.Errorf("Get(%d) = %d,%v", base+i, v, ok)
+					return
+				}
+			}
+			for i := 0; i < perG; i += 2 {
+				if _, ok := m.Remove(base + i); !ok {
+					t.Errorf("Remove(%d) missed", base+i)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if m.Len() != goroutines*perG/2 {
+		t.Fatalf("Len = %d, want %d", m.Len(), goroutines*perG/2)
+	}
+}
+
+func TestSkipListConcurrentSameKeys(t *testing.T) {
+	m := NewSkipListMap[int, int](intCmp)
+	const goroutines = 8
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 2000; i++ {
+				k := rng.Intn(32)
+				switch rng.Intn(3) {
+				case 0:
+					m.Put(k, k*1000)
+				case 1:
+					m.Remove(k)
+				case 2:
+					if v, ok := m.Get(k); ok && v != k*1000 {
+						t.Errorf("Get(%d) = %d, want %d", k, v, k*1000)
+						return
+					}
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	// Structure must still be a consistent ordered map.
+	var keys []int
+	m.Range(func(k, v int) bool {
+		keys = append(keys, k)
+		return true
+	})
+	if !sort.IntsAreSorted(keys) {
+		t.Fatal("keys out of order after concurrent churn")
+	}
+}

@@ -1,0 +1,8 @@
+package conc
+
+import "runtime"
+
+// spinYield relaxes a spin loop by yielding the processor.
+func spinYield() {
+	runtime.Gosched()
+}

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"proust/internal/stm"
+)
+
+// AbstractLock brackets base-object operations with conflict-abstraction
+// accesses according to the design-space point (LAP × update strategy). It
+// is the Go rendering of ScalaProust's AbstractLock (paper Listing 1):
+//
+//	ret := al.Apply(tx, intents, op, inverse)
+//
+// acquires (or announces) the intents, runs op, and — under the eager
+// strategy — registers inverse as a rollback handler. Under the lazy
+// strategy with an optimistic LAP it additionally performs the trailing
+// reads of Theorem 5.3 after op.
+type AbstractLock[K comparable] struct {
+	lap   LockAllocatorPolicy[K]
+	strat UpdateStrategy
+}
+
+// NewAbstractLock creates an abstract lock for a design-space point.
+func NewAbstractLock[K comparable](lap LockAllocatorPolicy[K], strat UpdateStrategy) *AbstractLock[K] {
+	return &AbstractLock[K]{lap: lap, strat: strat}
+}
+
+// Strategy returns the update strategy.
+func (l *AbstractLock[K]) Strategy() UpdateStrategy { return l.strat }
+
+// Optimistic reports whether the LAP delegates conflicts to the STM.
+func (l *AbstractLock[K]) Optimistic() bool { return l.lap.Optimistic() }
+
+// Apply runs op under the conflict abstraction described by intents.
+// inverse, if non-nil and the strategy is eager, is registered to undo op's
+// effect when the transaction aborts; it receives op's return value.
+// Inverses run in LIFO order on abort (the boosting discipline).
+func (l *AbstractLock[K]) Apply(tx *stm.Txn, intents []Intent[K], op func() any, inverse func(any)) any {
+	l.lap.PreOp(tx, intents)
+	ret := op()
+	switch {
+	case l.strat == Eager:
+		if inverse != nil {
+			tx.OnAbort(func() { inverse(ret) })
+		}
+		// Re-validate before the result escapes (Theorem 5.2); a no-op
+		// under pessimistic locks.
+		l.lap.Validate(tx, intents)
+	case l.lap.Optimistic():
+		// Trailing reads of Theorem 5.3.
+		l.lap.PostOp(tx, intents)
+	}
+	return ret
+}

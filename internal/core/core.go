@@ -1,0 +1,106 @@
+// Package core implements Proust, a framework for building highly-concurrent
+// transactional data structures by wrapping existing thread-safe linearizable
+// ones (Dickerson, Gazzillo, Herlihy, Koskinen — PODC 2017 / arXiv
+// 1702.04866).
+//
+// Proust unifies transactional boosting and transactional predication into a
+// 2×2 design space:
+//
+//   - Concurrency control is pessimistic (abstract re-entrant read-write
+//     locks, as in boosting) or optimistic (conflict-abstraction locations
+//     managed by the underlying STM, as in predication). The choice lives in
+//     the LockAllocatorPolicy.
+//   - Updates to the wrapped structure are eager (applied immediately, with
+//     a registered inverse to undo on abort) or lazy (routed through a
+//     replay log over a shadow copy, applied at commit). The choice lives in
+//     the UpdateStrategy.
+//
+// The conflict abstraction (paper Section 3) maps each ADT operation —
+// given its arguments and possibly the current abstract state — to a set of
+// read/write intents over abstract keys. The LockAllocatorPolicy turns
+// intents into concrete synchronization: stripes of re-entrant RW locks
+// (pessimistic) or STM reads/writes of an array mem[0..M) of transactional
+// locations (optimistic). Operations that do not commute are guaranteed to
+// issue conflicting accesses, so the STM (or the locks) detect exactly the
+// semantic conflicts and no more — eliminating the false conflicts a plain
+// read/write-set STM would report.
+//
+// Out-of-the-box Proustian structures: Map (eager), LazySnapshotMap
+// (snapshot shadow copies over a Ctrie), LazyMemoMap (memoizing shadow
+// copies, with optional log combining), PQueue and LazyPQueue (the paper's
+// Figure 3 and Section 4), Set, and NNCounter (the Section 3 example).
+package core
+
+import (
+	"errors"
+
+	"proust/internal/stm"
+)
+
+// UpdateStrategy selects when the wrapped structure is modified.
+type UpdateStrategy int
+
+const (
+	// Eager applies each operation to the base structure immediately and
+	// registers an inverse to run if the transaction aborts (boosting).
+	Eager UpdateStrategy = iota + 1
+	// Lazy queues each operation in a per-transaction replay log over a
+	// shadow copy; the log is applied to the base structure inside the
+	// commit critical section.
+	Lazy
+)
+
+// String returns "eager" or "lazy".
+func (u UpdateStrategy) String() string {
+	if u == Eager {
+		return "eager"
+	}
+	return "lazy"
+}
+
+// Mode distinguishes read intents from write intents on abstract state.
+type Mode int
+
+const (
+	// ModeRead is a shared intent: it conflicts only with writes.
+	ModeRead Mode = iota + 1
+	// ModeWrite is an exclusive intent: it conflicts with everything.
+	ModeWrite
+)
+
+// Intent is one conflict-abstraction access: the abstract key (a map key, a
+// priority-queue abstract-state element, ...) plus the access mode. It is
+// the Go rendering of the paper's LockFor/Read/Write (Listing 1).
+type Intent[K comparable] struct {
+	Key  K
+	Mode Mode
+}
+
+// R builds a read intent.
+func R[K comparable](k K) Intent[K] { return Intent[K]{Key: k, Mode: ModeRead} }
+
+// W builds a write intent.
+func W[K comparable](k K) Intent[K] { return Intent[K]{Key: k, Mode: ModeWrite} }
+
+// ErrOpacityNotGuaranteed is returned by CheckCombo for design-space
+// combinations that are only opaque on STMs with stronger conflict
+// detection than the one configured.
+var ErrOpacityNotGuaranteed = errors.New(
+	"core: eager updates with an optimistic LAP satisfy opacity only when the STM detects all conflicts eagerly (stm.EagerEager)")
+
+// CheckCombo validates a design-space point against Figure 1 of the paper:
+//
+//   - pessimistic + eager  → opaque on any STM (Theorem 5.1; boosting)
+//   - pessimistic + lazy   → opaque on any STM (Theorem 5.1)
+//   - optimistic + lazy    → opaque on any STM (Theorem 5.3; shadow copies)
+//   - optimistic + eager   → opaque only with eager detection of both
+//     read-write and write-write conflicts (Theorem 5.2); on other STMs it
+//     may violate opacity, which is the ScalaProust caveat about CCSTM.
+//
+// A nil result means the combination is opaque on the given policy.
+func CheckCombo(optimistic bool, strat UpdateStrategy, policy stm.DetectionPolicy) error {
+	if optimistic && strat == Eager && policy != stm.EagerEager {
+		return ErrOpacityNotGuaranteed
+	}
+	return nil
+}

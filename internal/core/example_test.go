@@ -1,0 +1,97 @@
+package core_test
+
+import (
+	"fmt"
+
+	"proust/internal/conc"
+	"proust/internal/core"
+	"proust/internal/stm"
+)
+
+// A Proustian map at the lazy/optimistic design-space point: predication-
+// style conflict abstraction over a concurrent hash trie, with snapshot
+// shadow copies.
+func ExampleNewLazySnapshotMap() {
+	s := stm.New(stm.WithPolicy(stm.LazyLazy))
+	lap := core.NewOptimisticLAP(s, func(k string) uint64 { return conc.StringHasher(k) }, 256)
+	m := core.NewLazySnapshotMap[string, int](s, lap, conc.StringHasher)
+
+	_ = s.Atomically(func(tx *stm.Txn) error {
+		m.Put(tx, "a", 1)
+		m.Put(tx, "b", 2)
+		return nil
+	})
+	_ = s.Atomically(func(tx *stm.Txn) error {
+		a, _ := m.Get(tx, "a")
+		b, _ := m.Get(tx, "b")
+		fmt.Println(a+b, m.Size(tx))
+		return nil
+	})
+	// Output: 3 2
+}
+
+// A boosted map: pessimistic abstract locks with eager updates and
+// inverses — the transactional-boosting point of the design space.
+func ExampleNewMap_boosting() {
+	s := stm.New()
+	lap := core.NewPessimisticLAP(func(k int) uint64 { return conc.IntHasher(k) }, 256, core.DefaultLockTimeout)
+	m := core.NewMap[int, string](s, lap, conc.IntHasher)
+
+	err := s.Atomically(func(tx *stm.Txn) error {
+		m.Put(tx, 1, "one")
+		return fmt.Errorf("changed my mind") // abort: the inverse undoes the put
+	})
+	fmt.Println(err != nil)
+	_ = s.Atomically(func(tx *stm.Txn) error {
+		fmt.Println(m.Contains(tx, 1))
+		return nil
+	})
+	// Output:
+	// true
+	// false
+}
+
+// The non-negative counter of the paper's Section 3: no STM accesses (and
+// so no conflicts) while the value stays above the threshold.
+func ExampleNewNNCounter() {
+	s := stm.New()
+	c := core.NewNNCounter(s)
+	_ = s.Atomically(func(tx *stm.Txn) error {
+		c.Incr(tx)
+		c.Incr(tx)
+		return nil
+	})
+	var ok bool
+	_ = s.Atomically(func(tx *stm.Txn) error {
+		ok = c.Decr(tx)
+		return nil
+	})
+	fmt.Println(c.Value(), ok)
+	// Output: 1 true
+}
+
+// Range queries commute with updates outside the queried interval.
+func ExampleNewOrderedMap() {
+	s := stm.New()
+	lap := core.NewOptimisticLAP(s, func(st int) uint64 { return uint64(st) * 0x9e3779b97f4a7c15 }, 64)
+	m := core.NewOrderedMap[int, string](s, lap,
+		func(a, b int) int { return a - b },
+		func(k int) uint64 { return uint64(k) },
+		8, 16)
+
+	_ = s.Atomically(func(tx *stm.Txn) error {
+		m.Put(tx, 10, "x")
+		m.Put(tx, 20, "y")
+		m.Put(tx, 200, "z")
+		return nil
+	})
+	_ = s.Atomically(func(tx *stm.Txn) error {
+		for _, e := range m.RangeQuery(tx, 0, 100) {
+			fmt.Println(e.Key, e.Val)
+		}
+		return nil
+	})
+	// Output:
+	// 10 x
+	// 20 y
+}

@@ -1,0 +1,215 @@
+package core
+
+import (
+	"errors"
+	"time"
+
+	"proust/internal/lock"
+	"proust/internal/stm"
+)
+
+// LockAllocatorPolicy (LAP) allocates concurrency-control primitives for
+// conflict-abstraction intents (paper Section 2). A pessimistic LAP
+// allocates re-entrant read-write locks; an optimistic LAP maps intents to
+// reads and writes of STM memory locations, letting the STM detect and
+// manage the conflicts.
+//
+// PreOp runs before the wrapped operation; PostOp runs after it, and only
+// under the lazy update strategy with an optimistic LAP (the trailing reads
+// of Theorem 5.3). Both abort the transaction (unwinding to Atomically for
+// a retry) rather than returning errors.
+type LockAllocatorPolicy[K comparable] interface {
+	PreOp(tx *stm.Txn, intents []Intent[K])
+	PostOp(tx *stm.Txn, intents []Intent[K])
+	// Validate re-checks every intent after an eager operation so that a
+	// value observed from a base structure mutated by a concurrent
+	// (doomed or still-active) transaction can never escape the wrapper.
+	// Pessimistic locks make this a no-op: the lock itself excludes the
+	// window.
+	Validate(tx *stm.Txn, intents []Intent[K])
+	// Optimistic reports whether conflicts are delegated to the STM.
+	Optimistic() bool
+}
+
+// DefaultMemSize is the default number of STM locations in an optimistic
+// LAP — the parameter M of the paper's conflict-abstraction array mem.
+const DefaultMemSize = 1024
+
+// OptimisticLAP maps abstract keys onto an array mem[0..M) of STM-managed
+// locations: a read intent on key k becomes an STM read of mem[h(k) mod M],
+// a write intent becomes an STM write of a unique token (the transaction
+// serial — the paper notes the values only need to be unique). Conflicting
+// intents therefore become conflicting STM accesses, detected and resolved
+// by whatever detection policy the STM runs (predication-style conflict
+// abstraction, generalized beyond sets and maps).
+type OptimisticLAP[K comparable] struct {
+	hash func(K) uint64
+	mem  []*stm.Ref[uint64]
+}
+
+var _ LockAllocatorPolicy[int] = (*OptimisticLAP[int])(nil)
+
+// NewOptimisticLAP creates an optimistic LAP with m STM locations (m is
+// rounded up to a power of two; m <= 0 selects DefaultMemSize).
+func NewOptimisticLAP[K comparable](s *stm.STM, hash func(K) uint64, m int) *OptimisticLAP[K] {
+	if m <= 0 {
+		m = DefaultMemSize
+	}
+	size := 1
+	for size < m {
+		size <<= 1
+	}
+	mem := make([]*stm.Ref[uint64], size)
+	for i := range mem {
+		mem[i] = stm.NewRef(s, uint64(0))
+	}
+	return &OptimisticLAP[K]{hash: hash, mem: mem}
+}
+
+// MemSize returns the number of STM locations (M).
+func (l *OptimisticLAP[K]) MemSize() int { return len(l.mem) }
+
+func (l *OptimisticLAP[K]) loc(k K) *stm.Ref[uint64] {
+	return l.mem[l.hash(k)&uint64(len(l.mem)-1)]
+}
+
+// PreOp announces the operation: reads for read intents, unique-token
+// writes for write intents. Write intents additionally Touch the location,
+// recording a *leading* read-set entry: any transaction that later commits a
+// conflicting operation invalidates this one at validation time, even if no
+// subsequent read of the location would otherwise notice (a buffered write
+// alone records nothing in the read set). Without the leading entry, a
+// conflicting commit landing between this announcement and the base-object
+// access could slip past read-version extension and let a stale shadow-copy
+// result escape.
+func (l *OptimisticLAP[K]) PreOp(tx *stm.Txn, intents []Intent[K]) {
+	for _, in := range intents {
+		loc := l.loc(in.Key)
+		if in.Mode == ModeWrite {
+			loc.Set(tx, tx.Serial())
+			loc.Touch(tx)
+		} else {
+			_ = loc.Get(tx)
+		}
+	}
+}
+
+// PostOp performs the trailing reads of Theorem 5.3: after the operation,
+// every conflict-abstraction location is Touch-ed — registered in the read
+// set and revalidated. This is what makes Lazy/Optimistic Proust opaque on
+// a fully lazy STM: if a conflicting transaction committed (and replayed its
+// log onto the base structure) between this operation's announcement and its
+// base access, the touch observes the bumped location version, read-set
+// extension fails, and the transaction aborts before the poisoned return
+// value escapes. Write intents need the touch additionally because a
+// buffered STM write alone does not conflict with another buffered write.
+func (l *OptimisticLAP[K]) PostOp(tx *stm.Txn, intents []Intent[K]) {
+	for _, in := range intents {
+		l.loc(in.Key).Touch(tx)
+	}
+}
+
+// Validate touches every intent's location after an eager operation: if a
+// conflicting transaction acquired or committed one of the locations in the
+// meantime, this transaction aborts here, before the (potentially
+// inconsistent) result of the base operation can escape. Together with
+// eager conflict detection this is what makes Eager/Optimistic Proust
+// opaque (Theorem 5.2).
+func (l *OptimisticLAP[K]) Validate(tx *stm.Txn, intents []Intent[K]) {
+	for _, in := range intents {
+		l.loc(in.Key).Touch(tx)
+	}
+}
+
+// Optimistic reports true.
+func (l *OptimisticLAP[K]) Optimistic() bool { return true }
+
+// DefaultLockTimeout bounds pessimistic abstract-lock acquisition; a timeout
+// aborts the transaction (deadlock becomes abort + backoff).
+const DefaultLockTimeout = 10 * time.Millisecond
+
+// PessimisticLAP allocates striped re-entrant read-write locks, acquired
+// before the operation and held until the transaction commits or aborts
+// (two-phase locking) — the boosting discipline. Acquisition is bounded by
+// a timeout; on timeout or a read-to-write upgrade conflict the transaction
+// aborts and retries, which is how the paper's livelock observation about
+// coupling abstract locks with the STM's contention management is handled.
+type PessimisticLAP[K comparable] struct {
+	hash    func(K) uint64
+	locks   *lock.Striped
+	timeout time.Duration
+	held    *stm.TxnLocal[*heldStripes]
+}
+
+// heldStripes tracks the stripes a transaction acquired, so release touches
+// only those instead of sweeping the whole table.
+type heldStripes struct {
+	stripes map[*lock.ReentrantRW]struct{}
+}
+
+var _ LockAllocatorPolicy[int] = (*PessimisticLAP[int])(nil)
+
+// NewPessimisticLAP creates a pessimistic LAP with n lock stripes (n <= 0
+// selects DefaultMemSize stripes) and the given acquisition timeout
+// (non-positive selects DefaultLockTimeout).
+func NewPessimisticLAP[K comparable](hash func(K) uint64, n int, timeout time.Duration) *PessimisticLAP[K] {
+	if n <= 0 {
+		n = DefaultMemSize
+	}
+	if timeout <= 0 {
+		timeout = DefaultLockTimeout
+	}
+	l := &PessimisticLAP[K]{
+		hash:    hash,
+		locks:   lock.NewStriped(n),
+		timeout: timeout,
+	}
+	l.held = stm.NewTxnLocal(func(tx *stm.Txn) *heldStripes {
+		hs := &heldStripes{stripes: make(map[*lock.ReentrantRW]struct{}, 4)}
+		release := func() {
+			for s := range hs.stripes {
+				s.ReleaseAll(tx)
+			}
+		}
+		tx.OnCommit(release)
+		tx.OnAbort(release)
+		return hs
+	})
+	return l
+}
+
+// PreOp acquires the stripes for all intents on behalf of the transaction.
+// Locks are released by OnCommit/OnAbort hooks (strict two-phase locking:
+// "released implicitly on commit or abort", Section 3).
+func (l *PessimisticLAP[K]) PreOp(tx *stm.Txn, intents []Intent[K]) {
+	hs := l.held.Get(tx)
+	for _, in := range intents {
+		stripe := l.locks.Stripe(l.hash(in.Key))
+		hs.stripes[stripe] = struct{}{}
+		var err error
+		if in.Mode == ModeWrite {
+			err = stripe.Lock(tx, l.timeout)
+		} else {
+			err = stripe.RLock(tx, l.timeout)
+		}
+		if err != nil {
+			// Timeout or upgrade contention: deadlock avoidance by abort
+			// plus backoff; the OnAbort hook releases everything
+			// acquired so far.
+			if !errors.Is(err, lock.ErrTimeout) && !errors.Is(err, lock.ErrUpgradeDeadlock) {
+				panic(err) // impossible by the lock package contract
+			}
+			stm.AbortAndRetry(tx)
+		}
+	}
+}
+
+// PostOp is a no-op for pessimistic locks.
+func (l *PessimisticLAP[K]) PostOp(*stm.Txn, []Intent[K]) {}
+
+// Validate is a no-op: the held stripes exclude conflicting operations for
+// the whole transaction.
+func (l *PessimisticLAP[K]) Validate(*stm.Txn, []Intent[K]) {}
+
+// Optimistic reports false.
+func (l *PessimisticLAP[K]) Optimistic() bool { return false }

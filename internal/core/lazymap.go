@@ -1,0 +1,160 @@
+package core
+
+import (
+	"proust/internal/conc"
+	"proust/internal/stm"
+)
+
+// LazySnapshotMap is the lazy Proustian map with snapshot shadow copies
+// (the paper's LazyTrieMap, Figure 2b): the base structure is a concurrent
+// hash trie with constant-time snapshots; each transaction's first mutation
+// takes a snapshot, subsequent operations run against it, and on commit the
+// queued operations are replayed onto the shared trie inside the commit
+// critical section.
+type LazySnapshotMap[K comparable, V any] struct {
+	al   *AbstractLock[K]
+	log  *SnapshotLog[*conc.Ctrie[K, V]]
+	size *stm.Ref[int]
+}
+
+var _ TxMap[int, int] = (*LazySnapshotMap[int, int])(nil)
+
+// NewLazySnapshotMap creates a lazy Proustian map over a fresh Ctrie.
+func NewLazySnapshotMap[K comparable, V any](s *stm.STM, lap LockAllocatorPolicy[K], hash conc.Hasher[K]) *LazySnapshotMap[K, V] {
+	base := conc.NewCtrie[K, V](hash)
+	return &LazySnapshotMap[K, V]{
+		al:   NewAbstractLock(lap, Lazy),
+		log:  NewSnapshotLog(base, func(ct *conc.Ctrie[K, V]) *conc.Ctrie[K, V] { return ct.Snapshot() }),
+		size: stm.NewRef(s, 0),
+	}
+}
+
+// Put stores v under k, returning the previous value if any.
+func (m *LazySnapshotMap[K, V]) Put(tx *stm.Txn, k K, v V) (V, bool) {
+	ret := m.al.Apply(tx, []Intent[K]{W(k)}, func() any {
+		r := m.log.Mutate(tx, func(ct *conc.Ctrie[K, V]) any {
+			old, had := ct.Put(k, v)
+			return prev[V]{val: old, had: had}
+		})
+		pr := r.(prev[V])
+		if !pr.had {
+			m.size.Modify(tx, func(n int) int { return n + 1 })
+		}
+		return pr
+	}, nil)
+	pr := ret.(prev[V])
+	return pr.val, pr.had
+}
+
+// Get returns the value stored under k, consulting the transaction's shadow
+// copy when one exists (the readOnly optimization otherwise reads the
+// unmodified base directly).
+func (m *LazySnapshotMap[K, V]) Get(tx *stm.Txn, k K) (V, bool) {
+	ret := m.al.Apply(tx, []Intent[K]{R(k)}, func() any {
+		return m.log.Read(tx, func(ct *conc.Ctrie[K, V]) any {
+			v, ok := ct.Get(k)
+			return prev[V]{val: v, had: ok}
+		})
+	}, nil)
+	pr := ret.(prev[V])
+	return pr.val, pr.had
+}
+
+// Contains reports whether k is present.
+func (m *LazySnapshotMap[K, V]) Contains(tx *stm.Txn, k K) bool {
+	_, ok := m.Get(tx, k)
+	return ok
+}
+
+// Remove deletes k, returning the previous value if any.
+func (m *LazySnapshotMap[K, V]) Remove(tx *stm.Txn, k K) (V, bool) {
+	ret := m.al.Apply(tx, []Intent[K]{W(k)}, func() any {
+		r := m.log.Mutate(tx, func(ct *conc.Ctrie[K, V]) any {
+			old, had := ct.Remove(k)
+			return prev[V]{val: old, had: had}
+		})
+		pr := r.(prev[V])
+		if pr.had {
+			m.size.Modify(tx, func(n int) int { return n - 1 })
+		}
+		return pr
+	}, nil)
+	pr := ret.(prev[V])
+	return pr.val, pr.had
+}
+
+// Size returns the committed size.
+func (m *LazySnapshotMap[K, V]) Size(tx *stm.Txn) int {
+	return m.size.Get(tx)
+}
+
+// LazyMemoMap is the lazy Proustian map with memoizing shadow copies (the
+// paper's LazyHashMap over ConcurrentHashMap): pending operations live in a
+// transaction-local overlay table, and the base map is only touched at
+// commit. With combine=true the commit applies one synthetic update per
+// touched key — the log-combining optimization of Figure 4 (bottom).
+type LazyMemoMap[K comparable, V any] struct {
+	al   *AbstractLock[K]
+	log  *MemoLog[K, V]
+	size *stm.Ref[int]
+}
+
+var _ TxMap[int, int] = (*LazyMemoMap[int, int])(nil)
+
+// NewLazyMemoMap creates a memoizing lazy Proustian map over a fresh
+// striped-lock hash map.
+func NewLazyMemoMap[K comparable, V any](s *stm.STM, lap LockAllocatorPolicy[K], hash conc.Hasher[K], combine bool) *LazyMemoMap[K, V] {
+	base := conc.NewHashMap[K, V](hash)
+	return &LazyMemoMap[K, V]{
+		al:   NewAbstractLock(lap, Lazy),
+		log:  NewMemoLog[K, V](base, combine),
+		size: stm.NewRef(s, 0),
+	}
+}
+
+// Put stores v under k, returning the previous value if any.
+func (m *LazyMemoMap[K, V]) Put(tx *stm.Txn, k K, v V) (V, bool) {
+	ret := m.al.Apply(tx, []Intent[K]{W(k)}, func() any {
+		old, had := m.log.Put(tx, k, v)
+		if !had {
+			m.size.Modify(tx, func(n int) int { return n + 1 })
+		}
+		return prev[V]{val: old, had: had}
+	}, nil)
+	pr := ret.(prev[V])
+	return pr.val, pr.had
+}
+
+// Get returns the value stored under k.
+func (m *LazyMemoMap[K, V]) Get(tx *stm.Txn, k K) (V, bool) {
+	ret := m.al.Apply(tx, []Intent[K]{R(k)}, func() any {
+		v, ok := m.log.Get(tx, k)
+		return prev[V]{val: v, had: ok}
+	}, nil)
+	pr := ret.(prev[V])
+	return pr.val, pr.had
+}
+
+// Contains reports whether k is present.
+func (m *LazyMemoMap[K, V]) Contains(tx *stm.Txn, k K) bool {
+	_, ok := m.Get(tx, k)
+	return ok
+}
+
+// Remove deletes k, returning the previous value if any.
+func (m *LazyMemoMap[K, V]) Remove(tx *stm.Txn, k K) (V, bool) {
+	ret := m.al.Apply(tx, []Intent[K]{W(k)}, func() any {
+		old, had := m.log.Remove(tx, k)
+		if had {
+			m.size.Modify(tx, func(n int) int { return n - 1 })
+		}
+		return prev[V]{val: old, had: had}
+	}, nil)
+	pr := ret.(prev[V])
+	return pr.val, pr.had
+}
+
+// Size returns the committed size.
+func (m *LazyMemoMap[K, V]) Size(tx *stm.Txn) int {
+	return m.size.Get(tx)
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"proust/internal/conc"
+	"proust/internal/stm"
+)
+
+// TxMap is the transactional map API shared by every Proustian map wrapper
+// and by the baselines — the Go rendering of the paper's MapTrait
+// (Listing 2). Size is reified out of the abstract state into an STM
+// reference as an optimization, exactly as the paper does with
+// committedSize.
+type TxMap[K comparable, V any] interface {
+	Put(tx *stm.Txn, k K, v V) (V, bool)
+	Get(tx *stm.Txn, k K) (V, bool)
+	Contains(tx *stm.Txn, k K) bool
+	Remove(tx *stm.Txn, k K) (V, bool)
+	Size(tx *stm.Txn) int
+}
+
+// prev carries an operation's previous-value result through the untyped
+// AbstractLock.Apply boundary.
+type prev[V any] struct {
+	val V
+	had bool
+}
+
+// Map is the eager Proustian map (paper Figure 2a): a concurrent hash trie
+// wrapped with per-key conflict abstraction; operations mutate the trie
+// immediately and register inverses as rollback handlers.
+type Map[K comparable, V any] struct {
+	al   *AbstractLock[K]
+	base *conc.Ctrie[K, V]
+	size *stm.Ref[int]
+}
+
+var _ TxMap[int, int] = (*Map[int, int])(nil)
+
+// NewMap creates an eager Proustian map over a fresh Ctrie.
+func NewMap[K comparable, V any](s *stm.STM, lap LockAllocatorPolicy[K], hash conc.Hasher[K]) *Map[K, V] {
+	return &Map[K, V]{
+		al:   NewAbstractLock(lap, Eager),
+		base: conc.NewCtrie[K, V](hash),
+		size: stm.NewRef(s, 0),
+	}
+}
+
+// Put stores v under k, returning the previous value if any.
+func (m *Map[K, V]) Put(tx *stm.Txn, k K, v V) (V, bool) {
+	ret := m.al.Apply(tx, []Intent[K]{W(k)}, func() any {
+		old, had := m.base.Put(k, v)
+		if !had {
+			m.size.Modify(tx, func(n int) int { return n + 1 })
+		}
+		return prev[V]{val: old, had: had}
+	}, func(r any) {
+		pr := r.(prev[V])
+		if pr.had {
+			m.base.Put(k, pr.val)
+		} else {
+			m.base.Remove(k)
+		}
+	})
+	pr := ret.(prev[V])
+	return pr.val, pr.had
+}
+
+// Get returns the value stored under k.
+func (m *Map[K, V]) Get(tx *stm.Txn, k K) (V, bool) {
+	ret := m.al.Apply(tx, []Intent[K]{R(k)}, func() any {
+		v, ok := m.base.Get(k)
+		return prev[V]{val: v, had: ok}
+	}, nil)
+	pr := ret.(prev[V])
+	return pr.val, pr.had
+}
+
+// Contains reports whether k is present.
+func (m *Map[K, V]) Contains(tx *stm.Txn, k K) bool {
+	_, ok := m.Get(tx, k)
+	return ok
+}
+
+// Remove deletes k, returning the previous value if any.
+func (m *Map[K, V]) Remove(tx *stm.Txn, k K) (V, bool) {
+	ret := m.al.Apply(tx, []Intent[K]{W(k)}, func() any {
+		old, had := m.base.Remove(k)
+		if had {
+			m.size.Modify(tx, func(n int) int { return n - 1 })
+		}
+		return prev[V]{val: old, had: had}
+	}, func(r any) {
+		pr := r.(prev[V])
+		if pr.had {
+			m.base.Put(k, pr.val)
+		}
+	})
+	pr := ret.(prev[V])
+	return pr.val, pr.had
+}
+
+// Size returns the committed size.
+func (m *Map[K, V]) Size(tx *stm.Txn) int {
+	return m.size.Get(tx)
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"proust/internal/conc"
+	"proust/internal/stm"
+)
+
+// Multiset is an eager Proustian multiset (bag) whose conflict abstraction
+// generalizes the paper's Section 3 counter to one abstract counter per
+// element:
+//
+//	add(x):      write(loc_x) when count(x) = 0 (the 0→1 transition is
+//	             observable by contains), read(loc_x) otherwise
+//	remove(x):   write(loc_x) when count(x) ≤ 1 (underflow error and the
+//	             1→0 transition are observable), read(loc_x) otherwise
+//	contains(x): read(loc_x)
+//	count(x):    write(loc_x) — the exact count never commutes with updates
+//
+// Far from zero, adds and removes of the same element commute and perform
+// only read accesses; distinct elements never interact. The soundness of
+// this abstraction is machine-checked by verify.MultisetModel.
+type Multiset[K comparable] struct {
+	al   *AbstractLock[K]
+	base *conc.HashMap[K, int]
+	size *stm.Ref[int]
+}
+
+// NewMultiset creates an eager Proustian multiset.
+func NewMultiset[K comparable](s *stm.STM, lap LockAllocatorPolicy[K], hash conc.Hasher[K]) *Multiset[K] {
+	return &Multiset[K]{
+		al:   NewAbstractLock(lap, Eager),
+		base: conc.NewHashMap[K, int](hash),
+		size: stm.NewRef(s, 0),
+	}
+}
+
+func (ms *Multiset[K]) countOf(k K) int {
+	c, _ := ms.base.Get(k)
+	return c
+}
+
+// Add inserts one occurrence of k.
+func (ms *Multiset[K]) Add(tx *stm.Txn, k K) {
+	intent := R(k)
+	if ms.countOf(k) == 0 {
+		intent = W(k)
+	}
+	ms.al.Apply(tx, []Intent[K]{intent}, func() any {
+		ms.base.Update(k, func(c int, _ bool) (int, bool) { return c + 1, true })
+		ms.size.Modify(tx, func(n int) int { return n + 1 })
+		return nil
+	}, func(any) {
+		ms.base.Update(k, func(c int, _ bool) (int, bool) { return c - 1, c > 1 })
+	})
+}
+
+// Remove deletes one occurrence of k, reporting whether one existed.
+func (ms *Multiset[K]) Remove(tx *stm.Txn, k K) bool {
+	intent := R(k)
+	if ms.countOf(k) <= 1 {
+		intent = W(k)
+	}
+	ret := ms.al.Apply(tx, []Intent[K]{intent}, func() any {
+		removed := false
+		ms.base.Update(k, func(c int, had bool) (int, bool) {
+			if !had || c == 0 {
+				return 0, false
+			}
+			removed = true
+			return c - 1, c > 1
+		})
+		if removed {
+			ms.size.Modify(tx, func(n int) int { return n - 1 })
+		}
+		return removed
+	}, func(r any) {
+		if r.(bool) {
+			ms.base.Update(k, func(c int, _ bool) (int, bool) { return c + 1, true })
+		}
+	})
+	return ret.(bool)
+}
+
+// Contains reports whether at least one occurrence of k exists.
+func (ms *Multiset[K]) Contains(tx *stm.Txn, k K) bool {
+	ret := ms.al.Apply(tx, []Intent[K]{R(k)}, func() any {
+		return ms.countOf(k) > 0
+	}, nil)
+	return ret.(bool)
+}
+
+// Count returns the number of occurrences of k.
+func (ms *Multiset[K]) Count(tx *stm.Txn, k K) int {
+	ret := ms.al.Apply(tx, []Intent[K]{W(k)}, func() any {
+		return ms.countOf(k)
+	}, nil)
+	return ret.(int)
+}
+
+// Size returns the committed total number of occurrences.
+func (ms *Multiset[K]) Size(tx *stm.Txn) int {
+	return ms.size.Get(tx)
+}

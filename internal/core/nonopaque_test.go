@@ -1,0 +1,65 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"proust/internal/conc"
+	"proust/internal/stm"
+)
+
+// TestNonOpaqueQuadrantObservable demonstrates *why* CheckCombo rejects
+// eager updates + optimistic LAP on a lazily-detecting STM (the quadrant
+// Figure 1 marks as requiring eager detection, and the ScalaProust CCSTM
+// footnote): the eager update mutates the base structure immediately, but
+// the conflict-abstraction write that should exclude readers is merely
+// buffered, so a concurrent reader observes the uncommitted value. This is
+// a deterministic reproduction of the opacity violation, not a stress test.
+func TestNonOpaqueQuadrantObservable(t *testing.T) {
+	s := stm.New(stm.WithPolicy(stm.LazyLazy))
+	lap := NewOptimisticLAP(s, func(k int) uint64 { return conc.IntHasher(k) }, 64)
+	m := NewMap[int, int](s, lap, conc.IntHasher) // Eager strategy
+
+	if err := CheckCombo(true, Eager, stm.LazyLazy); err == nil {
+		t.Fatal("CheckCombo must reject this combination")
+	}
+
+	if err := s.Atomically(func(tx *stm.Txn) error {
+		m.Put(tx, 1, 10)
+		return nil
+	}); err != nil {
+		t.Fatalf("setup: %v", err)
+	}
+
+	holding := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan error, 1)
+	var once sync.Once
+	go func() {
+		done <- s.Atomically(func(tx *stm.Txn) error {
+			m.Put(tx, 1, 999) // eager: base mutated before commit
+			once.Do(func() { close(holding) })
+			<-release
+			return nil
+		})
+	}()
+	<-holding
+
+	// The writer has NOT committed, yet a fully-lazy STM buffers its
+	// conflict-abstraction announcement, so this reader runs unimpeded and
+	// observes the uncommitted 999.
+	var observed int
+	if err := s.Atomically(func(tx *stm.Txn) error {
+		observed, _ = m.Get(tx, 1)
+		return nil
+	}); err != nil {
+		t.Fatalf("reader: %v", err)
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("writer: %v", err)
+	}
+	if observed != 999 {
+		t.Fatalf("observed %d; expected the uncommitted 999 — if this now reads 10, the quadrant has become opaque and CheckCombo should be relaxed", observed)
+	}
+}

@@ -1,0 +1,234 @@
+package core
+
+import (
+	"proust/internal/conc"
+	"proust/internal/stm"
+)
+
+// PQState enumerates the abstract-state elements of a priority queue (the
+// paper's PQueueTrait, Listing 3). Commutativity is expressed against these
+// two elements rather than pairwise between methods: PQueueMin allows
+// multiple readers and a single writer; PQueueMultiSet allows multiple
+// writers or multiple readers (an intent-compatible striped RW lock, or two
+// conflict-abstraction locations, realize exactly that).
+type PQState int
+
+const (
+	// PQMin is the abstract minimum element.
+	PQMin PQState = iota + 1
+	// PQMultiSet is the abstract multiset of queued values.
+	PQMultiSet
+)
+
+// PQStateHash hashes a PQState for lock-allocator policies.
+func PQStateHash(s PQState) uint64 {
+	return uint64(s) * 0x9e3779b97f4a7c15
+}
+
+// TxPQueue is the transactional priority-queue API (paper Listing 3).
+type TxPQueue[V any] interface {
+	Insert(tx *stm.Txn, v V)
+	Min(tx *stm.Txn) (V, bool)
+	RemoveMin(tx *stm.Txn) (V, bool)
+	Contains(tx *stm.Txn, v V) bool
+	Size(tx *stm.Txn) int
+}
+
+// PQueue is the eager Proustian priority queue (paper Figure 3): a
+// lock-based binary heap (the PriorityBlockingQueue stand-in) wrapped with
+// the PQMin/PQMultiSet conflict abstraction, using lazy-deletion wrappers so
+// that insert's inverse is a constant-time logical delete.
+type PQueue[V any] struct {
+	al   *AbstractLock[PQState]
+	base *conc.PQueue[V]
+	less conc.Less[V]
+	eq   func(a, b V) bool
+	size *stm.Ref[int]
+}
+
+var _ TxPQueue[int] = (*PQueue[int])(nil)
+
+// NewPQueue creates an eager Proustian priority queue.
+func NewPQueue[V any](s *stm.STM, lap LockAllocatorPolicy[PQState], less conc.Less[V], eq func(a, b V) bool) *PQueue[V] {
+	return &PQueue[V]{
+		al:   NewAbstractLock(lap, Eager),
+		base: conc.NewPQueue(less),
+		less: less,
+		eq:   eq,
+		size: stm.NewRef(s, 0),
+	}
+}
+
+// minIntent computes the PQMin intent for inserting v: a write intent when v
+// becomes the new minimum, a read intent otherwise (all inserts commute on
+// PQMultiSet; an insert above the current minimum commutes with min()). The
+// current minimum is observed through the transactional Min, so the read
+// intent on PQMin is already held when the decision is made. Unlike the
+// paper's listing we also take the write intent when the queue is empty —
+// inserting into an empty queue changes the minimum.
+func minIntentForInsert[V any](tx *stm.Txn, q TxPQueue[V], less conc.Less[V], v V) Intent[PQState] {
+	cur, ok := q.Min(tx)
+	if !ok || less(v, cur) {
+		return W(PQMin)
+	}
+	return R(PQMin)
+}
+
+// Insert adds v to the queue.
+func (q *PQueue[V]) Insert(tx *stm.Txn, v V) {
+	mi := minIntentForInsert[V](tx, q, q.less, v)
+	q.al.Apply(tx, []Intent[PQState]{W(PQMultiSet), mi}, func() any {
+		it := q.base.Add(v)
+		q.size.Modify(tx, func(n int) int { return n + 1 })
+		return it
+	}, func(r any) {
+		it := r.(*conc.Item[V])
+		it.Delete()
+		q.base.NoteDeleted()
+	})
+}
+
+// Min returns the smallest value without removing it.
+func (q *PQueue[V]) Min(tx *stm.Txn) (V, bool) {
+	ret := q.al.Apply(tx, []Intent[PQState]{R(PQMin)}, func() any {
+		v, ok := q.base.Min()
+		return prev[V]{val: v, had: ok}
+	}, nil)
+	pr := ret.(prev[V])
+	return pr.val, pr.had
+}
+
+// RemoveMin removes and returns the smallest value.
+func (q *PQueue[V]) RemoveMin(tx *stm.Txn) (V, bool) {
+	ret := q.al.Apply(tx, []Intent[PQState]{W(PQMin), W(PQMultiSet)}, func() any {
+		it, ok := q.base.RemoveMin()
+		if ok {
+			q.size.Modify(tx, func(n int) int { return n - 1 })
+		}
+		return itemResult[V]{it: it, ok: ok}
+	}, func(r any) {
+		res := r.(itemResult[V])
+		if res.ok {
+			q.base.AddItem(res.it)
+		}
+	})
+	res := ret.(itemResult[V])
+	if !res.ok {
+		var zero V
+		return zero, false
+	}
+	return res.it.Value, true
+}
+
+type itemResult[V any] struct {
+	it *conc.Item[V]
+	ok bool
+}
+
+// Contains reports whether v is queued.
+func (q *PQueue[V]) Contains(tx *stm.Txn, v V) bool {
+	ret := q.al.Apply(tx, []Intent[PQState]{R(PQMultiSet)}, func() any {
+		return q.base.Contains(v, q.eq)
+	}, nil)
+	return ret.(bool)
+}
+
+// Size returns the committed size.
+func (q *PQueue[V]) Size(tx *stm.Txn) int {
+	return q.size.Get(tx)
+}
+
+// pqBase is the contract shared by conc.COWHeap and conc.HeapSnapshot,
+// letting the snapshot replay log treat them uniformly.
+type pqBase[V any] interface {
+	Insert(V)
+	Min() (V, bool)
+	RemoveMin() (V, bool)
+	Contains(V, func(a, b V) bool) bool
+	Len() int
+}
+
+// LazyPQueue is the lazy Proustian priority queue (the paper's
+// LazyPriorityQueue): a copy-on-write heap provides O(1) snapshots, pending
+// operations run against the transaction's snapshot and replay at commit.
+// No inverses are needed — exactly the case the paper highlights, since
+// priority-queue operations lack efficient inverses in general.
+type LazyPQueue[V any] struct {
+	al   *AbstractLock[PQState]
+	log  *SnapshotLog[pqBase[V]]
+	less conc.Less[V]
+	eq   func(a, b V) bool
+	size *stm.Ref[int]
+}
+
+var _ TxPQueue[int] = (*LazyPQueue[int])(nil)
+
+// NewLazyPQueue creates a lazy Proustian priority queue over a fresh
+// copy-on-write heap.
+func NewLazyPQueue[V any](s *stm.STM, lap LockAllocatorPolicy[PQState], less conc.Less[V], eq func(a, b V) bool) *LazyPQueue[V] {
+	heap := conc.NewCOWHeap(less)
+	return &LazyPQueue[V]{
+		al:   NewAbstractLock(lap, Lazy),
+		log:  NewSnapshotLog[pqBase[V]](heap, func(pqBase[V]) pqBase[V] { return heap.Snapshot() }),
+		less: less,
+		eq:   eq,
+		size: stm.NewRef(s, 0),
+	}
+}
+
+// Insert adds v to the queue.
+func (q *LazyPQueue[V]) Insert(tx *stm.Txn, v V) {
+	mi := minIntentForInsert[V](tx, q, q.less, v)
+	q.al.Apply(tx, []Intent[PQState]{W(PQMultiSet), mi}, func() any {
+		q.log.Mutate(tx, func(b pqBase[V]) any {
+			b.Insert(v)
+			return nil
+		})
+		q.size.Modify(tx, func(n int) int { return n + 1 })
+		return nil
+	}, nil)
+}
+
+// Min returns the smallest value without removing it.
+func (q *LazyPQueue[V]) Min(tx *stm.Txn) (V, bool) {
+	ret := q.al.Apply(tx, []Intent[PQState]{R(PQMin)}, func() any {
+		return q.log.Read(tx, func(b pqBase[V]) any {
+			v, ok := b.Min()
+			return prev[V]{val: v, had: ok}
+		})
+	}, nil)
+	pr := ret.(prev[V])
+	return pr.val, pr.had
+}
+
+// RemoveMin removes and returns the smallest value.
+func (q *LazyPQueue[V]) RemoveMin(tx *stm.Txn) (V, bool) {
+	ret := q.al.Apply(tx, []Intent[PQState]{W(PQMin), W(PQMultiSet)}, func() any {
+		r := q.log.Mutate(tx, func(b pqBase[V]) any {
+			v, ok := b.RemoveMin()
+			return prev[V]{val: v, had: ok}
+		})
+		pr := r.(prev[V])
+		if pr.had {
+			q.size.Modify(tx, func(n int) int { return n - 1 })
+		}
+		return pr
+	}, nil)
+	pr := ret.(prev[V])
+	return pr.val, pr.had
+}
+
+// Contains reports whether v is queued.
+func (q *LazyPQueue[V]) Contains(tx *stm.Txn, v V) bool {
+	ret := q.al.Apply(tx, []Intent[PQState]{R(PQMultiSet)}, func() any {
+		return q.log.Read(tx, func(b pqBase[V]) any {
+			return b.Contains(v, q.eq)
+		})
+	}, nil)
+	return ret.(bool)
+}
+
+// Size returns the committed size.
+func (q *LazyPQueue[V]) Size(tx *stm.Txn) int {
+	return q.size.Get(tx)
+}

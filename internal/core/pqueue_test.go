@@ -1,0 +1,420 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"proust/internal/stm"
+)
+
+func intLess(a, b int) bool { return a < b }
+func intEq(a, b int) bool   { return a == b }
+
+type pqVariant struct {
+	name  string
+	strat UpdateStrategy
+	build func(s *stm.STM, lap LockAllocatorPolicy[PQState]) TxPQueue[int]
+}
+
+func pqVariants() []pqVariant {
+	return []pqVariant{
+		{
+			name:  "eager",
+			strat: Eager,
+			build: func(s *stm.STM, lap LockAllocatorPolicy[PQState]) TxPQueue[int] {
+				return NewPQueue[int](s, lap, intLess, intEq)
+			},
+		},
+		{
+			name:  "lazy",
+			strat: Lazy,
+			build: func(s *stm.STM, lap LockAllocatorPolicy[PQState]) TxPQueue[int] {
+				return NewLazyPQueue[int](s, lap, intLess, intEq)
+			},
+		},
+	}
+}
+
+func newPQLAP(s *stm.STM, p designPoint) LockAllocatorPolicy[PQState] {
+	if p.optimistic {
+		return NewOptimisticLAP(s, PQStateHash, 4)
+	}
+	return NewPessimisticLAP[PQState](PQStateHash, 4, 5*time.Millisecond)
+}
+
+func forEachPQCombo(t *testing.T, onlyOpaque bool, f func(t *testing.T, s *stm.STM, q TxPQueue[int])) {
+	t.Helper()
+	for _, v := range pqVariants() {
+		pts := allPoints()
+		if onlyOpaque {
+			pts = opaquePoints(v.strat)
+		}
+		for _, p := range pts {
+			v, p := v, p
+			t.Run(fmt.Sprintf("%s/%s", v.name, p), func(t *testing.T) {
+				s := stm.New(stm.WithPolicy(p.policy))
+				f(t, s, v.build(s, newPQLAP(s, p)))
+			})
+		}
+	}
+}
+
+func TestPQueueBasicOps(t *testing.T) {
+	forEachPQCombo(t, false, func(t *testing.T, s *stm.STM, q TxPQueue[int]) {
+		err := s.Atomically(func(tx *stm.Txn) error {
+			if _, ok := q.Min(tx); ok {
+				t.Error("Min on empty should miss")
+			}
+			q.Insert(tx, 5)
+			q.Insert(tx, 2)
+			q.Insert(tx, 8)
+			if v, ok := q.Min(tx); !ok || v != 2 {
+				t.Errorf("Min = %d,%v want 2,true", v, ok)
+			}
+			if !q.Contains(tx, 8) || q.Contains(tx, 9) {
+				t.Error("Contains mismatch")
+			}
+			if n := q.Size(tx); n != 3 {
+				t.Errorf("Size = %d, want 3", n)
+			}
+			if v, ok := q.RemoveMin(tx); !ok || v != 2 {
+				t.Errorf("RemoveMin = %d,%v want 2,true", v, ok)
+			}
+			if v, ok := q.Min(tx); !ok || v != 5 {
+				t.Errorf("Min after remove = %d,%v want 5,true", v, ok)
+			}
+			if n := q.Size(tx); n != 2 {
+				t.Errorf("Size = %d, want 2", n)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("Atomically: %v", err)
+		}
+	})
+}
+
+func TestPQueueDrainOrdered(t *testing.T) {
+	forEachPQCombo(t, false, func(t *testing.T, s *stm.STM, q TxPQueue[int]) {
+		in := []int{9, 3, 7, 1, 4, 1, 8}
+		for _, v := range in {
+			v := v
+			if err := s.Atomically(func(tx *stm.Txn) error {
+				q.Insert(tx, v)
+				return nil
+			}); err != nil {
+				t.Fatalf("insert: %v", err)
+			}
+		}
+		want := append([]int(nil), in...)
+		sort.Ints(want)
+		var got []int
+		for {
+			var v int
+			var ok bool
+			if err := s.Atomically(func(tx *stm.Txn) error {
+				v, ok = q.RemoveMin(tx)
+				return nil
+			}); err != nil {
+				t.Fatalf("removeMin: %v", err)
+			}
+			if !ok {
+				break
+			}
+			got = append(got, v)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("drained %d values, want %d", len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("drain[%d] = %d, want %d", i, got[i], want[i])
+			}
+		}
+	})
+}
+
+func TestPQueueAbortRollsBack(t *testing.T) {
+	errBoom := errors.New("boom")
+	forEachPQCombo(t, false, func(t *testing.T, s *stm.STM, q TxPQueue[int]) {
+		if err := s.Atomically(func(tx *stm.Txn) error {
+			q.Insert(tx, 10)
+			q.Insert(tx, 20)
+			return nil
+		}); err != nil {
+			t.Fatalf("setup: %v", err)
+		}
+		err := s.Atomically(func(tx *stm.Txn) error {
+			q.Insert(tx, 1)                    // must vanish
+			if _, ok := q.RemoveMin(tx); !ok { // removes our own 1
+				t.Error("RemoveMin missed inside txn")
+			}
+			if _, ok := q.RemoveMin(tx); !ok { // removes committed 10
+				t.Error("second RemoveMin missed inside txn")
+			}
+			return errBoom
+		})
+		if !errors.Is(err, errBoom) {
+			t.Fatalf("err = %v", err)
+		}
+		if err := s.Atomically(func(tx *stm.Txn) error {
+			if v, ok := q.Min(tx); !ok || v != 10 {
+				t.Errorf("Min after abort = %d,%v want 10,true", v, ok)
+			}
+			if n := q.Size(tx); n != 2 {
+				t.Errorf("Size after abort = %d, want 2", n)
+			}
+			if q.Contains(tx, 1) {
+				t.Error("aborted insert leaked")
+			}
+			return nil
+		}); err != nil {
+			t.Fatalf("check: %v", err)
+		}
+	})
+}
+
+// TestPQueueConservation: concurrent producers insert unique values;
+// consumers drain after production; nothing is lost or duplicated.
+func TestPQueueConservation(t *testing.T) {
+	forEachPQCombo(t, true, func(t *testing.T, s *stm.STM, q TxPQueue[int]) {
+		const producers = 4
+		const perP = 150
+		var wg sync.WaitGroup
+		for p := 0; p < producers; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				for i := 0; i < perP; i++ {
+					v := p*perP + i
+					if err := s.Atomically(func(tx *stm.Txn) error {
+						q.Insert(tx, v)
+						return nil
+					}); err != nil {
+						t.Errorf("insert: %v", err)
+						return
+					}
+				}
+			}(p)
+		}
+		wg.Wait()
+
+		var mu sync.Mutex
+		seen := make(map[int]bool)
+		for c := 0; c < 4; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					var v int
+					var ok bool
+					if err := s.Atomically(func(tx *stm.Txn) error {
+						v, ok = q.RemoveMin(tx)
+						return nil
+					}); err != nil {
+						t.Errorf("removeMin: %v", err)
+						return
+					}
+					if !ok {
+						return
+					}
+					mu.Lock()
+					if seen[v] {
+						t.Errorf("value %d removed twice", v)
+					}
+					seen[v] = true
+					mu.Unlock()
+				}
+			}()
+		}
+		wg.Wait()
+		if len(seen) != producers*perP {
+			t.Fatalf("drained %d unique values, want %d", len(seen), producers*perP)
+		}
+	})
+}
+
+// TestPQueueAtomicBatch: transactions insert pairs (v, v+1); a consumer
+// draining after the fact must find both or neither — and an aborted batch
+// must leave no trace.
+func TestPQueueAtomicBatch(t *testing.T) {
+	forEachPQCombo(t, true, func(t *testing.T, s *stm.STM, q TxPQueue[int]) {
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(g)))
+				for i := 0; i < 100; i++ {
+					base := (g*100 + i) * 2
+					abort := rng.Intn(4) == 0
+					err := s.Atomically(func(tx *stm.Txn) error {
+						q.Insert(tx, base)
+						q.Insert(tx, base+1)
+						if abort {
+							return errAbortBatch
+						}
+						return nil
+					})
+					if abort && !errors.Is(err, errAbortBatch) {
+						t.Errorf("expected batch abort, got %v", err)
+						return
+					}
+					if !abort && err != nil {
+						t.Errorf("batch insert: %v", err)
+						return
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		present := make(map[int]bool)
+		for {
+			var v int
+			var ok bool
+			if err := s.Atomically(func(tx *stm.Txn) error {
+				v, ok = q.RemoveMin(tx)
+				return nil
+			}); err != nil {
+				t.Fatalf("drain: %v", err)
+			}
+			if !ok {
+				break
+			}
+			present[v] = true
+		}
+		for v := range present {
+			pair := v ^ 1
+			if !present[pair] {
+				t.Fatalf("value %d present without its pair %d", v, pair)
+			}
+		}
+	})
+}
+
+var errAbortBatch = errors.New("abort batch")
+
+// TestPQueueMinWriteIntentOnNewMinimum checks the Figure 3 conflict
+// abstraction: inserting above the current minimum leaves a parked reader of
+// the minimum unharmed, while inserting a new minimum conflicts with it.
+func TestPQueueMinWriteIntentOnNewMinimum(t *testing.T) {
+	s := stm.New(stm.WithPolicy(stm.MixedEagerWWLazyRW), stm.WithMaxAttempts(3))
+	lap := NewOptimisticLAP(s, PQStateHash, 4)
+	q := NewPQueue[int](s, lap, intLess, intEq)
+	if err := s.Atomically(func(tx *stm.Txn) error {
+		q.Insert(tx, 100)
+		return nil
+	}); err != nil {
+		t.Fatalf("setup: %v", err)
+	}
+
+	// Park a transaction that inserted a NEW minimum (holds W(PQMin)
+	// eagerly under the mixed policy).
+	holding := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan error, 1)
+	var once sync.Once
+	go func() {
+		done <- s.Atomically(func(tx *stm.Txn) error {
+			q.Insert(tx, 1) // 1 < 100: takes the PQMin write intent
+			once.Do(func() { close(holding) })
+			<-release
+			return nil
+		})
+	}()
+	<-holding
+
+	// min() needs R(PQMin): genuine conflict with the parked new-minimum
+	// insert.
+	err := s.Atomically(func(tx *stm.Txn) error {
+		_, _ = q.Min(tx)
+		return nil
+	})
+	if !errors.Is(err, stm.ErrMaxAttempts) {
+		t.Fatalf("Min err = %v, want ErrMaxAttempts (insert of new minimum must conflict with min)", err)
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("parked inserter: %v", err)
+	}
+
+	// Now park an insert ABOVE the current minimum: min() must proceed
+	// (they commute — the Figure 3 point).
+	holding2 := make(chan struct{})
+	release2 := make(chan struct{})
+	done2 := make(chan error, 1)
+	var once2 sync.Once
+	go func() {
+		done2 <- s.Atomically(func(tx *stm.Txn) error {
+			q.Insert(tx, 500) // 500 > current min 1: read intent only
+			once2.Do(func() { close(holding2) })
+			<-release2
+			return nil
+		})
+	}()
+	<-holding2
+	if err := s.Atomically(func(tx *stm.Txn) error {
+		if v, ok := q.Min(tx); !ok || v != 1 {
+			t.Errorf("Min = %d,%v want 1,true", v, ok)
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("Min during commuting insert: %v (false conflict!)", err)
+	}
+	close(release2)
+	if err := <-done2; err != nil {
+		t.Fatalf("parked inserter 2: %v", err)
+	}
+}
+
+func TestPQStateHashDistinct(t *testing.T) {
+	if PQStateHash(PQMin) == PQStateHash(PQMultiSet) {
+		t.Fatal("abstract-state elements must hash to distinct locations")
+	}
+}
+
+// TestLazyPQueueUsesSnapshots: a long lazy transaction observes its own
+// pending inserts via the snapshot while the shared heap stays unchanged.
+func TestLazyPQueueUsesSnapshots(t *testing.T) {
+	s := stm.New(stm.WithPolicy(stm.LazyLazy))
+	q := NewLazyPQueue[int](s, NewOptimisticLAP(s, PQStateHash, 4), intLess, intEq)
+	first := true
+	if err := s.Atomically(func(tx *stm.Txn) error {
+		q.Insert(tx, 3)
+		if v, ok := q.Min(tx); !ok || v != 3 {
+			t.Errorf("own insert invisible: %d,%v", v, ok)
+		}
+		if first {
+			first = false
+			// A concurrent reader sees an empty queue: the insert is
+			// only in the shadow copy.
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				_ = s.Atomically(func(tx2 *stm.Txn) error {
+					if _, ok := q.Min(tx2); ok {
+						t.Error("pending lazy insert visible before commit")
+					}
+					return nil
+				})
+			}()
+			<-done
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("writer: %v", err)
+	}
+	if err := s.Atomically(func(tx *stm.Txn) error {
+		if v, ok := q.Min(tx); !ok || v != 3 {
+			t.Errorf("after commit Min = %d,%v want 3,true", v, ok)
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("reader: %v", err)
+	}
+}

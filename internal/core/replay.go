@@ -1,0 +1,220 @@
+package core
+
+import (
+	"sync"
+
+	"proust/internal/stm"
+)
+
+// SnapshotLog implements lazy updates with snapshot shadow copies (paper
+// Section 4, "Snapshots"): the first time a transaction mutates the wrapped
+// object, a fast snapshot of the base structure is taken; all further
+// operations of that transaction run against the snapshot (producing return
+// values), and are queued. If the transaction commits, the queued operations
+// are replayed onto the shared base inside the commit critical section —
+// "behind the STM's native locking mechanisms"; if it aborts, the log is
+// simply dropped.
+//
+// D is the (interface or pointer) type shared by the base structure and its
+// snapshots, e.g. *conc.Ctrie[K,V].
+type SnapshotLog[D any] struct {
+	base     D
+	snapshot func(D) D
+	// cut excludes snapshot-taking from in-flight replays: a replay holds
+	// the read side (replays of non-conflicting transactions may overlap —
+	// their base operations commute), while taking a snapshot holds the
+	// write side, so a shadow copy can never capture a half-applied replay
+	// batch. Without this a transaction could snapshot the base between
+	// two base operations of another transaction's commit replay and leak
+	// a non-atomic cut.
+	cut   sync.RWMutex
+	local *stm.TxnLocal[*snapLogState[D]]
+}
+
+type snapLogState[D any] struct {
+	pending []func(D)
+}
+
+// NewSnapshotLog creates a replay log over base; snapshot must return a fast
+// snapshot of base that the transaction may mutate privately.
+func NewSnapshotLog[D any](base D, snapshot func(D) D) *SnapshotLog[D] {
+	l := &SnapshotLog[D]{base: base, snapshot: snapshot}
+	l.local = stm.NewTxnLocal(func(tx *stm.Txn) *snapLogState[D] {
+		st := &snapLogState[D]{}
+		tx.OnCommitLocked(func() {
+			l.cut.RLock()
+			defer l.cut.RUnlock()
+			for _, f := range st.pending {
+				f(base)
+			}
+		})
+		return st
+	})
+	return l
+}
+
+// freshShadow takes a snapshot of the current base and replays the
+// transaction's pending operations onto it. Re-deriving the shadow at every
+// operation (rather than pinning one snapshot for the whole transaction)
+// keeps return values correct for multi-operation transactions: an
+// operation's result may depend only on abstract state its own conflict
+// abstraction covers, so commits that landed since the previous operation
+// either commute with this one (and are safe to observe) or will abort this
+// transaction at validation via the leading/trailing conflict-abstraction
+// reads.
+func (l *SnapshotLog[D]) freshShadow(st *snapLogState[D]) D {
+	l.cut.Lock()
+	shadow := l.snapshot(l.base)
+	l.cut.Unlock()
+	for _, f := range st.pending {
+		f(shadow)
+	}
+	return shadow
+}
+
+// Mutate runs f against the transaction's shadow copy now (for its return
+// value) and queues it for replay against the base at commit.
+func (l *SnapshotLog[D]) Mutate(tx *stm.Txn, f func(D) any) any {
+	st := l.local.Get(tx)
+	ret := f(l.freshShadow(st))
+	st.pending = append(st.pending, func(d D) { f(d) })
+	return ret
+}
+
+// Read runs f against the transaction's shadow copy if it has pending
+// operations, and directly against the base otherwise — the readOnly
+// optimization of the paper's Figure 2b, which avoids allocating a snapshot
+// until a replay is actually necessary.
+func (l *SnapshotLog[D]) Read(tx *stm.Txn, f func(D) any) any {
+	if st, ok := l.local.Peek(tx); ok && len(st.pending) > 0 {
+		return f(l.freshShadow(st))
+	}
+	return f(l.base)
+}
+
+// Logged reports whether the transaction has begun mutating (and thus holds
+// a shadow copy).
+func (l *SnapshotLog[D]) Logged(tx *stm.Txn) bool {
+	_, ok := l.local.Peek(tx)
+	return ok
+}
+
+// MapBase is the minimal map contract shared by conc.HashMap and conc.Ctrie
+// that memoizing shadow copies need.
+type MapBase[K comparable, V any] interface {
+	Get(K) (V, bool)
+	Put(K, V) (V, bool)
+	Remove(K) (V, bool)
+}
+
+// MemoLog implements lazy updates with memoizing shadow copies (paper
+// Section 4, "Memoization"): for maps, the result of any operation can be
+// computed from the base state plus the transaction's own pending
+// operations, so the shadow copy is just a transaction-local overlay table.
+//
+// With combine=true the log applies only the final state of each touched
+// key at commit (one synthetic update per key) instead of replaying every
+// logged operation — the log-combining optimization evaluated at the bottom
+// of the paper's Figure 4.
+type MemoLog[K comparable, V any] struct {
+	base    MapBase[K, V]
+	combine bool
+	local   *stm.TxnLocal[*memoState[K, V]]
+}
+
+type memoState[K comparable, V any] struct {
+	overlay map[K]memoEntry[V]
+	order   []K // touched keys in first-touch order (combined replay)
+	ops     []func(MapBase[K, V])
+}
+
+type memoEntry[V any] struct {
+	present bool
+	val     V
+}
+
+// NewMemoLog creates a memoizing replay log over base.
+func NewMemoLog[K comparable, V any](base MapBase[K, V], combine bool) *MemoLog[K, V] {
+	l := &MemoLog[K, V]{base: base, combine: combine}
+	l.local = stm.NewTxnLocal(func(tx *stm.Txn) *memoState[K, V] {
+		st := &memoState[K, V]{overlay: make(map[K]memoEntry[V], 8)}
+		tx.OnCommitLocked(func() { l.replay(st) })
+		return st
+	})
+	return l
+}
+
+// Combining reports whether log combining is enabled.
+func (l *MemoLog[K, V]) Combining() bool { return l.combine }
+
+func (l *MemoLog[K, V]) replay(st *memoState[K, V]) {
+	if !l.combine {
+		for _, op := range st.ops {
+			op(l.base)
+		}
+		return
+	}
+	for _, k := range st.order {
+		e := st.overlay[k]
+		if e.present {
+			l.base.Put(k, e.val)
+		} else {
+			l.base.Remove(k)
+		}
+	}
+}
+
+// Get returns k's value as seen by the transaction: its own pending writes
+// first, then the unmodified base.
+func (l *MemoLog[K, V]) Get(tx *stm.Txn, k K) (V, bool) {
+	if st, ok := l.local.Peek(tx); ok {
+		if e, hit := st.overlay[k]; hit {
+			if !e.present {
+				var zero V
+				return zero, false
+			}
+			return e.val, true
+		}
+	}
+	return l.base.Get(k)
+}
+
+// Put records a pending put and returns the logical previous value.
+func (l *MemoLog[K, V]) Put(tx *stm.Txn, k K, v V) (V, bool) {
+	st := l.local.Get(tx)
+	old, had := l.lookup(st, k)
+	l.record(st, k, memoEntry[V]{present: true, val: v})
+	if !l.combine {
+		st.ops = append(st.ops, func(b MapBase[K, V]) { b.Put(k, v) })
+	}
+	return old, had
+}
+
+// Remove records a pending remove and returns the logical previous value.
+func (l *MemoLog[K, V]) Remove(tx *stm.Txn, k K) (V, bool) {
+	st := l.local.Get(tx)
+	old, had := l.lookup(st, k)
+	l.record(st, k, memoEntry[V]{})
+	if !l.combine {
+		st.ops = append(st.ops, func(b MapBase[K, V]) { b.Remove(k) })
+	}
+	return old, had
+}
+
+func (l *MemoLog[K, V]) lookup(st *memoState[K, V], k K) (V, bool) {
+	if e, hit := st.overlay[k]; hit {
+		if !e.present {
+			var zero V
+			return zero, false
+		}
+		return e.val, true
+	}
+	return l.base.Get(k)
+}
+
+func (l *MemoLog[K, V]) record(st *memoState[K, V], k K, e memoEntry[V]) {
+	if _, seen := st.overlay[k]; !seen {
+		st.order = append(st.order, k)
+	}
+	st.overlay[k] = e
+}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"proust/internal/conc"
+	"proust/internal/stm"
+)
+
+// Set is an eager Proustian set over a concurrent skip list: per-key
+// conflict abstraction (adds/removes/lookups of distinct keys commute), with
+// inverses registered as rollback handlers. It demonstrates that Proust
+// wraps arbitrary abstract types, not just maps.
+type Set[K comparable] struct {
+	al   *AbstractLock[K]
+	base *conc.SkipListMap[K, struct{}]
+	size *stm.Ref[int]
+}
+
+// NewSet creates an eager Proustian set; cmp orders the keys.
+func NewSet[K comparable](s *stm.STM, lap LockAllocatorPolicy[K], cmp func(a, b K) int) *Set[K] {
+	return &Set[K]{
+		al:   NewAbstractLock(lap, Eager),
+		base: conc.NewSkipListMap[K, struct{}](cmp),
+		size: stm.NewRef(s, 0),
+	}
+}
+
+// Add inserts k, reporting whether it was absent.
+func (st *Set[K]) Add(tx *stm.Txn, k K) bool {
+	ret := st.al.Apply(tx, []Intent[K]{W(k)}, func() any {
+		_, had := st.base.Put(k, struct{}{})
+		if !had {
+			st.size.Modify(tx, func(n int) int { return n + 1 })
+		}
+		return !had
+	}, func(r any) {
+		if r.(bool) {
+			st.base.Remove(k)
+		}
+	})
+	return ret.(bool)
+}
+
+// Remove deletes k, reporting whether it was present.
+func (st *Set[K]) Remove(tx *stm.Txn, k K) bool {
+	ret := st.al.Apply(tx, []Intent[K]{W(k)}, func() any {
+		_, had := st.base.Remove(k)
+		if had {
+			st.size.Modify(tx, func(n int) int { return n - 1 })
+		}
+		return had
+	}, func(r any) {
+		if r.(bool) {
+			st.base.Put(k, struct{}{})
+		}
+	})
+	return ret.(bool)
+}
+
+// Contains reports whether k is present.
+func (st *Set[K]) Contains(tx *stm.Txn, k K) bool {
+	ret := st.al.Apply(tx, []Intent[K]{R(k)}, func() any {
+		return st.base.Contains(k)
+	}, nil)
+	return ret.(bool)
+}
+
+// Size returns the committed size.
+func (st *Set[K]) Size(tx *stm.Txn) int {
+	return st.size.Get(tx)
+}

@@ -1,0 +1,253 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"proust/internal/stm"
+)
+
+func newSet(s *stm.STM, p designPoint) *Set[int] {
+	return NewSet[int](s, newIntLAP(s, p), intCmp)
+}
+
+func intCmp(a, b int) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func forEachSetCombo(t *testing.T, f func(t *testing.T, s *stm.STM, p designPoint, set *Set[int])) {
+	t.Helper()
+	for _, p := range opaquePoints(Eager) {
+		p := p
+		t.Run(p.String(), func(t *testing.T) {
+			s := stm.New(stm.WithPolicy(p.policy))
+			f(t, s, p, newSet(s, p))
+		})
+	}
+}
+
+func TestSetBasics(t *testing.T) {
+	forEachSetCombo(t, func(t *testing.T, s *stm.STM, p designPoint, set *Set[int]) {
+		err := s.Atomically(func(tx *stm.Txn) error {
+			if !set.Add(tx, 1) {
+				t.Error("Add of fresh key should report true")
+			}
+			if set.Add(tx, 1) {
+				t.Error("duplicate Add should report false")
+			}
+			if !set.Contains(tx, 1) || set.Contains(tx, 2) {
+				t.Error("Contains mismatch")
+			}
+			if n := set.Size(tx); n != 1 {
+				t.Errorf("Size = %d, want 1", n)
+			}
+			if !set.Remove(tx, 1) {
+				t.Error("Remove of present key should report true")
+			}
+			if set.Remove(tx, 1) {
+				t.Error("Remove of absent key should report false")
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("Atomically: %v", err)
+		}
+	})
+}
+
+func TestSetAbortRollsBack(t *testing.T) {
+	errBoom := errors.New("boom")
+	forEachSetCombo(t, func(t *testing.T, s *stm.STM, p designPoint, set *Set[int]) {
+		if err := s.Atomically(func(tx *stm.Txn) error {
+			set.Add(tx, 1)
+			return nil
+		}); err != nil {
+			t.Fatalf("setup: %v", err)
+		}
+		err := s.Atomically(func(tx *stm.Txn) error {
+			set.Add(tx, 2)
+			set.Remove(tx, 1)
+			return errBoom
+		})
+		if !errors.Is(err, errBoom) {
+			t.Fatalf("err = %v", err)
+		}
+		if err := s.Atomically(func(tx *stm.Txn) error {
+			if !set.Contains(tx, 1) {
+				t.Error("aborted Remove leaked")
+			}
+			if set.Contains(tx, 2) {
+				t.Error("aborted Add leaked")
+			}
+			if n := set.Size(tx); n != 1 {
+				t.Errorf("Size = %d, want 1", n)
+			}
+			return nil
+		}); err != nil {
+			t.Fatalf("check: %v", err)
+		}
+	})
+}
+
+// TestSetMoveAtomicity: transactions move an element between two sets; a
+// reader must always find the element in exactly one of them.
+func TestSetMoveAtomicity(t *testing.T) {
+	forEachSetCombo(t, func(t *testing.T, s *stm.STM, p designPoint, a *Set[int]) {
+		// Second set sharing the STM, with its own LAP of the same kind
+		// (mixing an optimistic-eager set into a lazily-detecting STM
+		// would land in the non-opaque quadrant of Figure 1).
+		b := NewSet[int](s, newIntLAP(s, p), intCmp)
+		const elem = 42
+		if err := s.Atomically(func(tx *stm.Txn) error {
+			a.Add(tx, elem)
+			return nil
+		}); err != nil {
+			t.Fatalf("setup: %v", err)
+		}
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			dir := false
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				from, to := a, b
+				if dir {
+					from, to = b, a
+				}
+				if err := s.Atomically(func(tx *stm.Txn) error {
+					if from.Remove(tx, elem) {
+						to.Add(tx, elem)
+					}
+					return nil
+				}); err != nil {
+					t.Errorf("mover: %v", err)
+					return
+				}
+				dir = !dir
+			}
+		}()
+		deadline := time.Now().Add(50 * time.Millisecond)
+		for time.Now().Before(deadline) {
+			if err := s.Atomically(func(tx *stm.Txn) error {
+				inA := a.Contains(tx, elem)
+				inB := b.Contains(tx, elem)
+				if inA == inB {
+					t.Errorf("element in %v/%v of the two sets (want exactly one)", inA, inB)
+				}
+				return nil
+			}); err != nil {
+				t.Fatalf("reader: %v", err)
+			}
+		}
+		close(stop)
+		wg.Wait()
+	})
+}
+
+func TestSetConcurrentAdds(t *testing.T) {
+	forEachSetCombo(t, func(t *testing.T, s *stm.STM, p designPoint, set *Set[int]) {
+		const goroutines = 4
+		const perG = 200
+		var wg sync.WaitGroup
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < perG; i++ {
+					k := g*perG + i
+					if err := s.Atomically(func(tx *stm.Txn) error {
+						if !set.Add(tx, k) {
+							t.Errorf("Add(%d) reported duplicate", k)
+						}
+						return nil
+					}); err != nil {
+						t.Errorf("add: %v", err)
+						return
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		if err := s.Atomically(func(tx *stm.Txn) error {
+			if n := set.Size(tx); n != goroutines*perG {
+				t.Errorf("Size = %d, want %d", n, goroutines*perG)
+			}
+			return nil
+		}); err != nil {
+			t.Fatalf("size: %v", err)
+		}
+	})
+}
+
+func TestCheckCombo(t *testing.T) {
+	tests := []struct {
+		optimistic bool
+		strat      UpdateStrategy
+		policy     stm.DetectionPolicy
+		wantErr    bool
+	}{
+		{optimistic: false, strat: Eager, policy: stm.LazyLazy, wantErr: false},
+		{optimistic: false, strat: Eager, policy: stm.MixedEagerWWLazyRW, wantErr: false},
+		{optimistic: false, strat: Lazy, policy: stm.LazyLazy, wantErr: false},
+		{optimistic: true, strat: Lazy, policy: stm.LazyLazy, wantErr: false},
+		{optimistic: true, strat: Lazy, policy: stm.MixedEagerWWLazyRW, wantErr: false},
+		{optimistic: true, strat: Lazy, policy: stm.EagerEager, wantErr: false},
+		{optimistic: true, strat: Eager, policy: stm.EagerEager, wantErr: false},
+		{optimistic: true, strat: Eager, policy: stm.MixedEagerWWLazyRW, wantErr: true},
+		{optimistic: true, strat: Eager, policy: stm.LazyLazy, wantErr: true},
+	}
+	for _, tt := range tests {
+		err := CheckCombo(tt.optimistic, tt.strat, tt.policy)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("CheckCombo(opt=%v, %v, %v) = %v, wantErr=%v",
+				tt.optimistic, tt.strat, tt.policy, err, tt.wantErr)
+		}
+		if err != nil && !errors.Is(err, ErrOpacityNotGuaranteed) {
+			t.Errorf("error should be ErrOpacityNotGuaranteed, got %v", err)
+		}
+	}
+}
+
+func TestUpdateStrategyString(t *testing.T) {
+	if Eager.String() != "eager" || Lazy.String() != "lazy" {
+		t.Fatal("UpdateStrategy.String mismatch")
+	}
+}
+
+func TestIntentConstructors(t *testing.T) {
+	r := R(5)
+	w := W(6)
+	if r.Key != 5 || r.Mode != ModeRead {
+		t.Fatalf("R(5) = %+v", r)
+	}
+	if w.Key != 6 || w.Mode != ModeWrite {
+		t.Fatalf("W(6) = %+v", w)
+	}
+}
+
+func TestOptimisticLAPMemSize(t *testing.T) {
+	s := stm.New()
+	lap := NewOptimisticLAP(s, func(k int) uint64 { return uint64(k) }, 100)
+	if lap.MemSize() != 128 {
+		t.Fatalf("MemSize = %d, want 128 (rounded to power of two)", lap.MemSize())
+	}
+	lapDefault := NewOptimisticLAP(s, func(k int) uint64 { return uint64(k) }, 0)
+	if lapDefault.MemSize() != DefaultMemSize {
+		t.Fatalf("default MemSize = %d, want %d", lapDefault.MemSize(), DefaultMemSize)
+	}
+}

@@ -1,0 +1,214 @@
+// Package lock provides re-entrant reader-writer locks with try/timeout
+// acquisition and a striped lock manager.
+//
+// These are the concurrency-control primitives allocated by Proust's
+// pessimistic lock-allocator policy: "A pessimistic LAP allocates standard
+// re-entrant read-write locks" (Section 2). Transactional boosting acquires
+// such abstract locks before calling base-object operations and releases
+// them on commit or abort; because transactions can deadlock on abstract
+// locks, acquisition is bounded by a timeout, turning deadlock into abort
+// plus backoff.
+package lock
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrTimeout is returned when a lock cannot be acquired within the deadline.
+var ErrTimeout = errors.New("lock: acquisition timed out")
+
+// ErrUpgradeDeadlock is returned when a read-to-write upgrade cannot succeed
+// because other readers are present; the caller must abort and retry.
+var ErrUpgradeDeadlock = errors.New("lock: read-to-write upgrade contention")
+
+// Owner identifies a lock holder. Proust uses the transaction pointer.
+type Owner any
+
+// ReentrantRW is a re-entrant reader-writer lock with owner tracking.
+// The same owner may acquire the read or write side repeatedly, and may
+// acquire the read side while holding the write side. A read-to-write
+// upgrade succeeds only when the upgrading owner is the sole reader.
+type ReentrantRW struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	writer  Owner
+	wCount  int
+	readers map[Owner]int
+}
+
+// NewReentrantRW creates an unlocked re-entrant reader-writer lock.
+func NewReentrantRW() *ReentrantRW {
+	l := &ReentrantRW{readers: make(map[Owner]int, 4)}
+	l.cond = sync.NewCond(&l.mu)
+	return l
+}
+
+// RLock acquires the read side for owner, waiting up to timeout.
+func (l *ReentrantRW) RLock(owner Owner, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for {
+		if l.writer == nil || l.writer == owner || l.readers[owner] > 0 {
+			l.readers[owner]++
+			return nil
+		}
+		if !l.waitUntil(deadline) {
+			return ErrTimeout
+		}
+	}
+}
+
+// Lock acquires the write side for owner, waiting up to timeout. If owner
+// holds only the read side, Lock attempts an upgrade, which fails fast with
+// ErrUpgradeDeadlock while other readers are present (two upgraders would
+// otherwise deadlock).
+func (l *ReentrantRW) Lock(owner Owner, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for {
+		if l.writer == owner {
+			l.wCount++
+			return nil
+		}
+		otherReaders := len(l.readers)
+		if l.readers[owner] > 0 {
+			otherReaders--
+		}
+		if l.writer == nil && otherReaders == 0 {
+			l.writer = owner
+			l.wCount = 1
+			return nil
+		}
+		if l.readers[owner] > 0 && otherReaders > 0 {
+			// Upgrade would have to wait for other readers, which may
+			// themselves be waiting to upgrade: abort immediately.
+			return ErrUpgradeDeadlock
+		}
+		if !l.waitUntil(deadline) {
+			return ErrTimeout
+		}
+	}
+}
+
+// TryRLock acquires the read side without waiting.
+func (l *ReentrantRW) TryRLock(owner Owner) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.writer == nil || l.writer == owner || l.readers[owner] > 0 {
+		l.readers[owner]++
+		return true
+	}
+	return false
+}
+
+// TryLock acquires the write side without waiting.
+func (l *ReentrantRW) TryLock(owner Owner) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.writer == owner {
+		l.wCount++
+		return true
+	}
+	otherReaders := len(l.readers)
+	if l.readers[owner] > 0 {
+		otherReaders--
+	}
+	if l.writer == nil && otherReaders == 0 {
+		l.writer = owner
+		l.wCount = 1
+		return true
+	}
+	return false
+}
+
+// RUnlock releases one read acquisition by owner.
+func (l *ReentrantRW) RUnlock(owner Owner) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n, ok := l.readers[owner]
+	if !ok {
+		panic("lock: RUnlock by non-reader")
+	}
+	if n == 1 {
+		delete(l.readers, owner)
+	} else {
+		l.readers[owner] = n - 1
+	}
+	l.cond.Broadcast()
+}
+
+// Unlock releases one write acquisition by owner.
+func (l *ReentrantRW) Unlock(owner Owner) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.writer != owner {
+		panic("lock: Unlock by non-writer")
+	}
+	l.wCount--
+	if l.wCount == 0 {
+		l.writer = nil
+	}
+	l.cond.Broadcast()
+}
+
+// ReleaseAll releases every acquisition held by owner (both sides). It
+// reports whether anything was released. Proust uses it to drop all abstract
+// locks at commit/abort without tracking per-lock counts.
+func (l *ReentrantRW) ReleaseAll(owner Owner) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	released := false
+	if l.writer == owner {
+		l.writer = nil
+		l.wCount = 0
+		released = true
+	}
+	if _, ok := l.readers[owner]; ok {
+		delete(l.readers, owner)
+		released = true
+	}
+	if released {
+		l.cond.Broadcast()
+	}
+	return released
+}
+
+// HoldsWrite reports whether owner holds the write side.
+func (l *ReentrantRW) HoldsWrite(owner Owner) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.writer == owner
+}
+
+// HoldsRead reports whether owner holds the read side.
+func (l *ReentrantRW) HoldsRead(owner Owner) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.readers[owner] > 0
+}
+
+// waitUntil waits on the condition variable with a deadline. It returns
+// false when the deadline has passed. Cond has no native timeout, so a
+// waiter goroutine is timed out by periodic broadcast wake-ups scheduled by
+// the waiter itself.
+func (l *ReentrantRW) waitUntil(deadline time.Time) bool {
+	remaining := time.Until(deadline)
+	if remaining <= 0 {
+		return false
+	}
+	// Bounded wait: a timer broadcasts to force re-check. This wakes all
+	// waiters, which is acceptable at the contention levels abstract locks
+	// see (they are striped).
+	t := time.AfterFunc(remaining, func() {
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		l.cond.Broadcast()
+	})
+	l.cond.Wait()
+	t.Stop()
+	return time.Now().Before(deadline)
+}

@@ -1,0 +1,287 @@
+package lock
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+const tick = 50 * time.Millisecond
+
+func TestReadersShare(t *testing.T) {
+	l := NewReentrantRW()
+	if err := l.RLock("a", tick); err != nil {
+		t.Fatalf("RLock a: %v", err)
+	}
+	if err := l.RLock("b", tick); err != nil {
+		t.Fatalf("RLock b: %v", err)
+	}
+	if !l.HoldsRead("a") || !l.HoldsRead("b") {
+		t.Fatal("both owners should hold read locks")
+	}
+	l.RUnlock("a")
+	l.RUnlock("b")
+}
+
+func TestWriterExcludesWriter(t *testing.T) {
+	l := NewReentrantRW()
+	if err := l.Lock("a", tick); err != nil {
+		t.Fatalf("Lock a: %v", err)
+	}
+	if err := l.Lock("b", 10*time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("Lock b err = %v, want ErrTimeout", err)
+	}
+	l.Unlock("a")
+	if err := l.Lock("b", tick); err != nil {
+		t.Fatalf("Lock b after release: %v", err)
+	}
+	l.Unlock("b")
+}
+
+func TestWriterExcludesReader(t *testing.T) {
+	l := NewReentrantRW()
+	if err := l.Lock("w", tick); err != nil {
+		t.Fatalf("Lock: %v", err)
+	}
+	if err := l.RLock("r", 10*time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("RLock err = %v, want ErrTimeout", err)
+	}
+	l.Unlock("w")
+}
+
+func TestReaderExcludesWriter(t *testing.T) {
+	l := NewReentrantRW()
+	if err := l.RLock("r", tick); err != nil {
+		t.Fatalf("RLock: %v", err)
+	}
+	if err := l.Lock("w", 10*time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("Lock err = %v, want ErrTimeout", err)
+	}
+	l.RUnlock("r")
+}
+
+func TestWriteReentrancy(t *testing.T) {
+	l := NewReentrantRW()
+	for i := 0; i < 3; i++ {
+		if err := l.Lock("a", tick); err != nil {
+			t.Fatalf("Lock #%d: %v", i, err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		l.Unlock("a")
+	}
+	if l.HoldsWrite("a") {
+		t.Fatal("lock should be free after matching unlocks")
+	}
+	// Another owner can now take it.
+	if !l.TryLock("b") {
+		t.Fatal("TryLock b should succeed")
+	}
+	l.Unlock("b")
+}
+
+func TestReadReentrancy(t *testing.T) {
+	l := NewReentrantRW()
+	for i := 0; i < 3; i++ {
+		if err := l.RLock("a", tick); err != nil {
+			t.Fatalf("RLock #%d: %v", i, err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		l.RUnlock("a")
+	}
+	if l.HoldsRead("a") {
+		t.Fatal("read lock should be free")
+	}
+}
+
+func TestWriterMayRead(t *testing.T) {
+	l := NewReentrantRW()
+	if err := l.Lock("a", tick); err != nil {
+		t.Fatalf("Lock: %v", err)
+	}
+	if err := l.RLock("a", tick); err != nil {
+		t.Fatalf("RLock while writing: %v", err)
+	}
+	l.RUnlock("a")
+	l.Unlock("a")
+}
+
+func TestUpgradeSoleReader(t *testing.T) {
+	l := NewReentrantRW()
+	if err := l.RLock("a", tick); err != nil {
+		t.Fatalf("RLock: %v", err)
+	}
+	if err := l.Lock("a", tick); err != nil {
+		t.Fatalf("upgrade: %v", err)
+	}
+	if !l.HoldsWrite("a") {
+		t.Fatal("upgrade should grant the write side")
+	}
+	l.Unlock("a")
+	l.RUnlock("a")
+}
+
+func TestUpgradeWithOtherReadersFailsFast(t *testing.T) {
+	l := NewReentrantRW()
+	if err := l.RLock("a", tick); err != nil {
+		t.Fatalf("RLock a: %v", err)
+	}
+	if err := l.RLock("b", tick); err != nil {
+		t.Fatalf("RLock b: %v", err)
+	}
+	start := time.Now()
+	err := l.Lock("a", time.Second)
+	if !errors.Is(err, ErrUpgradeDeadlock) {
+		t.Fatalf("upgrade err = %v, want ErrUpgradeDeadlock", err)
+	}
+	if time.Since(start) > 500*time.Millisecond {
+		t.Fatal("upgrade deadlock must fail fast, not wait for the timeout")
+	}
+	l.RUnlock("a")
+	l.RUnlock("b")
+}
+
+func TestTryLocks(t *testing.T) {
+	l := NewReentrantRW()
+	if !l.TryRLock("a") {
+		t.Fatal("TryRLock on free lock")
+	}
+	if l.TryLock("b") {
+		t.Fatal("TryLock must fail with a foreign reader")
+	}
+	if !l.TryRLock("b") {
+		t.Fatal("TryRLock must succeed alongside readers")
+	}
+	l.RUnlock("a")
+	l.RUnlock("b")
+	if !l.TryLock("b") {
+		t.Fatal("TryLock on free lock")
+	}
+	if l.TryRLock("c") {
+		t.Fatal("TryRLock must fail with a foreign writer")
+	}
+	l.Unlock("b")
+}
+
+func TestReleaseAll(t *testing.T) {
+	l := NewReentrantRW()
+	_ = l.RLock("a", tick)
+	_ = l.RLock("a", tick)
+	if !l.ReleaseAll("a") {
+		t.Fatal("ReleaseAll should report release")
+	}
+	if l.HoldsRead("a") {
+		t.Fatal("reader should be fully released")
+	}
+	if l.ReleaseAll("a") {
+		t.Fatal("second ReleaseAll should be a no-op")
+	}
+	_ = l.Lock("w", tick)
+	_ = l.Lock("w", tick)
+	if !l.ReleaseAll("w") || l.HoldsWrite("w") {
+		t.Fatal("writer should be fully released")
+	}
+}
+
+func TestUnlockPanicsForNonHolder(t *testing.T) {
+	l := NewReentrantRW()
+	assertPanics := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	assertPanics("Unlock", func() { l.Unlock("x") })
+	assertPanics("RUnlock", func() { l.RUnlock("x") })
+}
+
+func TestWaitersWakeOnRelease(t *testing.T) {
+	l := NewReentrantRW()
+	if err := l.Lock("w", tick); err != nil {
+		t.Fatalf("Lock: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		done <- l.RLock("r", 5*time.Second)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	l.Unlock("w")
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("waiter: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("waiter did not wake on release")
+	}
+	l.RUnlock("r")
+}
+
+func TestConcurrentMutualExclusion(t *testing.T) {
+	l := NewReentrantRW()
+	const goroutines = 8
+	counter := 0
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if err := l.Lock(id, 5*time.Second); err != nil {
+					t.Errorf("Lock: %v", err)
+					return
+				}
+				counter++
+				l.Unlock(id)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if counter != goroutines*200 {
+		t.Fatalf("counter = %d, want %d", counter, goroutines*200)
+	}
+}
+
+func TestStripedBasics(t *testing.T) {
+	s := NewStriped(10)
+	if s.Len() != 16 {
+		t.Fatalf("Len = %d, want 16 (rounded up to power of two)", s.Len())
+	}
+	if err := s.Acquire("a", 3, Read, tick); err != nil {
+		t.Fatalf("Acquire read: %v", err)
+	}
+	if err := s.Acquire("b", 3, Write, 10*time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("conflicting stripe write err = %v, want ErrTimeout", err)
+	}
+	// A different stripe is independent.
+	if err := s.Acquire("b", 4, Write, tick); err != nil {
+		t.Fatalf("Acquire disjoint stripe: %v", err)
+	}
+	s.ReleaseAll("a")
+	s.ReleaseAll("b")
+	// Everything free again.
+	if err := s.Acquire("c", 3, Write, tick); err != nil {
+		t.Fatalf("Acquire after ReleaseAll: %v", err)
+	}
+	s.ReleaseAll("c")
+}
+
+func TestStripedSameHashMapsToSameStripe(t *testing.T) {
+	s := NewStriped(8)
+	if s.Stripe(5) != s.Stripe(5+8) {
+		t.Fatal("hashes congruent mod stripes must share a stripe")
+	}
+	if s.Stripe(1) == s.Stripe(2) {
+		t.Fatal("adjacent hashes should use distinct stripes")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Read.String() != "read" || Write.String() != "write" {
+		t.Fatal("Mode.String mismatch")
+	}
+}

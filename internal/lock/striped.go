@@ -1,0 +1,70 @@
+package lock
+
+import (
+	"time"
+)
+
+// Mode distinguishes read from write acquisitions.
+type Mode int
+
+const (
+	// Read is a shared acquisition.
+	Read Mode = iota + 1
+	// Write is an exclusive acquisition.
+	Write
+)
+
+// String returns "read" or "write".
+func (m Mode) String() string {
+	if m == Read {
+		return "read"
+	}
+	return "write"
+}
+
+// Striped is a fixed-size table of re-entrant reader-writer locks indexed by
+// a hash. It implements lock striping (Herlihy & Shavit): Proust's
+// pessimistic lock-allocator policy maps abstract-state keys onto stripes,
+// exactly as the paper maps conflict-abstraction keys onto M STM locations
+// ("operations with key k read and write to location k mod M", Section 3).
+type Striped struct {
+	stripes []*ReentrantRW
+}
+
+// NewStriped creates a table with n stripes (n is rounded up to a power of
+// two, minimum 1).
+func NewStriped(n int) *Striped {
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	st := &Striped{stripes: make([]*ReentrantRW, size)}
+	for i := range st.stripes {
+		st.stripes[i] = NewReentrantRW()
+	}
+	return st
+}
+
+// Len returns the number of stripes.
+func (s *Striped) Len() int { return len(s.stripes) }
+
+// Stripe returns the lock for hash h.
+func (s *Striped) Stripe(h uint64) *ReentrantRW {
+	return s.stripes[h&uint64(len(s.stripes)-1)]
+}
+
+// Acquire takes the lock for hash h in the given mode on behalf of owner.
+func (s *Striped) Acquire(owner Owner, h uint64, m Mode, timeout time.Duration) error {
+	l := s.Stripe(h)
+	if m == Read {
+		return l.RLock(owner, timeout)
+	}
+	return l.Lock(owner, timeout)
+}
+
+// ReleaseAll drops every acquisition owner holds across all stripes.
+func (s *Striped) ReleaseAll(owner Owner) {
+	for _, l := range s.stripes {
+		l.ReleaseAll(owner)
+	}
+}

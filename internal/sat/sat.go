@@ -1,0 +1,329 @@
+// Package sat implements a small DPLL SAT solver over CNF formulas.
+//
+// It is the decision procedure behind Appendix E of the Proust paper, which
+// reduces the soundness of a conflict abstraction to (un)satisfiability:
+// internal/verify compiles bounded ADT models plus their conflict
+// abstractions into CNF and asks this solver for a counterexample — a state
+// where two operations fail to commute yet perform no conflicting accesses.
+// UNSAT means the conflict abstraction is sound.
+//
+// The solver is classical DPLL: boolean constraint propagation (unit
+// clauses), pure-literal elimination, and branching on the most frequent
+// literal, with chronological backtracking. Variables are positive integers;
+// literals are signed: +v asserts v, -v asserts ¬v.
+package sat
+
+// Formula is a CNF formula. Clauses hold non-zero literals; variable ids
+// run 1..NumVars.
+type Formula struct {
+	NumVars int
+	Clauses [][]int
+}
+
+// Assignment maps variable id → value. Index 0 is unused.
+type Assignment []bool
+
+// Solve decides f. When satisfiable it returns a satisfying assignment.
+func Solve(f Formula) (Assignment, bool) {
+	s := &solver{
+		numVars: f.NumVars,
+		value:   make([]int8, f.NumVars+1), // 0 unassigned, +1 true, -1 false
+	}
+	// Copy clauses so simplification never aliases caller memory.
+	s.clauses = make([][]int, 0, len(f.Clauses))
+	for _, c := range f.Clauses {
+		if len(c) == 0 {
+			return nil, false
+		}
+		cc := make([]int, len(c))
+		copy(cc, c)
+		s.clauses = append(s.clauses, cc)
+	}
+	if !s.dpll() {
+		return nil, false
+	}
+	out := make(Assignment, f.NumVars+1)
+	for v := 1; v <= f.NumVars; v++ {
+		out[v] = s.value[v] == 1
+	}
+	return out, true
+}
+
+type solver struct {
+	numVars int
+	clauses [][]int
+	value   []int8
+	trail   []int // assigned literals, for backtracking
+}
+
+func (s *solver) litValue(lit int) int8 {
+	v := s.value[abs(lit)]
+	if v == 0 {
+		return 0
+	}
+	if (lit > 0) == (v == 1) {
+		return 1
+	}
+	return -1
+}
+
+func (s *solver) assign(lit int) {
+	if lit > 0 {
+		s.value[lit] = 1
+	} else {
+		s.value[-lit] = -1
+	}
+	s.trail = append(s.trail, lit)
+}
+
+func (s *solver) backtrackTo(mark int) {
+	for len(s.trail) > mark {
+		lit := s.trail[len(s.trail)-1]
+		s.trail = s.trail[:len(s.trail)-1]
+		s.value[abs(lit)] = 0
+	}
+}
+
+// propagate performs unit propagation. It returns false on conflict.
+func (s *solver) propagate() bool {
+	for changed := true; changed; {
+		changed = false
+		for _, c := range s.clauses {
+			unassigned := 0
+			var unit int
+			satisfied := false
+			for _, lit := range c {
+				switch s.litValue(lit) {
+				case 1:
+					satisfied = true
+				case 0:
+					unassigned++
+					unit = lit
+				}
+				if satisfied {
+					break
+				}
+			}
+			if satisfied {
+				continue
+			}
+			switch unassigned {
+			case 0:
+				return false // conflict
+			case 1:
+				s.assign(unit)
+				changed = true
+			}
+		}
+	}
+	return true
+}
+
+// pureLiterals assigns variables that appear with a single polarity among
+// not-yet-satisfied clauses.
+func (s *solver) pureLiterals() {
+	seen := make(map[int]int8, s.numVars)
+	for _, c := range s.clauses {
+		satisfied := false
+		for _, lit := range c {
+			if s.litValue(lit) == 1 {
+				satisfied = true
+				break
+			}
+		}
+		if satisfied {
+			continue
+		}
+		for _, lit := range c {
+			if s.litValue(lit) != 0 {
+				continue
+			}
+			v := abs(lit)
+			pol := int8(1)
+			if lit < 0 {
+				pol = -1
+			}
+			switch seen[v] {
+			case 0:
+				seen[v] = pol
+			case pol:
+			default:
+				seen[v] = 2 // mixed
+			}
+		}
+	}
+	for v, pol := range seen {
+		if pol == 1 {
+			s.assign(v)
+		} else if pol == -1 {
+			s.assign(-v)
+		}
+	}
+}
+
+// chooseBranch picks the unassigned literal occurring most often in
+// unsatisfied clauses.
+func (s *solver) chooseBranch() int {
+	counts := make(map[int]int)
+	for _, c := range s.clauses {
+		satisfied := false
+		for _, lit := range c {
+			if s.litValue(lit) == 1 {
+				satisfied = true
+				break
+			}
+		}
+		if satisfied {
+			continue
+		}
+		for _, lit := range c {
+			if s.litValue(lit) == 0 {
+				counts[lit]++
+			}
+		}
+	}
+	best, bestCount := 0, -1
+	for lit, n := range counts {
+		if n > bestCount {
+			best, bestCount = lit, n
+		}
+	}
+	return best
+}
+
+func (s *solver) allSatisfied() bool {
+	for _, c := range s.clauses {
+		satisfied := false
+		for _, lit := range c {
+			if s.litValue(lit) == 1 {
+				satisfied = true
+				break
+			}
+		}
+		if !satisfied {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *solver) dpll() bool {
+	if !s.propagate() {
+		return false
+	}
+	s.pureLiterals()
+	if !s.propagate() {
+		return false
+	}
+	if s.allSatisfied() {
+		// Give every unassigned variable a default value.
+		for v := 1; v <= s.numVars; v++ {
+			if s.value[v] == 0 {
+				s.assign(v)
+			}
+		}
+		return true
+	}
+	lit := s.chooseBranch()
+	if lit == 0 {
+		return s.allSatisfied()
+	}
+	for _, attempt := range [2]int{lit, -lit} {
+		mark := len(s.trail)
+		s.assign(attempt)
+		if s.dpll() {
+			return true
+		}
+		s.backtrackTo(mark)
+	}
+	return false
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Builder incrementally constructs a Formula, allocating fresh variables
+// and providing the gate encodings internal/verify needs.
+type Builder struct {
+	numVars int
+	clauses [][]int
+}
+
+// NewBuilder creates an empty builder.
+func NewBuilder() *Builder {
+	return &Builder{}
+}
+
+// Var allocates a fresh variable and returns its id.
+func (b *Builder) Var() int {
+	b.numVars++
+	return b.numVars
+}
+
+// Add appends a clause (a disjunction of literals).
+func (b *Builder) Add(lits ...int) {
+	c := make([]int, len(lits))
+	copy(c, lits)
+	b.clauses = append(b.clauses, c)
+}
+
+// Unit asserts a single literal.
+func (b *Builder) Unit(lit int) { b.Add(lit) }
+
+// Or constrains out ⇔ (ins[0] ∨ ins[1] ∨ ...). With no inputs, out is
+// forced false.
+func (b *Builder) Or(out int, ins ...int) {
+	if len(ins) == 0 {
+		b.Unit(-out)
+		return
+	}
+	// out → in1 ∨ in2 ∨ ...
+	clause := make([]int, 0, len(ins)+1)
+	clause = append(clause, -out)
+	clause = append(clause, ins...)
+	b.Add(clause...)
+	// each in → out
+	for _, in := range ins {
+		b.Add(-in, out)
+	}
+}
+
+// And constrains out ⇔ (ins[0] ∧ ins[1] ∧ ...). With no inputs, out is
+// forced true.
+func (b *Builder) And(out int, ins ...int) {
+	if len(ins) == 0 {
+		b.Unit(out)
+		return
+	}
+	// out → each in
+	for _, in := range ins {
+		b.Add(-out, in)
+	}
+	// all ins → out
+	clause := make([]int, 0, len(ins)+1)
+	for _, in := range ins {
+		clause = append(clause, -in)
+	}
+	clause = append(clause, out)
+	b.Add(clause...)
+}
+
+// ExactlyOne asserts that exactly one of the literals is true (pairwise
+// encoding; fine at verification scale).
+func (b *Builder) ExactlyOne(lits ...int) {
+	b.Add(lits...)
+	for i := 0; i < len(lits); i++ {
+		for j := i + 1; j < len(lits); j++ {
+			b.Add(-lits[i], -lits[j])
+		}
+	}
+}
+
+// Formula returns the built formula.
+func (b *Builder) Formula() Formula {
+	return Formula{NumVars: b.numVars, Clauses: b.clauses}
+}

@@ -1,0 +1,211 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustSolve(t *testing.T, f Formula) Assignment {
+	t.Helper()
+	a, ok := Solve(f)
+	if !ok {
+		t.Fatal("expected SAT")
+	}
+	if !satisfies(f, a) {
+		t.Fatalf("returned assignment does not satisfy the formula: %v", a)
+	}
+	return a
+}
+
+func satisfies(f Formula, a Assignment) bool {
+	for _, c := range f.Clauses {
+		ok := false
+		for _, lit := range c {
+			v := a[abs(lit)]
+			if (lit > 0) == v {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func TestTrivialSAT(t *testing.T) {
+	mustSolve(t, Formula{NumVars: 1, Clauses: [][]int{{1}}})
+	mustSolve(t, Formula{NumVars: 1, Clauses: [][]int{{-1}}})
+	mustSolve(t, Formula{NumVars: 2, Clauses: [][]int{{1, 2}, {-1, 2}}})
+}
+
+func TestTrivialUNSAT(t *testing.T) {
+	if _, ok := Solve(Formula{NumVars: 1, Clauses: [][]int{{1}, {-1}}}); ok {
+		t.Fatal("x ∧ ¬x must be UNSAT")
+	}
+	if _, ok := Solve(Formula{NumVars: 0, Clauses: [][]int{{}}}); ok {
+		t.Fatal("empty clause must be UNSAT")
+	}
+}
+
+func TestEmptyFormulaSAT(t *testing.T) {
+	a, ok := Solve(Formula{NumVars: 3})
+	if !ok {
+		t.Fatal("empty formula must be SAT")
+	}
+	if len(a) != 4 {
+		t.Fatalf("assignment length = %d, want 4", len(a))
+	}
+}
+
+func TestPigeonholeUNSAT(t *testing.T) {
+	// 3 pigeons, 2 holes: classic small UNSAT instance.
+	b := NewBuilder()
+	// p[i][j]: pigeon i in hole j.
+	var p [3][2]int
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 2; j++ {
+			p[i][j] = b.Var()
+		}
+	}
+	for i := 0; i < 3; i++ {
+		b.Add(p[i][0], p[i][1]) // every pigeon in some hole
+	}
+	for j := 0; j < 2; j++ {
+		for i1 := 0; i1 < 3; i1++ {
+			for i2 := i1 + 1; i2 < 3; i2++ {
+				b.Add(-p[i1][j], -p[i2][j]) // no two pigeons share a hole
+			}
+		}
+	}
+	if _, ok := Solve(b.Formula()); ok {
+		t.Fatal("pigeonhole(3,2) must be UNSAT")
+	}
+}
+
+func TestGates(t *testing.T) {
+	t.Run("and", func(t *testing.T) {
+		b := NewBuilder()
+		x, y, out := b.Var(), b.Var(), b.Var()
+		b.And(out, x, y)
+		b.Unit(x)
+		b.Unit(y)
+		a := mustSolve(t, b.Formula())
+		if !a[out] {
+			t.Fatal("AND(true,true) must be true")
+		}
+	})
+	t.Run("and-false", func(t *testing.T) {
+		b := NewBuilder()
+		x, y, out := b.Var(), b.Var(), b.Var()
+		b.And(out, x, y)
+		b.Unit(x)
+		b.Unit(-y)
+		a := mustSolve(t, b.Formula())
+		if a[out] {
+			t.Fatal("AND(true,false) must be false")
+		}
+	})
+	t.Run("or", func(t *testing.T) {
+		b := NewBuilder()
+		x, y, out := b.Var(), b.Var(), b.Var()
+		b.Or(out, x, y)
+		b.Unit(-x)
+		b.Unit(y)
+		a := mustSolve(t, b.Formula())
+		if !a[out] {
+			t.Fatal("OR(false,true) must be true")
+		}
+	})
+	t.Run("or-empty-forces-false", func(t *testing.T) {
+		b := NewBuilder()
+		out := b.Var()
+		b.Or(out)
+		a := mustSolve(t, b.Formula())
+		if a[out] {
+			t.Fatal("OR() must be false")
+		}
+	})
+	t.Run("and-empty-forces-true", func(t *testing.T) {
+		b := NewBuilder()
+		out := b.Var()
+		b.And(out)
+		a := mustSolve(t, b.Formula())
+		if !a[out] {
+			t.Fatal("AND() must be true")
+		}
+	})
+}
+
+func TestExactlyOne(t *testing.T) {
+	b := NewBuilder()
+	x, y, z := b.Var(), b.Var(), b.Var()
+	b.ExactlyOne(x, y, z)
+	b.Unit(-x)
+	b.Unit(-z)
+	a := mustSolve(t, b.Formula())
+	if !a[y] {
+		t.Fatal("y must be forced true")
+	}
+	// Two forced true → UNSAT.
+	b2 := NewBuilder()
+	x2, y2 := b2.Var(), b2.Var()
+	b2.ExactlyOne(x2, y2)
+	b2.Unit(x2)
+	b2.Unit(y2)
+	if _, ok := Solve(b2.Formula()); ok {
+		t.Fatal("two trues under ExactlyOne must be UNSAT")
+	}
+}
+
+// bruteForce decides a formula by enumeration (≤ 16 vars).
+func bruteForce(f Formula) bool {
+	n := f.NumVars
+	for mask := 0; mask < 1<<n; mask++ {
+		a := make(Assignment, n+1)
+		for v := 1; v <= n; v++ {
+			a[v] = mask&(1<<(v-1)) != 0
+		}
+		if satisfies(f, a) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestSolveVsBruteForce cross-checks DPLL against brute force on random
+// small 3-CNF formulas.
+func TestSolveVsBruteForce(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		numVars := rng.Intn(8) + 2
+		numClauses := rng.Intn(20) + 1
+		f := Formula{NumVars: numVars}
+		for c := 0; c < numClauses; c++ {
+			width := rng.Intn(3) + 1
+			clause := make([]int, 0, width)
+			for l := 0; l < width; l++ {
+				v := rng.Intn(numVars) + 1
+				if rng.Intn(2) == 0 {
+					v = -v
+				}
+				clause = append(clause, v)
+			}
+			f.Clauses = append(f.Clauses, clause)
+		}
+		a, got := Solve(f)
+		want := bruteForce(f)
+		if got != want {
+			return false
+		}
+		if got && !satisfies(f, a) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,102 @@
+package stm
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkRefLoad(b *testing.B) {
+	s := New()
+	r := NewRef(s, 42)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = r.Load()
+	}
+}
+
+func BenchmarkTxnReadOnly(b *testing.B) {
+	for _, p := range allPolicies {
+		p := p
+		for _, n := range []int{1, 16, 256} {
+			b.Run(fmt.Sprintf("%s/refs=%d", p, n), func(b *testing.B) {
+				s := New(WithPolicy(p))
+				refs := make([]*Ref[int], n)
+				for i := range refs {
+					refs[i] = NewRef(s, i)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := s.Atomically(func(tx *Txn) error {
+						for _, r := range refs {
+							_ = r.Get(tx)
+						}
+						return nil
+					}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkTxnReadModifyWrite(b *testing.B) {
+	for _, p := range allPolicies {
+		p := p
+		b.Run(p.String(), func(b *testing.B) {
+			s := New(WithPolicy(p))
+			r := NewRef(s, 0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := s.Atomically(func(tx *Txn) error {
+					r.Set(tx, r.Get(tx)+1)
+					return nil
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkTxnWriteN(b *testing.B) {
+	for _, p := range allPolicies {
+		p := p
+		for _, n := range []int{1, 16, 256} {
+			b.Run(fmt.Sprintf("%s/refs=%d", p, n), func(b *testing.B) {
+				s := New(WithPolicy(p))
+				refs := make([]*Ref[int], n)
+				for i := range refs {
+					refs[i] = NewRef(s, i)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := s.Atomically(func(tx *Txn) error {
+						for _, r := range refs {
+							r.Set(tx, i)
+						}
+						return nil
+					}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkTxnLocalAccess(b *testing.B) {
+	s := New()
+	local := NewTxnLocal(func(tx *Txn) int { return 7 })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Atomically(func(tx *Txn) error {
+			for j := 0; j < 8; j++ {
+				_ = local.Get(tx)
+			}
+			return nil
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package stm
+
+// ContentionManager arbitrates conflicts between transactions. When a
+// transaction (the attacker) finds a resource held or visibly read by
+// another active transaction (the victim), it asks the contention manager
+// whether it may doom the victim; otherwise the attacker backs off and, past
+// a spin budget, aborts itself.
+//
+// The Proust paper observes (Section 7) that coupling abstract locks with an
+// STM's contention manager is delicate: with only a weak coupling, high
+// contention and long transactions can livelock. The Timestamp manager is
+// the standard remedy (the Greedy manager of Guerraoui et al.): the older
+// transaction always wins, which guarantees system-wide progress.
+type ContentionManager interface {
+	// Wins reports whether attacker may doom victim when both contend for
+	// a write lock.
+	Wins(attacker, victim *Txn) bool
+	// InvalidatesReader reports whether a writer acquiring a reference may
+	// doom a registered visible reader (EagerEager policy). If false, the
+	// writer aborts itself instead. Eager-invalidation STMs (McRT, LogTM)
+	// answer true: writers invalidate readers; the reverse choice
+	// livelocks read-modify-write workloads, where every writer is also a
+	// reader of the same location.
+	InvalidatesReader(writer, reader *Txn) bool
+	// Name identifies the manager in benchmark output.
+	Name() string
+}
+
+// Backoff is a polite contention manager: an attacker never dooms a victim;
+// it spins with randomized exponential backoff and eventually aborts itself.
+type Backoff struct{}
+
+var _ ContentionManager = Backoff{}
+
+// Wins always returns false.
+func (Backoff) Wins(_, _ *Txn) bool { return false }
+
+// InvalidatesReader always returns true (invalidation-style).
+func (Backoff) InvalidatesReader(_, _ *Txn) bool { return true }
+
+// Name implements ContentionManager.
+func (Backoff) Name() string { return "backoff" }
+
+// Timestamp is a greedy contention manager: the transaction with the older
+// birth serial wins and may doom the younger one. Because a transaction
+// keeps its birth across retries, every transaction eventually becomes the
+// oldest in the system and wins all its conflicts, so the system is
+// livelock-free.
+type Timestamp struct{}
+
+var _ ContentionManager = Timestamp{}
+
+// Wins reports whether attacker is older than victim.
+func (Timestamp) Wins(attacker, victim *Txn) bool {
+	return attacker.birth < victim.birth
+}
+
+// InvalidatesReader reports whether the writer is older than the reader.
+func (Timestamp) InvalidatesReader(writer, reader *Txn) bool {
+	return writer.birth < reader.birth
+}
+
+// Name implements ContentionManager.
+func (Timestamp) Name() string { return "timestamp" }

@@ -1,0 +1,111 @@
+package stm
+
+// NOrec support: a fourth detection policy implementing Dalessandro, Spear
+// and Scott's NOrec ("No Ownership Records", PPoPP 2010), one of the STMs in
+// the paper's Figure 1 classification (lazy w/w, lazy r/w) and the subject
+// of its future-work remark that "the Proust methodology could be
+// implemented as a framework for other STMs".
+//
+// NOrec keeps no per-location metadata at all: a single global sequence
+// lock orders writers, and readers validate *values* instead of versions.
+// Because every committed write installs a fresh box, pointer identity of
+// the box doubles as value validation without requiring comparable value
+// types.
+//
+// Proust integration is unchanged: OnCommitLocked runs while the global
+// sequence lock is held — NOrec's "native locking mechanism" — so replay
+// logs apply atomically with the commit, and Ref.Touch records a read-log
+// entry that commit-time validation checks, exactly as Theorem 5.3 needs.
+
+// norecBegin samples a stable (even) sequence number.
+func (tx *Txn) norecBegin() {
+	for {
+		s := tx.s.norecSeq.Load()
+		if s&1 == 0 {
+			tx.readVersion = s // reuse the field as the NOrec snapshot
+			return
+		}
+		procYield()
+	}
+}
+
+// norecRead performs a NOrec read: consistent against the global sequence,
+// with full value revalidation whenever the sequence has moved.
+func (tx *Txn) norecRead(r *baseRef) any {
+	for {
+		b := r.value.Load()
+		s := tx.s.norecSeq.Load()
+		if s&1 == 1 {
+			procYield()
+			continue
+		}
+		if s != tx.readVersion {
+			if !tx.norecValidate() {
+				tx.conflict(abortValidation)
+			}
+			tx.readVersion = s
+			continue // re-read under the new snapshot
+		}
+		tx.reads = append(tx.reads, readEntry{r: r, box: b})
+		return b.v
+	}
+}
+
+// norecValidate waits for a stable sequence and compares every read-log
+// entry's box pointer against the current one.
+func (tx *Txn) norecValidate() bool {
+	for {
+		s := tx.s.norecSeq.Load()
+		if s&1 == 1 {
+			procYield()
+			continue
+		}
+		for i := range tx.reads {
+			re := &tx.reads[i]
+			if re.r.value.Load() != re.box {
+				return false
+			}
+		}
+		if tx.s.norecSeq.Load() != s {
+			continue
+		}
+		tx.readVersion = s
+		return true
+	}
+}
+
+// commitNOrec implements the NOrec commit: spin-acquire the global
+// sequence lock from the transaction's snapshot, revalidating on every
+// miss; then publish the redo log and release.
+func (tx *Txn) commitNOrec() bool {
+	if len(tx.writes) == 0 && len(tx.onCommitLocked) == 0 {
+		// Read-only transactions are always consistent at their snapshot.
+		if !tx.transitionCommitted() {
+			tx.rollback(abortDoomed)
+			return false
+		}
+		tx.finishCommit()
+		return true
+	}
+	for !tx.s.norecSeq.CompareAndSwap(tx.readVersion, tx.readVersion+1) {
+		if !tx.norecValidate() {
+			tx.rollback(abortValidation)
+			return false
+		}
+	}
+	// Sequence lock held (odd): no reader returns and no writer commits
+	// until we release.
+	if !tx.transitionCommitted() {
+		tx.s.norecSeq.Store(tx.readVersion + 2)
+		tx.rollback(abortDoomed)
+		return false
+	}
+	tx.runCommitLocked()
+	for _, r := range tx.writeOrder {
+		r.value.Store(&box{v: tx.writes[r].val})
+		r.version.Store(tx.readVersion + 2)
+	}
+	tx.s.norecSeq.Store(tx.readVersion + 2)
+	tx.finishCommit()
+	return true
+}

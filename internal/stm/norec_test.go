@@ -1,0 +1,170 @@
+package stm
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+// TestNOrecValueValidation: NOrec validates by value identity — a committed
+// write to something we read must abort us at the next read or at commit.
+func TestNOrecValueValidation(t *testing.T) {
+	s := New(WithPolicy(NOrec))
+	r := NewRef(s, 0)
+	out := NewRef(s, 0)
+	attempts := 0
+	err := s.Atomically(func(tx *Txn) error {
+		attempts++
+		v := r.Get(tx)
+		if attempts == 1 {
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				_ = s.Atomically(func(tx2 *Txn) error {
+					r.Set(tx2, 10)
+					return nil
+				})
+			}()
+			<-done
+		}
+		out.Set(tx, v+1)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Atomically: %v", err)
+	}
+	if attempts < 2 {
+		t.Fatalf("attempts = %d, want >= 2 (value validation must catch the write)", attempts)
+	}
+	if got := out.Load(); got != 11 {
+		t.Fatalf("out = %d, want 11", got)
+	}
+}
+
+// TestNOrecBlindWritersBothCommit: like all lazy-w/w STMs, blind concurrent
+// writers do not conflict.
+func TestNOrecBlindWritersBothCommit(t *testing.T) {
+	s := New(WithPolicy(NOrec))
+	r := NewRef(s, 0)
+	holding := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan error, 1)
+	var once sync.Once
+	go func() {
+		done <- s.Atomically(func(tx *Txn) error {
+			r.Set(tx, 1)
+			once.Do(func() { close(holding) })
+			<-release
+			return nil
+		})
+	}()
+	<-holding
+	if err := s.Atomically(func(tx *Txn) error {
+		r.Set(tx, 2)
+		return nil
+	}); err != nil {
+		t.Fatalf("second writer: %v", err)
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("holder: %v", err)
+	}
+	if got := r.Load(); got != 1 {
+		t.Fatalf("final = %d, want 1 (holder committed last)", got)
+	}
+}
+
+// TestNOrecSeqLockParity: the global sequence must always return to even.
+func TestNOrecSeqLockParity(t *testing.T) {
+	s := New(WithPolicy(NOrec))
+	r := NewRef(s, 0)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				_ = s.Atomically(func(tx *Txn) error {
+					r.Set(tx, r.Get(tx)+1)
+					return nil
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	if seq := s.norecSeq.Load(); seq&1 != 0 {
+		t.Fatalf("sequence lock left odd: %d", seq)
+	}
+	if got := r.Load(); got != 800 {
+		t.Fatalf("counter = %d, want 800", got)
+	}
+}
+
+// TestNOrecAbortDropsWrites: user aborts leave no trace (redo log dropped).
+func TestNOrecAbortDropsWrites(t *testing.T) {
+	s := New(WithPolicy(NOrec))
+	r := NewRef(s, 5)
+	errBoom := errors.New("boom")
+	_ = s.Atomically(func(tx *Txn) error {
+		r.Set(tx, 99)
+		return errBoom
+	})
+	if got := r.Load(); got != 5 {
+		t.Fatalf("value after abort = %d, want 5", got)
+	}
+	if seq := s.norecSeq.Load(); seq&1 != 0 {
+		t.Fatalf("sequence lock left odd after abort: %d", seq)
+	}
+}
+
+// TestNOrecNonComparableValues: value validation must work for values whose
+// types do not support == (slices), which is why validation compares box
+// identity.
+func TestNOrecNonComparableValues(t *testing.T) {
+	s := New(WithPolicy(NOrec))
+	r := NewRef(s, []int{1, 2, 3})
+	if err := s.Atomically(func(tx *Txn) error {
+		cur := r.Get(tx)
+		next := append(append([]int(nil), cur...), 4)
+		r.Set(tx, next)
+		return nil
+	}); err != nil {
+		t.Fatalf("Atomically: %v", err)
+	}
+	got := r.Load()
+	if len(got) != 4 || got[3] != 4 {
+		t.Fatalf("value = %v", got)
+	}
+}
+
+// TestNOrecTouchSupportsTheorem53: Touch of a written ref registers a value
+// entry that commit-time validation checks, so a conflicting committed
+// write aborts the transaction (the lazy/optimistic bracketing).
+func TestNOrecTouchSupportsTheorem53(t *testing.T) {
+	s := New(WithPolicy(NOrec))
+	r := NewRef(s, uint64(0))
+	attempts := 0
+	err := s.Atomically(func(tx *Txn) error {
+		attempts++
+		r.Set(tx, tx.Serial())
+		r.Touch(tx)
+		if attempts == 1 {
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				_ = s.Atomically(func(tx2 *Txn) error {
+					r.Set(tx2, tx2.Serial())
+					return nil
+				})
+			}()
+			<-done
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Atomically: %v", err)
+	}
+	if attempts < 2 {
+		t.Fatalf("attempts = %d, want >= 2 (touched write must conflict)", attempts)
+	}
+}

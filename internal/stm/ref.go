@@ -1,0 +1,133 @@
+package stm
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// box wraps a committed (or, under encounter-time locking, tentative) value
+// so the whole value can be published with a single pointer store.
+type box struct {
+	v any
+}
+
+// baseRef is the untyped core of a transactional reference.
+type baseRef struct {
+	s       *STM
+	id      uint64
+	version atomic.Uint64
+	owner   atomic.Pointer[Txn]
+	value   atomic.Pointer[box]
+
+	// Visible readers (EagerEager policy only).
+	rmu     sync.Mutex
+	readers map[*Txn]struct{}
+}
+
+func (r *baseRef) addReader(tx *Txn) {
+	r.rmu.Lock()
+	defer r.rmu.Unlock()
+	if r.readers == nil {
+		r.readers = make(map[*Txn]struct{}, 4)
+	}
+	r.readers[tx] = struct{}{}
+}
+
+func (r *baseRef) removeReader(tx *Txn) {
+	r.rmu.Lock()
+	defer r.rmu.Unlock()
+	delete(r.readers, tx)
+}
+
+// activeReaders returns the currently registered readers other than self,
+// pruning entries whose transactions are no longer active.
+func (r *baseRef) activeReaders(self *Txn) []*Txn {
+	r.rmu.Lock()
+	defer r.rmu.Unlock()
+	var out []*Txn
+	for t := range r.readers {
+		if t == self {
+			continue
+		}
+		if t.status() != statusActive {
+			delete(r.readers, t)
+			continue
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// Ref is a transactional reference holding a value of type T. Refs are
+// created with NewRef against a specific STM instance and may only be
+// accessed by transactions of that instance (or via the non-transactional
+// Load, which performs a single linearizable read).
+type Ref[T any] struct {
+	b baseRef
+}
+
+// NewRef creates a transactional reference with the given initial value.
+func NewRef[T any](s *STM, init T) *Ref[T] {
+	r := &Ref[T]{}
+	r.b.s = s
+	r.b.id = s.refIDs.Add(1)
+	r.b.value.Store(&box{v: init})
+	return r
+}
+
+// Get reads the reference inside tx.
+func (r *Ref[T]) Get(tx *Txn) T {
+	v, ok := tx.read(&r.b).(T)
+	if !ok {
+		// Only possible if T's zero value was stored as a nil interface;
+		// normalize to the zero value.
+		var zero T
+		return zero
+	}
+	return v
+}
+
+// Set writes v to the reference inside tx.
+func (r *Ref[T]) Set(tx *Txn, v T) {
+	tx.write(&r.b, v)
+}
+
+// Touch adds the reference to the transaction's read set for commit-time
+// validation even if the transaction has already written it. See
+// Txn-internal touch for why Proust's lazy/optimistic wrappers need this.
+func (r *Ref[T]) Touch(tx *Txn) {
+	tx.touch(&r.b)
+}
+
+// Modify applies f to the current value inside tx and stores the result.
+func (r *Ref[T]) Modify(tx *Txn, f func(T) T) {
+	r.Set(tx, f(r.Get(tx)))
+}
+
+// Load performs a non-transactional linearizable read of the committed
+// value. It never observes a value written by an uncommitted transaction.
+func (r *Ref[T]) Load() T {
+	for {
+		v1 := r.b.version.Load()
+		if r.b.owner.Load() != nil {
+			runtime.Gosched()
+			continue
+		}
+		b := r.b.value.Load()
+		if r.b.owner.Load() != nil || r.b.version.Load() != v1 {
+			continue
+		}
+		v, ok := b.v.(T)
+		if !ok {
+			var zero T
+			return zero
+		}
+		return v
+	}
+}
+
+// procYield is a cheap CPU-relax used inside spin loops.
+func procYield() {
+	runtime.Gosched()
+}

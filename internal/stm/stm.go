@@ -1,0 +1,281 @@
+// Package stm implements a word-based software transactional memory in the
+// TL2 lineage, built from scratch for the Proust reproduction.
+//
+// The STM provides:
+//
+//   - Versioned transactional references (Ref[T]) stamped by a global
+//     version clock.
+//   - Opaque transactions: every transactional read is validated against the
+//     transaction's read version, with read-set revalidation and clock
+//     extension on failure, so no transaction (not even one that will later
+//     abort) observes an inconsistent memory snapshot.
+//   - Pluggable conflict-detection policies reproducing the right-hand table
+//     of Figure 1 in the Proust paper: LazyLazy (TL2-like), mixed
+//     eager-write/lazy-read (CCSTM-like, the paper's default backend), and
+//     EagerEager (visible readers, all conflicts detected at encounter time).
+//   - Contention management (polite backoff, and greedy timestamp where the
+//     older transaction wins and may doom the younger).
+//   - Transaction lifecycle hooks. OnCommitLocked runs inside the commit
+//     critical section, after validation succeeds and while the write set is
+//     still locked; this is precisely where Proust replay logs must be
+//     applied ("behind the STM's native locking mechanisms", Section 4 of
+//     the paper).
+//   - Transaction-local storage (TxnLocal) used to carry replay logs.
+//
+// Transactions are executed with (*STM).Atomically. Internal conflicts are
+// signalled by panicking with a private sentinel that Atomically recovers;
+// this never escapes the package. Errors returned by the transaction body
+// abort the transaction and are returned to the caller without retrying.
+package stm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// DetectionPolicy selects when the STM detects read-write and write-write
+// conflicts. It reproduces the STM strategy table of Figure 1.
+type DetectionPolicy int
+
+const (
+	// LazyLazy buffers writes in a redo log and acquires write locks only
+	// at commit time (in global reference order); read-write conflicts are
+	// found by commit-time read-set validation. This is the TL2 family:
+	// lazy w/w and lazy r/w detection.
+	LazyLazy DetectionPolicy = iota + 1
+	// MixedEagerWWLazyRW acquires write locks at encounter time with an
+	// undo log (eager w/w detection) but keeps readers invisible and
+	// validates the read set at commit (lazy r/w detection). This matches
+	// CCSTM, the default ScalaSTM backend used in the paper's evaluation.
+	MixedEagerWWLazyRW
+	// EagerEager acquires write locks at encounter time and additionally
+	// registers visible readers on every reference, so a writer detects
+	// and arbitrates read-write conflicts the moment it tries to acquire
+	// the reference. All conflicts are detected eagerly, which is the STM
+	// requirement of Theorem 5.2 (Eager/Optimistic Proust is opaque).
+	EagerEager
+	// NOrec keeps no per-reference metadata: a single global sequence
+	// lock orders commits and readers validate by value (box identity).
+	// Lazy w/w and lazy r/w detection, like LazyLazy, but with O(1) space
+	// overhead and value-based validation (Dalessandro, Spear, Scott —
+	// PPoPP 2010; cited as [8] in the paper's Figure 1 classification).
+	NOrec
+)
+
+// String returns the policy name used in benchmark output.
+func (p DetectionPolicy) String() string {
+	switch p {
+	case LazyLazy:
+		return "lazy-lazy"
+	case MixedEagerWWLazyRW:
+		return "mixed"
+	case EagerEager:
+		return "eager-eager"
+	case NOrec:
+		return "norec"
+	default:
+		return fmt.Sprintf("DetectionPolicy(%d)", int(p))
+	}
+}
+
+// EagerWriteLocks reports whether the policy acquires write locks at
+// encounter time rather than at commit time.
+func (p DetectionPolicy) EagerWriteLocks() bool {
+	return p == MixedEagerWWLazyRW || p == EagerEager
+}
+
+// ErrMaxAttempts is returned by Atomically when a transaction exceeds the
+// configured maximum number of attempts.
+var ErrMaxAttempts = errors.New("stm: transaction exceeded maximum attempts")
+
+// STM is an instance of the transactional memory: a global version clock,
+// a conflict-detection policy, a contention manager and statistics. All
+// references participating in the same transactions must be created against
+// the same STM.
+type STM struct {
+	clock    atomic.Uint64 // global version clock
+	norecSeq atomic.Uint64 // NOrec global sequence lock (even = stable)
+	refIDs   atomic.Uint64 // unique reference ids (commit-time lock order)
+	txnIDs   atomic.Uint64 // unique transaction serials
+	policy   DetectionPolicy
+	cm       ContentionManager
+	maxTries int
+	stats    Stats
+
+	retryMu  sync.Mutex
+	retryCv  *sync.Cond
+	retryGen uint64
+}
+
+// Option configures an STM instance.
+type Option interface {
+	apply(*STM)
+}
+
+type policyOption DetectionPolicy
+
+func (o policyOption) apply(s *STM) { s.policy = DetectionPolicy(o) }
+
+// WithPolicy selects the conflict-detection policy. The default is
+// MixedEagerWWLazyRW, matching the CCSTM backend used by the paper.
+func WithPolicy(p DetectionPolicy) Option { return policyOption(p) }
+
+type cmOption struct{ cm ContentionManager }
+
+func (o cmOption) apply(s *STM) { s.cm = o.cm }
+
+// WithContentionManager selects the contention manager. The default is
+// Backoff.
+func WithContentionManager(cm ContentionManager) Option { return cmOption{cm: cm} }
+
+type maxTriesOption int
+
+func (o maxTriesOption) apply(s *STM) { s.maxTries = int(o) }
+
+// WithMaxAttempts bounds the number of attempts per transaction; Atomically
+// returns ErrMaxAttempts when exceeded. Zero (the default) means unbounded.
+func WithMaxAttempts(n int) Option { return maxTriesOption(n) }
+
+// New creates an STM instance.
+func New(opts ...Option) *STM {
+	s := &STM{
+		policy: MixedEagerWWLazyRW,
+		cm:     Backoff{},
+	}
+	for _, o := range opts {
+		o.apply(s)
+	}
+	s.retryCv = sync.NewCond(&s.retryMu)
+	return s
+}
+
+// Policy returns the conflict-detection policy of this instance.
+func (s *STM) Policy() DetectionPolicy { return s.policy }
+
+// GlobalClock returns the current value of the global version clock. It is
+// exported for tests and diagnostics.
+func (s *STM) GlobalClock() uint64 { return s.clock.Load() }
+
+// Atomically runs fn as a transaction, retrying on conflicts until it either
+// commits or fn returns a non-nil error (which aborts the transaction and is
+// returned verbatim).
+func (s *STM) Atomically(fn func(tx *Txn) error) error {
+	tx := s.newTxn()
+	for {
+		if s.maxTries > 0 && tx.attempt >= s.maxTries {
+			return ErrMaxAttempts
+		}
+		tx.beginAttempt()
+		s.stats.Starts.Add(1)
+		err, sig := tx.runBody(fn)
+		switch sig {
+		case sigNone:
+			if err != nil {
+				tx.rollback(abortUser)
+				return err
+			}
+			if tx.commit() {
+				s.notifyCommit()
+				return nil
+			}
+			tx.backoff()
+		case sigConflict:
+			tx.backoff()
+		case sigRetry:
+			gen := s.retryGeneration()
+			s.waitCommit(gen)
+		}
+	}
+}
+
+// AtomicallyResult runs fn as a transaction and returns its result. It is a
+// generic convenience wrapper over (*STM).Atomically.
+func AtomicallyResult[T any](s *STM, fn func(tx *Txn) (T, error)) (T, error) {
+	var out T
+	err := s.Atomically(func(tx *Txn) error {
+		v, err := fn(tx)
+		if err != nil {
+			return err
+		}
+		out = v
+		return nil
+	})
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	return out, nil
+}
+
+// Stats returns a snapshot of the instance counters.
+func (s *STM) Stats() StatsSnapshot { return s.stats.snapshot() }
+
+// ResetStats zeroes the instance counters.
+func (s *STM) ResetStats() { s.stats.reset() }
+
+func (s *STM) retryGeneration() uint64 {
+	s.retryMu.Lock()
+	defer s.retryMu.Unlock()
+	return s.retryGen
+}
+
+func (s *STM) notifyCommit() {
+	s.retryMu.Lock()
+	s.retryGen++
+	s.retryMu.Unlock()
+	s.retryCv.Broadcast()
+}
+
+func (s *STM) waitCommit(gen uint64) {
+	s.retryMu.Lock()
+	defer s.retryMu.Unlock()
+	for s.retryGen == gen {
+		s.retryCv.Wait()
+	}
+}
+
+// Stats holds cumulative counters for an STM instance.
+type Stats struct {
+	Starts           atomic.Uint64
+	Commits          atomic.Uint64
+	Aborts           atomic.Uint64
+	ConflictAborts   atomic.Uint64 // lost arbitration / lock acquisition
+	ValidationAborts atomic.Uint64 // read-set validation failure
+	DoomedAborts     atomic.Uint64 // doomed by another transaction
+	UserAborts       atomic.Uint64 // fn returned an error
+}
+
+// StatsSnapshot is a point-in-time copy of Stats.
+type StatsSnapshot struct {
+	Starts           uint64
+	Commits          uint64
+	Aborts           uint64
+	ConflictAborts   uint64
+	ValidationAborts uint64
+	DoomedAborts     uint64
+	UserAborts       uint64
+}
+
+func (st *Stats) snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		Starts:           st.Starts.Load(),
+		Commits:          st.Commits.Load(),
+		Aborts:           st.Aborts.Load(),
+		ConflictAborts:   st.ConflictAborts.Load(),
+		ValidationAborts: st.ValidationAborts.Load(),
+		DoomedAborts:     st.DoomedAborts.Load(),
+		UserAborts:       st.UserAborts.Load(),
+	}
+}
+
+func (st *Stats) reset() {
+	st.Starts.Store(0)
+	st.Commits.Store(0)
+	st.Aborts.Store(0)
+	st.ConflictAborts.Store(0)
+	st.ValidationAborts.Store(0)
+	st.DoomedAborts.Store(0)
+	st.UserAborts.Store(0)
+}

@@ -1,0 +1,840 @@
+package stm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+var allPolicies = []DetectionPolicy{LazyLazy, MixedEagerWWLazyRW, EagerEager, NOrec}
+
+func forEachPolicy(t *testing.T, f func(t *testing.T, s *STM)) {
+	t.Helper()
+	for _, p := range allPolicies {
+		p := p
+		t.Run(p.String(), func(t *testing.T) {
+			f(t, New(WithPolicy(p)))
+		})
+	}
+}
+
+func TestGetSetCommit(t *testing.T) {
+	forEachPolicy(t, func(t *testing.T, s *STM) {
+		r := NewRef(s, 41)
+		if err := s.Atomically(func(tx *Txn) error {
+			if got := r.Get(tx); got != 41 {
+				t.Errorf("initial Get = %d, want 41", got)
+			}
+			r.Set(tx, 42)
+			if got := r.Get(tx); got != 42 {
+				t.Errorf("Get after Set = %d, want 42", got)
+			}
+			return nil
+		}); err != nil {
+			t.Fatalf("Atomically: %v", err)
+		}
+		if got := r.Load(); got != 42 {
+			t.Fatalf("Load after commit = %d, want 42", got)
+		}
+	})
+}
+
+func TestUserErrorAborts(t *testing.T) {
+	errBoom := errors.New("boom")
+	forEachPolicy(t, func(t *testing.T, s *STM) {
+		r := NewRef(s, 1)
+		err := s.Atomically(func(tx *Txn) error {
+			r.Set(tx, 99)
+			return errBoom
+		})
+		if !errors.Is(err, errBoom) {
+			t.Fatalf("err = %v, want %v", err, errBoom)
+		}
+		if got := r.Load(); got != 1 {
+			t.Fatalf("value after aborted txn = %d, want 1", got)
+		}
+		st := s.Stats()
+		if st.UserAborts != 1 {
+			t.Fatalf("UserAborts = %d, want 1", st.UserAborts)
+		}
+	})
+}
+
+func TestUserPanicRollsBack(t *testing.T) {
+	forEachPolicy(t, func(t *testing.T, s *STM) {
+		r := NewRef(s, "before")
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic to propagate")
+				}
+			}()
+			_ = s.Atomically(func(tx *Txn) error {
+				r.Set(tx, "after")
+				panic("user panic")
+			})
+		}()
+		if got := r.Load(); got != "before" {
+			t.Fatalf("value after panicked txn = %q, want %q", got, "before")
+		}
+	})
+}
+
+func TestModifyAndAtomicallyResult(t *testing.T) {
+	s := New()
+	r := NewRef(s, 10)
+	got, err := AtomicallyResult(s, func(tx *Txn) (int, error) {
+		r.Modify(tx, func(v int) int { return v * 3 })
+		return r.Get(tx), nil
+	})
+	if err != nil {
+		t.Fatalf("AtomicallyResult: %v", err)
+	}
+	if got != 30 {
+		t.Fatalf("result = %d, want 30", got)
+	}
+}
+
+func TestAtomicallyResultError(t *testing.T) {
+	s := New()
+	errBad := errors.New("bad")
+	got, err := AtomicallyResult(s, func(tx *Txn) (int, error) {
+		return 7, errBad
+	})
+	if !errors.Is(err, errBad) {
+		t.Fatalf("err = %v, want %v", err, errBad)
+	}
+	if got != 0 {
+		t.Fatalf("result = %d, want zero value on error", got)
+	}
+}
+
+func TestConcurrentCounter(t *testing.T) {
+	const (
+		goroutines = 8
+		increments = 200
+	)
+	forEachPolicy(t, func(t *testing.T, s *STM) {
+		r := NewRef(s, 0)
+		var wg sync.WaitGroup
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < increments; i++ {
+					err := s.Atomically(func(tx *Txn) error {
+						r.Set(tx, r.Get(tx)+1)
+						return nil
+					})
+					if err != nil {
+						t.Errorf("Atomically: %v", err)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		if got := r.Load(); got != goroutines*increments {
+			t.Fatalf("counter = %d, want %d", got, goroutines*increments)
+		}
+	})
+}
+
+func TestConcurrentCounterTimestampCM(t *testing.T) {
+	const (
+		goroutines = 8
+		increments = 200
+	)
+	for _, p := range allPolicies {
+		p := p
+		t.Run(p.String(), func(t *testing.T) {
+			s := New(WithPolicy(p), WithContentionManager(Timestamp{}))
+			r := NewRef(s, 0)
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < increments; i++ {
+						if err := s.Atomically(func(tx *Txn) error {
+							r.Set(tx, r.Get(tx)+1)
+							return nil
+						}); err != nil {
+							t.Errorf("Atomically: %v", err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			if got := r.Load(); got != goroutines*increments {
+				t.Fatalf("counter = %d, want %d", got, goroutines*increments)
+			}
+		})
+	}
+}
+
+// TestOpacityInvariant is the zombie test: writers preserve x+y == 100 and
+// concurrent readers must never observe a state violating the invariant,
+// under any detection policy. This exercises opacity of the STM layer.
+func TestOpacityInvariant(t *testing.T) {
+	const (
+		writers  = 4
+		readers  = 4
+		duration = 100 * time.Millisecond
+	)
+	forEachPolicy(t, func(t *testing.T, s *STM) {
+		x := NewRef(s, 60)
+		y := NewRef(s, 40)
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func(seed int) {
+				defer wg.Done()
+				amt := seed + 1
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					if err := s.Atomically(func(tx *Txn) error {
+						xv := x.Get(tx)
+						x.Set(tx, xv-amt)
+						y.Set(tx, y.Get(tx)+amt)
+						return nil
+					}); err != nil {
+						t.Errorf("writer: %v", err)
+						return
+					}
+				}
+			}(w)
+		}
+		for rd := 0; rd < readers; rd++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					if err := s.Atomically(func(tx *Txn) error {
+						sum := x.Get(tx) + y.Get(tx)
+						if sum != 100 {
+							t.Errorf("opacity violation: x+y = %d", sum)
+						}
+						return nil
+					}); err != nil {
+						t.Errorf("reader: %v", err)
+						return
+					}
+				}
+			}()
+		}
+		time.Sleep(duration)
+		close(stop)
+		wg.Wait()
+		final := x.Load() + y.Load()
+		if final != 100 {
+			t.Fatalf("final x+y = %d, want 100", final)
+		}
+	})
+}
+
+func TestOnAbortLIFO(t *testing.T) {
+	s := New()
+	var order []int
+	errAbort := errors.New("abort")
+	_ = s.Atomically(func(tx *Txn) error {
+		tx.OnAbort(func() { order = append(order, 1) })
+		tx.OnAbort(func() { order = append(order, 2) })
+		tx.OnAbort(func() { order = append(order, 3) })
+		return errAbort
+	})
+	want := []int{3, 2, 1}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v (inverses must run LIFO)", order, want)
+		}
+	}
+}
+
+func TestOnCommitHooks(t *testing.T) {
+	forEachPolicy(t, func(t *testing.T, s *STM) {
+		r := NewRef(s, 0)
+		var (
+			lockedSawOldPublished bool
+			afterSawNewPublished  bool
+		)
+		err := s.Atomically(func(tx *Txn) error {
+			r.Set(tx, 7)
+			tx.OnCommitLocked(func() {
+				// Versions are not yet published. Under LazyLazy the
+				// committed value is still the old one; under eager
+				// policies the tentative value is installed but locked.
+				if s.Policy() == LazyLazy {
+					lockedSawOldPublished = true
+				} else {
+					lockedSawOldPublished = true // lock still held either way
+				}
+			})
+			tx.OnCommit(func() {
+				afterSawNewPublished = r.Load() == 7
+			})
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("Atomically: %v", err)
+		}
+		if !lockedSawOldPublished {
+			t.Fatal("OnCommitLocked hook did not run")
+		}
+		if !afterSawNewPublished {
+			t.Fatal("OnCommit hook did not observe published value")
+		}
+	})
+}
+
+func TestOnCommitHooksNotRunOnAbort(t *testing.T) {
+	s := New()
+	var committed, aborted int
+	_ = s.Atomically(func(tx *Txn) error {
+		tx.OnCommit(func() { committed++ })
+		tx.OnCommitLocked(func() { committed++ })
+		tx.OnAbort(func() { aborted++ })
+		return errors.New("abort")
+	})
+	if committed != 0 {
+		t.Fatalf("commit hooks ran %d times on abort", committed)
+	}
+	if aborted != 1 {
+		t.Fatalf("abort hooks ran %d times, want 1", aborted)
+	}
+}
+
+// TestEagerUndoRestoresValue checks that encounter-time writes are rolled
+// back on abort, so no uncommitted value is ever published.
+func TestEagerUndoRestoresValue(t *testing.T) {
+	for _, p := range []DetectionPolicy{MixedEagerWWLazyRW, EagerEager} {
+		p := p
+		t.Run(p.String(), func(t *testing.T) {
+			s := New(WithPolicy(p))
+			r := NewRef(s, 100)
+			_ = s.Atomically(func(tx *Txn) error {
+				r.Set(tx, 999)
+				return errors.New("abort")
+			})
+			if got := r.Load(); got != 100 {
+				t.Fatalf("value after abort = %d, want 100", got)
+			}
+		})
+	}
+}
+
+func TestTxnLocal(t *testing.T) {
+	s := New()
+	var inits int
+	local := NewTxnLocal(func(tx *Txn) *[]string {
+		inits++
+		return &[]string{}
+	})
+	err := s.Atomically(func(tx *Txn) error {
+		if _, ok := local.Peek(tx); ok {
+			t.Error("Peek before Get should miss")
+		}
+		l := local.Get(tx)
+		*l = append(*l, "a")
+		l2 := local.Get(tx)
+		if len(*l2) != 1 || (*l2)[0] != "a" {
+			t.Errorf("second Get = %v, want [a]", *l2)
+		}
+		if _, ok := local.Peek(tx); !ok {
+			t.Error("Peek after Get should hit")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Atomically: %v", err)
+	}
+	if inits != 1 {
+		t.Fatalf("initializer ran %d times, want 1", inits)
+	}
+}
+
+func TestTxnLocalDroppedOnRetry(t *testing.T) {
+	s := New()
+	r := NewRef(s, 0)
+	local := NewTxnLocal(func(tx *Txn) int { return 0 })
+	attempts := 0
+	err := s.Atomically(func(tx *Txn) error {
+		attempts++
+		if v, ok := local.Peek(tx); ok && v != 0 {
+			t.Errorf("stale txn-local %d leaked into attempt %d", v, attempts)
+		}
+		local.Set(tx, attempts)
+		if attempts == 1 {
+			// Force a validation failure: read r, then commit elsewhere.
+			_ = r.Get(tx)
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				_ = s.Atomically(func(tx2 *Txn) error {
+					r.Set(tx2, 1)
+					return nil
+				})
+			}()
+			<-done
+			r.Set(tx, r.Get(tx)+10) // Get revalidates => conflict
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Atomically: %v", err)
+	}
+	if attempts < 2 {
+		t.Fatalf("attempts = %d, want >= 2 (forced conflict)", attempts)
+	}
+}
+
+// TestDetectionMatrix reproduces the right-hand table of Figure 1: it pins
+// down *when* each policy detects write-write and read-write conflicts.
+func TestDetectionMatrix(t *testing.T) {
+	t.Run("ww-eager-policies-block-second-writer", func(t *testing.T) {
+		for _, p := range []DetectionPolicy{MixedEagerWWLazyRW, EagerEager} {
+			p := p
+			t.Run(p.String(), func(t *testing.T) {
+				s := New(WithPolicy(p), WithMaxAttempts(3))
+				r := NewRef(s, 0)
+				holding := make(chan struct{})
+				release := make(chan struct{})
+				done := make(chan error, 1)
+				var once sync.Once
+				go func() {
+					done <- s.Atomically(func(tx *Txn) error {
+						r.Set(tx, 1)
+						once.Do(func() { close(holding) })
+						<-release
+						return nil
+					})
+				}()
+				<-holding
+				// Second writer must fail at encounter time: the lock is
+				// held, so every attempt aborts.
+				err := s.Atomically(func(tx *Txn) error {
+					r.Set(tx, 2)
+					return nil
+				})
+				close(release)
+				if !errors.Is(err, ErrMaxAttempts) {
+					t.Fatalf("second writer err = %v, want ErrMaxAttempts (eager w/w detection)", err)
+				}
+				if err := <-done; err != nil {
+					t.Fatalf("holder: %v", err)
+				}
+			})
+		}
+	})
+
+	t.Run("ww-lazy-policy-allows-concurrent-writers", func(t *testing.T) {
+		s := New(WithPolicy(LazyLazy), WithMaxAttempts(3))
+		r := NewRef(s, 0)
+		holding := make(chan struct{})
+		release := make(chan struct{})
+		done := make(chan error, 1)
+		var once sync.Once
+		go func() {
+			done <- s.Atomically(func(tx *Txn) error {
+				r.Set(tx, 1)
+				once.Do(func() { close(holding) })
+				<-release
+				return nil
+			})
+		}()
+		<-holding
+		// Blind write-write is not a conflict under lazy versioning: the
+		// second writer commits immediately.
+		if err := s.Atomically(func(tx *Txn) error {
+			r.Set(tx, 2)
+			return nil
+		}); err != nil {
+			t.Fatalf("second writer err = %v, want success (lazy w/w detection)", err)
+		}
+		close(release)
+		if err := <-done; err != nil {
+			t.Fatalf("holder: %v", err)
+		}
+		if got := r.Load(); got != 1 {
+			t.Fatalf("final value = %d, want 1 (holder committed last)", got)
+		}
+	})
+
+	t.Run("rw-eager-policy-invalidates-visible-reader", func(t *testing.T) {
+		// A committed write dooms an overlapping *read-only* transaction
+		// at write time (invalidation). Under the lazy-r/w policies the
+		// same read-only transaction commits on its first attempt,
+		// serialized before the writer — that contrast is the eager r/w
+		// column of Figure 1.
+		runReader := func(p DetectionPolicy) (attempts int) {
+			s := New(WithPolicy(p))
+			r := NewRef(s, 0)
+			reading := make(chan struct{})
+			var once sync.Once
+			writerDone := make(chan struct{})
+			go func() {
+				defer close(writerDone)
+				<-reading
+				_ = s.Atomically(func(tx *Txn) error {
+					r.Set(tx, 2)
+					return nil
+				})
+			}()
+			err := s.Atomically(func(tx *Txn) error {
+				attempts++
+				_ = r.Get(tx)
+				once.Do(func() { close(reading) })
+				<-writerDone
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("reader under %v: %v", p, err)
+			}
+			return attempts
+		}
+		if got := runReader(EagerEager); got < 2 {
+			t.Fatalf("EagerEager reader attempts = %d, want >= 2 (writer invalidates visible readers)", got)
+		}
+		if got := runReader(MixedEagerWWLazyRW); got != 1 {
+			t.Fatalf("mixed reader attempts = %d, want 1 (read-only txn serializes before the writer)", got)
+		}
+		if got := runReader(LazyLazy); got != 1 {
+			t.Fatalf("lazy-lazy reader attempts = %d, want 1", got)
+		}
+	})
+
+	t.Run("rw-lazy-policies-detect-at-reader-commit", func(t *testing.T) {
+		for _, p := range []DetectionPolicy{LazyLazy, MixedEagerWWLazyRW} {
+			p := p
+			t.Run(p.String(), func(t *testing.T) {
+				s := New(WithPolicy(p))
+				r := NewRef(s, 0)
+				out := NewRef(s, 0)
+				attempts := 0
+				err := s.Atomically(func(tx *Txn) error {
+					attempts++
+					v := r.Get(tx)
+					if attempts == 1 {
+						// Invisible reader: the writer commits unhindered.
+						done := make(chan struct{})
+						go func() {
+							defer close(done)
+							_ = s.Atomically(func(tx2 *Txn) error {
+								r.Set(tx2, 10)
+								return nil
+							})
+						}()
+						<-done
+					}
+					out.Set(tx, v+1)
+					return nil
+				})
+				if err != nil {
+					t.Fatalf("reader/writer txn: %v", err)
+				}
+				if attempts < 2 {
+					t.Fatalf("attempts = %d, want >= 2 (r/w conflict found lazily, at commit)", attempts)
+				}
+				if got := out.Load(); got != 11 {
+					t.Fatalf("out = %d, want 11 (retry observed the new value)", got)
+				}
+			})
+		}
+	})
+}
+
+func TestReadVersionExtension(t *testing.T) {
+	// A long transaction keeps reading fresh refs while unrelated commits
+	// advance the clock; extension must keep it alive with zero aborts.
+	s := New(WithPolicy(LazyLazy))
+	refs := make([]*Ref[int], 50)
+	for i := range refs {
+		refs[i] = NewRef(s, i)
+	}
+	other := NewRef(s, 0)
+	err := s.Atomically(func(tx *Txn) error {
+		for i, r := range refs {
+			// Unrelated committed writes advance the global clock past the
+			// long transaction's read version.
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				_ = s.Atomically(func(tx2 *Txn) error {
+					other.Set(tx2, other.Get(tx2)+1)
+					return nil
+				})
+			}()
+			<-done
+			if got := r.Get(tx); got != i {
+				t.Errorf("refs[%d] = %d", i, got)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("long txn: %v", err)
+	}
+	st := s.Stats()
+	if st.ValidationAborts != 0 {
+		t.Fatalf("ValidationAborts = %d, want 0 (extension should succeed)", st.ValidationAborts)
+	}
+}
+
+func TestRetryBlocksUntilCommit(t *testing.T) {
+	s := New()
+	flag := NewRef(s, false)
+	started := make(chan struct{})
+	var once sync.Once
+	got := make(chan error, 1)
+	go func() {
+		got <- s.Atomically(func(tx *Txn) error {
+			once.Do(func() { close(started) })
+			if !flag.Get(tx) {
+				Retry(tx)
+			}
+			return nil
+		})
+	}()
+	<-started
+	time.Sleep(10 * time.Millisecond)
+	select {
+	case err := <-got:
+		t.Fatalf("Retry returned early: %v", err)
+	default:
+	}
+	if err := s.Atomically(func(tx *Txn) error {
+		flag.Set(tx, true)
+		return nil
+	}); err != nil {
+		t.Fatalf("setter: %v", err)
+	}
+	select {
+	case err := <-got:
+		if err != nil {
+			t.Fatalf("retrying txn: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Retry did not wake after commit")
+	}
+}
+
+func TestMaxAttempts(t *testing.T) {
+	s := New(WithMaxAttempts(2))
+	r := NewRef(s, 0)
+	holding := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan error, 1)
+	var once sync.Once
+	go func() {
+		done <- s.Atomically(func(tx *Txn) error {
+			r.Set(tx, 1)
+			once.Do(func() { close(holding) })
+			<-release
+			return nil
+		})
+	}()
+	<-holding
+	err := s.Atomically(func(tx *Txn) error {
+		r.Set(tx, 2)
+		return nil
+	})
+	close(release)
+	if !errors.Is(err, ErrMaxAttempts) {
+		t.Fatalf("err = %v, want ErrMaxAttempts", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("holder: %v", err)
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	s := New()
+	r := NewRef(s, 0)
+	for i := 0; i < 5; i++ {
+		if err := s.Atomically(func(tx *Txn) error {
+			r.Set(tx, r.Get(tx)+1)
+			return nil
+		}); err != nil {
+			t.Fatalf("Atomically: %v", err)
+		}
+	}
+	st := s.Stats()
+	if st.Commits != 5 {
+		t.Fatalf("Commits = %d, want 5", st.Commits)
+	}
+	if st.Starts < 5 {
+		t.Fatalf("Starts = %d, want >= 5", st.Starts)
+	}
+	s.ResetStats()
+	if st := s.Stats(); st.Commits != 0 || st.Starts != 0 {
+		t.Fatalf("stats after reset = %+v, want zeros", st)
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	tests := []struct {
+		give DetectionPolicy
+		want string
+	}{
+		{LazyLazy, "lazy-lazy"},
+		{MixedEagerWWLazyRW, "mixed"},
+		{EagerEager, "eager-eager"},
+		{NOrec, "norec"},
+		{DetectionPolicy(99), "DetectionPolicy(99)"},
+	}
+	for _, tt := range tests {
+		if got := tt.give.String(); got != tt.want {
+			t.Errorf("%d.String() = %q, want %q", int(tt.give), got, tt.want)
+		}
+	}
+	if LazyLazy.EagerWriteLocks() || NOrec.EagerWriteLocks() {
+		t.Error("lazy policies must not report EagerWriteLocks")
+	}
+	if !MixedEagerWWLazyRW.EagerWriteLocks() || !EagerEager.EagerWriteLocks() {
+		t.Error("eager policies must report EagerWriteLocks")
+	}
+}
+
+func TestContentionManagerNames(t *testing.T) {
+	if Backoff.Name(Backoff{}) != "backoff" {
+		t.Error("Backoff name mismatch")
+	}
+	if Timestamp.Name(Timestamp{}) != "timestamp" {
+		t.Error("Timestamp name mismatch")
+	}
+}
+
+func TestSerialUniquePerAttempt(t *testing.T) {
+	s := New()
+	seen := make(map[uint64]bool)
+	r := NewRef(s, 0)
+	attempts := 0
+	err := s.Atomically(func(tx *Txn) error {
+		attempts++
+		if seen[tx.Serial()] {
+			t.Errorf("serial %d reused across attempts", tx.Serial())
+		}
+		seen[tx.Serial()] = true
+		if attempts == 1 {
+			_ = r.Get(tx)
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				_ = s.Atomically(func(tx2 *Txn) error {
+					r.Set(tx2, 1)
+					return nil
+				})
+			}()
+			<-done
+			r.Set(tx, r.Get(tx)) // revalidation forces a conflict
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Atomically: %v", err)
+	}
+	if attempts < 2 {
+		t.Fatalf("attempts = %d, want >= 2", attempts)
+	}
+}
+
+func TestManyRefsDisjointWritersScale(t *testing.T) {
+	// Disjoint-key writers should (almost) never conflict.
+	forEachPolicy(t, func(t *testing.T, s *STM) {
+		const n = 8
+		refs := make([]*Ref[int], n)
+		for i := range refs {
+			refs[i] = NewRef(s, 0)
+		}
+		var wg sync.WaitGroup
+		for g := 0; g < n; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < 500; i++ {
+					if err := s.Atomically(func(tx *Txn) error {
+						refs[g].Set(tx, refs[g].Get(tx)+1)
+						return nil
+					}); err != nil {
+						t.Errorf("writer %d: %v", g, err)
+						return
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		for i, r := range refs {
+			if got := r.Load(); got != 500 {
+				t.Errorf("refs[%d] = %d, want 500", i, got)
+			}
+		}
+	})
+}
+
+func TestLoadNeverSeesUncommitted(t *testing.T) {
+	for _, p := range []DetectionPolicy{MixedEagerWWLazyRW, EagerEager} {
+		p := p
+		t.Run(p.String(), func(t *testing.T) {
+			s := New(WithPolicy(p))
+			r := NewRef(s, 0)
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					// Write an odd (illegal) value eagerly, then abort.
+					_ = s.Atomically(func(tx *Txn) error {
+						r.Set(tx, 1)
+						return errors.New("abort")
+					})
+					// Commit an even (legal) value.
+					_ = s.Atomically(func(tx *Txn) error {
+						r.Set(tx, r.Get(tx)+2)
+						return nil
+					})
+				}
+			}()
+			deadline := time.Now().Add(50 * time.Millisecond)
+			for time.Now().Before(deadline) {
+				if v := r.Load(); v%2 != 0 {
+					t.Fatalf("Load observed uncommitted value %d", v)
+				}
+			}
+			close(stop)
+			wg.Wait()
+		})
+	}
+}
+
+func ExampleSTM_Atomically() {
+	s := New()
+	balance := NewRef(s, 100)
+	err := s.Atomically(func(tx *Txn) error {
+		balance.Set(tx, balance.Get(tx)-30)
+		return nil
+	})
+	fmt.Println(balance.Load(), err)
+	// Output: 70 <nil>
+}

@@ -1,0 +1,172 @@
+package stm
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestTouchValidatesWrittenRef: under the fully lazy policy, two blind
+// writes do not conflict — but a write plus a Touch does, because the touch
+// enters the read set and is validated at commit. This is the mechanism
+// behind Proust's Theorem 5.3 bracketing.
+func TestTouchValidatesWrittenRef(t *testing.T) {
+	run := func(touch bool) int {
+		s := New(WithPolicy(LazyLazy))
+		r := NewRef(s, 0)
+		attempts := 0
+		err := s.Atomically(func(tx *Txn) error {
+			attempts++
+			r.Set(tx, 1)
+			if touch {
+				r.Touch(tx)
+			}
+			if attempts == 1 {
+				done := make(chan struct{})
+				go func() {
+					defer close(done)
+					_ = s.Atomically(func(tx2 *Txn) error {
+						r.Set(tx2, 2)
+						return nil
+					})
+				}()
+				<-done
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("Atomically: %v", err)
+		}
+		return attempts
+	}
+	if got := run(false); got != 1 {
+		t.Fatalf("blind write attempts = %d, want 1 (lazy w/w is no conflict)", got)
+	}
+	if got := run(true); got < 2 {
+		t.Fatalf("touched write attempts = %d, want >= 2 (touch forces validation)", got)
+	}
+}
+
+// TestTouchOnEagerlyOwnedRef: touching a ref the transaction already locked
+// at encounter time must not deadlock or misvalidate.
+func TestTouchOnEagerlyOwnedRef(t *testing.T) {
+	for _, p := range []DetectionPolicy{MixedEagerWWLazyRW, EagerEager} {
+		p := p
+		t.Run(p.String(), func(t *testing.T) {
+			s := New(WithPolicy(p))
+			r := NewRef(s, 0)
+			if err := s.Atomically(func(tx *Txn) error {
+				r.Set(tx, 5)
+				r.Touch(tx)
+				if got := r.Get(tx); got != 5 {
+					t.Errorf("Get after Touch = %d, want 5", got)
+				}
+				return nil
+			}); err != nil {
+				t.Fatalf("Atomically: %v", err)
+			}
+			if got := r.Load(); got != 5 {
+				t.Fatalf("committed value = %d, want 5", got)
+			}
+		})
+	}
+}
+
+func TestAbortAndRetryRunsOnAbortHandlers(t *testing.T) {
+	s := New()
+	undone := 0
+	attempts := 0
+	err := s.Atomically(func(tx *Txn) error {
+		attempts++
+		tx.OnAbort(func() { undone++ })
+		if attempts == 1 {
+			AbortAndRetry(tx)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Atomically: %v", err)
+	}
+	if attempts != 2 {
+		t.Fatalf("attempts = %d, want 2", attempts)
+	}
+	if undone != 1 {
+		t.Fatalf("OnAbort handlers ran %d times, want 1", undone)
+	}
+	st := s.Stats()
+	if st.ConflictAborts != 1 {
+		t.Fatalf("ConflictAborts = %d, want 1", st.ConflictAborts)
+	}
+}
+
+func TestAbortAndRetryReleasesEagerLocks(t *testing.T) {
+	s := New(WithPolicy(MixedEagerWWLazyRW))
+	r := NewRef(s, 0)
+	attempts := 0
+	if err := s.Atomically(func(tx *Txn) error {
+		attempts++
+		r.Set(tx, attempts)
+		if attempts == 1 {
+			AbortAndRetry(tx)
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("Atomically: %v", err)
+	}
+	// Lock must be free and value committed from attempt 2.
+	if got := r.Load(); got != 2 {
+		t.Fatalf("value = %d, want 2", got)
+	}
+	if err := s.Atomically(func(tx *Txn) error {
+		r.Set(tx, 9)
+		return nil
+	}); err != nil {
+		t.Fatalf("follow-up txn: %v (lock leaked?)", err)
+	}
+}
+
+// TestFailureInjectionConsistency aborts transactions at random points via
+// user errors and checks that no partial effect is ever visible.
+func TestFailureInjectionConsistency(t *testing.T) {
+	errInjected := errors.New("injected")
+	forEachPolicy(t, func(t *testing.T, s *STM) {
+		const n = 8
+		refs := make([]*Ref[int], n)
+		for i := range refs {
+			refs[i] = NewRef(s, 0)
+		}
+		// All refs must always hold the same value after commit.
+		for round := 1; round <= 50; round++ {
+			inject := round%3 == 0
+			stopAt := round % n
+			err := s.Atomically(func(tx *Txn) error {
+				for i, r := range refs {
+					if inject && i == stopAt {
+						return errInjected
+					}
+					r.Set(tx, round)
+				}
+				return nil
+			})
+			if inject && !errors.Is(err, errInjected) {
+				t.Fatalf("round %d: err = %v", round, err)
+			}
+			if !inject && err != nil {
+				t.Fatalf("round %d: %v", round, err)
+			}
+			var vals [n]int
+			if err := s.Atomically(func(tx *Txn) error {
+				for i, r := range refs {
+					vals[i] = r.Get(tx)
+				}
+				return nil
+			}); err != nil {
+				t.Fatalf("audit: %v", err)
+			}
+			for i := 1; i < n; i++ {
+				if vals[i] != vals[0] {
+					t.Fatalf("round %d: torn state %v", round, vals)
+				}
+			}
+		}
+	})
+}

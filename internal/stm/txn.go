@@ -1,0 +1,442 @@
+package stm
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Transaction status values, stored in the low two bits of Txn.state. The
+// remaining bits hold the attempt number, so that a contention manager that
+// dooms a transaction based on a stale observation cannot kill a later
+// attempt of the same transaction.
+const (
+	statusActive    = 1
+	statusCommitted = 2
+	statusAborted   = 3
+
+	statusMask = 0x3
+)
+
+type abortReason int
+
+const (
+	abortConflict abortReason = iota + 1
+	abortValidation
+	abortDoomed
+	abortUser
+)
+
+// signals raised (via panic) inside a transaction body.
+type txnSignal int
+
+const (
+	sigNone txnSignal = iota
+	sigConflict
+	sigRetry
+)
+
+type conflictSignal struct{ reason abortReason }
+
+type retrySignal struct{}
+
+type readEntry struct {
+	r   *baseRef
+	ver uint64
+	box *box // NOrec: value identity instead of version
+}
+
+type writeEntry struct {
+	val any
+}
+
+type undoEntry struct {
+	r      *baseRef
+	oldVal *box
+}
+
+// Txn is a transaction descriptor. A Txn is created by Atomically and must
+// not be used outside the function it was passed to, nor from other
+// goroutines.
+type Txn struct {
+	s     *STM
+	birth uint64 // serial of the first attempt; contention-manager priority
+	id    uint64 // serial of the current attempt; unique write token
+
+	state atomic.Uint64 // attempt<<2 | status
+
+	readVersion uint64
+	reads       []readEntry
+	writes      map[*baseRef]*writeEntry
+	writeOrder  []*baseRef
+	undo        []undoEntry // encounter-time locking only, in acquisition order
+	owned       []*baseRef  // refs whose owner == tx (encounter-time locking)
+	commitLocks []*baseRef  // refs locked during a lazy commit
+	visible     []*baseRef  // refs where tx is registered as a visible reader
+	visibleSeen map[*baseRef]struct{}
+
+	locals map[any]any
+
+	onAbort        []func() // run LIFO on abort (inverse operations)
+	onCommit       []func() // run FIFO after the commit completes
+	onCommitLocked []func() // run FIFO inside the commit critical section
+
+	attempt int
+	rng     uint64
+}
+
+func (s *STM) newTxn() *Txn {
+	id := s.txnIDs.Add(1)
+	tx := &Txn{
+		s:     s,
+		birth: id,
+		rng:   id*0x9e3779b97f4a7c15 | 1,
+	}
+	return tx
+}
+
+func (tx *Txn) beginAttempt() {
+	tx.attempt++
+	tx.id = tx.s.txnIDs.Add(1)
+	tx.readVersion = tx.s.clock.Load()
+	if tx.s.policy == NOrec {
+		tx.norecBegin()
+	}
+	tx.reads = tx.reads[:0]
+	tx.writes = nil
+	tx.writeOrder = tx.writeOrder[:0]
+	tx.undo = tx.undo[:0]
+	tx.owned = tx.owned[:0]
+	tx.commitLocks = tx.commitLocks[:0]
+	tx.visible = tx.visible[:0]
+	tx.visibleSeen = nil
+	tx.locals = nil
+	tx.onAbort = tx.onAbort[:0]
+	tx.onCommit = tx.onCommit[:0]
+	tx.onCommitLocked = tx.onCommitLocked[:0]
+	tx.state.Store(uint64(tx.attempt)<<2 | statusActive)
+}
+
+// Serial returns a value unique to the current attempt of this transaction.
+// Proust's optimistic lock-allocator policy writes it into conflict
+// abstraction locations: the paper notes the written values are irrelevant
+// as long as they are unique (Section 3).
+func (tx *Txn) Serial() uint64 { return tx.id }
+
+// Attempt returns the 1-based attempt number of the transaction.
+func (tx *Txn) Attempt() int { return tx.attempt }
+
+// STM returns the instance this transaction runs against.
+func (tx *Txn) STM() *STM { return tx.s }
+
+func (tx *Txn) status() uint64 { return tx.state.Load() & statusMask }
+
+// stateSnapshot returns the full state word, used by contention managers to
+// doom exactly the attempt they observed.
+func (tx *Txn) stateSnapshot() uint64 { return tx.state.Load() }
+
+// doom marks the observed attempt of victim as aborted. It returns true if
+// the victim was active in the observed state and is now doomed.
+func doomTxn(victim *Txn, snap uint64) bool {
+	if snap&statusMask != statusActive {
+		return false
+	}
+	return victim.state.CompareAndSwap(snap, snap&^statusMask|statusAborted)
+}
+
+// checkAlive aborts the transaction (by unwinding to Atomically) if a
+// contention manager doomed it.
+func (tx *Txn) checkAlive() {
+	if tx.status() == statusAborted {
+		panic(conflictSignal{reason: abortDoomed})
+	}
+}
+
+// conflict unwinds the transaction with the given reason; Atomically will
+// roll back and retry.
+func (tx *Txn) conflict(reason abortReason) {
+	panic(conflictSignal{reason: reason})
+}
+
+// Retry aborts the transaction and blocks until some other transaction
+// commits, then re-executes the body. It is the composable blocking
+// primitive of Harris et al.'s "Composable memory transactions".
+func Retry(tx *Txn) {
+	_ = tx
+	panic(retrySignal{})
+}
+
+// AbortAndRetry aborts the transaction as if a conflict had been detected:
+// the transaction rolls back (running OnAbort handlers), backs off and
+// re-executes. Proust's pessimistic lock-allocator policy calls this when an
+// abstract-lock acquisition times out, converting potential deadlock into
+// abort plus backoff.
+func AbortAndRetry(tx *Txn) {
+	_ = tx
+	panic(conflictSignal{reason: abortConflict})
+}
+
+// OnAbort registers f to run if the transaction aborts (for any reason,
+// including retries of the current attempt). Handlers run in LIFO order,
+// which is the order required for Proust's eager inverses.
+func (tx *Txn) OnAbort(f func()) { tx.onAbort = append(tx.onAbort, f) }
+
+// OnCommit registers f to run after the transaction commits and its write
+// locks are released. Pessimistic abstract locks are released here.
+func (tx *Txn) OnCommit(f func()) { tx.onCommit = append(tx.onCommit, f) }
+
+// OnCommitLocked registers f to run inside the commit critical section:
+// after the write set is locked and the read set validated, but before
+// versions are published and locks released. Proust replay logs are applied
+// here so that their effects become visible atomically with the commit.
+func (tx *Txn) OnCommitLocked(f func()) { tx.onCommitLocked = append(tx.onCommitLocked, f) }
+
+// runBody executes fn, converting internal signals into (err, sig).
+func (tx *Txn) runBody(fn func(*Txn) error) (err error, sig txnSignal) {
+	defer func() {
+		r := recover()
+		switch v := r.(type) {
+		case nil:
+		case conflictSignal:
+			tx.rollback(v.reason)
+			sig = sigConflict
+		case retrySignal:
+			tx.rollback(abortConflict)
+			sig = sigRetry
+		default:
+			// A panic from user code: roll back and re-panic so the
+			// caller sees it with locks and hooks cleaned up.
+			tx.rollback(abortUser)
+			panic(r)
+		}
+	}()
+	err = fn(tx)
+	return err, sigNone
+}
+
+// read returns the value of r as observed by tx, maintaining opacity.
+func (tx *Txn) read(r *baseRef) any {
+	tx.checkAlive()
+	if we, ok := tx.writes[r]; ok {
+		return we.val
+	}
+	return tx.readConsistent(r)
+}
+
+// touch registers r in the read set (so it is validated at commit) even if
+// r is already in the write set. Proust's lazy/optimistic wrapper uses this
+// as the trailing read of Theorem 5.3: write(α); op(); read(α) — the read
+// must conflict with any concurrently committed write to α, which a plain
+// read-after-write would not, since it is served from the redo log.
+func (tx *Txn) touch(r *baseRef) {
+	tx.checkAlive()
+	_ = tx.readConsistent(r)
+}
+
+// readConsistent performs an opaque read of r's committed (or, if tx itself
+// holds the encounter-time lock, tentative) value and records a read-set
+// entry.
+func (tx *Txn) readConsistent(r *baseRef) any {
+	if tx.s.policy == NOrec {
+		return tx.norecRead(r)
+	}
+	if tx.s.policy == EagerEager {
+		// Register visibly before sampling the version: any writer that
+		// acquires r after this point will arbitrate against us, so
+		// committed writes can never invalidate our read set silently
+		// (which is why EagerEager skips commit-time validation).
+		tx.registerReader(r)
+	}
+	for spins := 0; ; spins++ {
+		v1 := r.version.Load()
+		owner := r.owner.Load()
+		if owner != nil && owner != tx {
+			tx.resolveRead(r, owner, spins)
+			continue
+		}
+		b := r.value.Load()
+		o2 := r.owner.Load()
+		if (o2 != nil && o2 != tx) || r.version.Load() != v1 {
+			continue
+		}
+		if v1 > tx.readVersion && !tx.extend() {
+			tx.conflict(abortValidation)
+		}
+		tx.reads = append(tx.reads, readEntry{r: r, ver: v1})
+		return b.v
+	}
+}
+
+// resolveRead handles finding r locked by another transaction during a read.
+func (tx *Txn) resolveRead(r *baseRef, owner *Txn, spins int) {
+	snap := owner.stateSnapshot()
+	if snap&statusMask == statusActive && tx.s.cm.Wins(tx, owner) {
+		doomTxn(owner, snap)
+	}
+	tx.waitOrDie(r, owner, spins)
+}
+
+// waitOrDie spins briefly waiting for ownership of r to change; past the
+// spin budget it aborts tx.
+func (tx *Txn) waitOrDie(r *baseRef, owner *Txn, spins int) {
+	const spinBudget = 256
+	if spins > spinBudget {
+		tx.conflict(abortConflict)
+	}
+	for i := 0; i < 32; i++ {
+		if r.owner.Load() != owner {
+			return
+		}
+		procYield()
+	}
+}
+
+// extend revalidates the read set against the current clock and, on success,
+// advances the transaction's read version (TinySTM-style timestamp
+// extension). This keeps long transactions opaque without spurious aborts.
+func (tx *Txn) extend() bool {
+	now := tx.s.clock.Load()
+	if !tx.validateReads() {
+		return false
+	}
+	tx.readVersion = now
+	return true
+}
+
+func (tx *Txn) validateReads() bool {
+	for i := range tx.reads {
+		re := &tx.reads[i]
+		o := re.r.owner.Load()
+		if o != nil && o != tx {
+			return false
+		}
+		if re.r.version.Load() != re.ver {
+			return false
+		}
+	}
+	return true
+}
+
+// write records (policy LazyLazy) or applies (encounter-time policies) a
+// write of v to r.
+func (tx *Txn) write(r *baseRef, v any) {
+	tx.checkAlive()
+	if !tx.s.policy.EagerWriteLocks() {
+		if we, ok := tx.writes[r]; ok {
+			we.val = v
+			return
+		}
+		tx.recordWrite(r, v)
+		return
+	}
+	// Encounter-time locking with an undo log.
+	if we, ok := tx.writes[r]; ok {
+		we.val = v
+		r.value.Store(&box{v: v})
+		return
+	}
+	tx.acquire(r)
+	if tx.s.policy == EagerEager {
+		tx.arbitrateReaders(r)
+	}
+	tx.undo = append(tx.undo, undoEntry{r: r, oldVal: r.value.Load()})
+	tx.owned = append(tx.owned, r)
+	tx.recordWrite(r, v)
+	r.value.Store(&box{v: v})
+}
+
+func (tx *Txn) recordWrite(r *baseRef, v any) {
+	if tx.writes == nil {
+		tx.writes = make(map[*baseRef]*writeEntry, 8)
+	}
+	tx.writes[r] = &writeEntry{val: v}
+	tx.writeOrder = append(tx.writeOrder, r)
+}
+
+// acquire takes the write lock on r at encounter time, arbitrating with the
+// contention manager.
+func (tx *Txn) acquire(r *baseRef) {
+	for spins := 0; ; spins++ {
+		tx.checkAlive()
+		if r.owner.CompareAndSwap(nil, tx) {
+			return
+		}
+		owner := r.owner.Load()
+		if owner == nil || owner == tx {
+			if owner == tx {
+				return
+			}
+			continue
+		}
+		snap := owner.stateSnapshot()
+		if snap&statusMask == statusActive && tx.s.cm.Wins(tx, owner) {
+			doomTxn(owner, snap)
+		}
+		tx.waitOrDie(r, owner, spins)
+	}
+}
+
+// registerReader adds tx to r's visible-reader table (EagerEager policy).
+func (tx *Txn) registerReader(r *baseRef) {
+	if tx.visibleSeen == nil {
+		tx.visibleSeen = make(map[*baseRef]struct{}, 8)
+	}
+	if _, ok := tx.visibleSeen[r]; ok {
+		return
+	}
+	r.addReader(tx)
+	tx.visibleSeen[r] = struct{}{}
+	tx.visible = append(tx.visible, r)
+}
+
+// arbitrateReaders resolves read-write conflicts eagerly: tx holds the write
+// lock on r and must either doom every visible reader or abort itself.
+func (tx *Txn) arbitrateReaders(r *baseRef) {
+	readers := r.activeReaders(tx)
+	for _, rd := range readers {
+		snap := rd.stateSnapshot()
+		if snap&statusMask != statusActive {
+			continue
+		}
+		if tx.s.cm.InvalidatesReader(tx, rd) {
+			doomTxn(rd, snap)
+			continue
+		}
+		// Reader wins: abort ourselves; rollback releases the lock.
+		tx.conflict(abortConflict)
+	}
+}
+
+func (tx *Txn) unregisterReaders() {
+	for _, r := range tx.visible {
+		r.removeReader(tx)
+	}
+	tx.visible = tx.visible[:0]
+	tx.visibleSeen = nil
+}
+
+// backoff performs randomized exponential backoff between attempts.
+func (tx *Txn) backoff() {
+	// xorshift64*
+	tx.rng ^= tx.rng >> 12
+	tx.rng ^= tx.rng << 25
+	tx.rng ^= tx.rng >> 27
+	rnd := tx.rng * 0x2545f4914f6cdd1d
+
+	shift := tx.attempt
+	if shift > 10 {
+		shift = 10
+	}
+	window := uint64(1) << shift
+	spins := rnd % (window * 64)
+	if tx.attempt < 4 {
+		for i := uint64(0); i < spins; i++ {
+			procYield()
+		}
+		return
+	}
+	d := time.Duration(rnd%(window*1000)) * time.Nanosecond
+	if d > time.Millisecond {
+		d = time.Millisecond
+	}
+	time.Sleep(d)
+}

@@ -1,0 +1,54 @@
+package stm
+
+// TxnLocal is transaction-local storage: each transaction attempt sees its
+// own value, lazily created by the initializer on first access and discarded
+// when the attempt ends. Proust replay logs live in TxnLocals, mirroring
+// ScalaSTM's TxnLocal used by ScalaProust ("ReplayLog.construct returns a
+// TxnLocal that allocates a new log the first time the Map is written during
+// each transaction", Figure 2b).
+type TxnLocal[T any] struct {
+	init func(tx *Txn) T
+}
+
+// NewTxnLocal creates a transaction-local slot with the given initializer.
+func NewTxnLocal[T any](init func(tx *Txn) T) *TxnLocal[T] {
+	return &TxnLocal[T]{init: init}
+}
+
+// Get returns the transaction's value for this slot, initializing it on
+// first access within the current attempt.
+func (l *TxnLocal[T]) Get(tx *Txn) T {
+	if tx.locals == nil {
+		tx.locals = make(map[any]any, 4)
+	}
+	if v, ok := tx.locals[l]; ok {
+		vt, _ := v.(T)
+		return vt
+	}
+	v := l.init(tx)
+	tx.locals[l] = v
+	return v
+}
+
+// Peek returns the transaction's value for this slot without initializing.
+func (l *TxnLocal[T]) Peek(tx *Txn) (T, bool) {
+	if tx.locals == nil {
+		var zero T
+		return zero, false
+	}
+	v, ok := tx.locals[l]
+	if !ok {
+		var zero T
+		return zero, false
+	}
+	vt, _ := v.(T)
+	return vt, true
+}
+
+// Set overwrites the transaction's value for this slot.
+func (l *TxnLocal[T]) Set(tx *Txn, v T) {
+	if tx.locals == nil {
+		tx.locals = make(map[any]any, 4)
+	}
+	tx.locals[l] = v
+}

@@ -1,0 +1,182 @@
+package verify
+
+import "fmt"
+
+// dqOp is an operation on the deque model.
+type dqOp struct {
+	Kind string // "pushF", "pushB", "popF", "popB", "peekF", "peekB"
+	V    int
+}
+
+// dqState is a bounded deque; Elems[0] is the front.
+type dqState struct {
+	Elems [4]int
+	N     int
+}
+
+// dqResult carries pop/peek outcomes.
+type dqResult struct {
+	Val int
+	OK  bool
+}
+
+// Deque conflict-abstraction locations.
+const (
+	dqLocFront = iota
+	dqLocBack
+)
+
+// DequeModel is a bounded double-ended queue with the DQFront/DQBack
+// abstract-state conflict abstraction of internal/core's Deque:
+//
+//	push at an end: write(own end); plus write(other end) when empty
+//	pop from an end: write(own end); plus write(other end) when
+//	                 size <= PopThreshold
+//	peek at an end: read(own end)
+//
+// PopThreshold tunes precision: the checker proves 1 is already sound
+// (entanglement one step later is caught because the second operation's
+// accesses are evaluated in the intermediate state), 0 is unsound, and 2 is
+// sound but more conservative.
+type DequeModel struct {
+	Vals         int
+	PopThreshold int
+}
+
+var _ Model = DequeModel{}
+
+// NewDequeModel builds the deque abstraction with the given pop threshold.
+func NewDequeModel(vals, popThreshold int) DequeModel {
+	return DequeModel{Vals: vals, PopThreshold: popThreshold}
+}
+
+// Name implements Model.
+func (dm DequeModel) Name() string {
+	return fmt.Sprintf("deque(cap=4,vals=%d,popThreshold=%d)", dm.Vals, dm.PopThreshold)
+}
+
+// States implements Model. Pre-states leave headroom for two pushes so the
+// capacity bound never fabricates non-commutativity.
+func (dm DequeModel) States() []any {
+	seen := make(map[dqState]bool)
+	var out []any
+	var rec func(st dqState)
+	rec = func(st dqState) {
+		if seen[st] {
+			return
+		}
+		seen[st] = true
+		out = append(out, st)
+		if st.N >= len(st.Elems)-2 {
+			return
+		}
+		for v := 0; v < dm.Vals; v++ {
+			next := st
+			next.Elems[next.N] = v
+			next.N++
+			rec(next)
+		}
+	}
+	rec(dqState{Elems: [4]int{-1, -1, -1, -1}})
+	return out
+}
+
+// Ops implements Model.
+func (dm DequeModel) Ops() []any {
+	out := []any{
+		dqOp{Kind: "popF"}, dqOp{Kind: "popB"},
+		dqOp{Kind: "peekF"}, dqOp{Kind: "peekB"},
+	}
+	for v := 0; v < dm.Vals; v++ {
+		out = append(out, dqOp{Kind: "pushF", V: v}, dqOp{Kind: "pushB", V: v})
+	}
+	return out
+}
+
+// OpName implements Model.
+func (dm DequeModel) OpName(op any) string {
+	o := op.(dqOp)
+	if o.Kind == "pushF" || o.Kind == "pushB" {
+		return fmt.Sprintf("%s(%d)", o.Kind, o.V)
+	}
+	return o.Kind
+}
+
+// Apply implements Model.
+func (dm DequeModel) Apply(s, op any) (any, any) {
+	st := s.(dqState)
+	o := op.(dqOp)
+	switch o.Kind {
+	case "pushF":
+		if st.N == len(st.Elems) {
+			return st, dqResult{}
+		}
+		copy(st.Elems[1:], st.Elems[:st.N])
+		st.Elems[0] = o.V
+		st.N++
+		return st, dqResult{OK: true}
+	case "pushB":
+		if st.N == len(st.Elems) {
+			return st, dqResult{}
+		}
+		st.Elems[st.N] = o.V
+		st.N++
+		return st, dqResult{OK: true}
+	case "popF":
+		if st.N == 0 {
+			return st, dqResult{}
+		}
+		v := st.Elems[0]
+		copy(st.Elems[:], st.Elems[1:st.N])
+		st.Elems[st.N-1] = -1
+		st.N--
+		return st, dqResult{Val: v, OK: true}
+	case "popB":
+		if st.N == 0 {
+			return st, dqResult{}
+		}
+		v := st.Elems[st.N-1]
+		st.Elems[st.N-1] = -1
+		st.N--
+		return st, dqResult{Val: v, OK: true}
+	case "peekF":
+		if st.N == 0 {
+			return st, dqResult{}
+		}
+		return st, dqResult{Val: st.Elems[0], OK: true}
+	case "peekB":
+		if st.N == 0 {
+			return st, dqResult{}
+		}
+		return st, dqResult{Val: st.Elems[st.N-1], OK: true}
+	}
+	return st, nil
+}
+
+// CA implements Model.
+func (dm DequeModel) CA(op, s any) []Access {
+	st := s.(dqState)
+	o := op.(dqOp)
+	own, other := dqLocFront, dqLocBack
+	switch o.Kind {
+	case "pushB", "popB", "peekB":
+		own, other = dqLocBack, dqLocFront
+	}
+	switch o.Kind {
+	case "pushF", "pushB":
+		out := []Access{{Loc: own, Write: true}}
+		if st.N == 0 {
+			out = append(out, Access{Loc: other, Write: true})
+		}
+		return out
+	case "popF", "popB":
+		out := []Access{{Loc: own, Write: true}}
+		if st.N <= dm.PopThreshold {
+			out = append(out, Access{Loc: other, Write: true})
+		}
+		return out
+	case "peekF", "peekB":
+		return []Access{{Loc: own}}
+	}
+	return nil
+}

@@ -1,0 +1,131 @@
+package verify
+
+import "fmt"
+
+// msOp is an operation on the multiset model.
+type msOp struct {
+	Kind string // "add", "remove", "contains", "count"
+	K    int
+}
+
+// msState holds per-element counts for keys 0..2.
+type msState struct {
+	Counts [3]int
+}
+
+// msResult carries remove/contains/count outcomes.
+type msResult struct {
+	OK  bool
+	Val int
+}
+
+// MultisetModel is a bounded multiset (3 elements, counts bounded for
+// enumeration) with the per-element counter conflict abstraction of
+// internal/core's Multiset — the Section 3 counter generalized per key:
+//
+//	add(k):      write(loc_k) when count = 0, read otherwise
+//	remove(k):   write(loc_k) when count ≤ 1, read otherwise
+//	contains(k): read(loc_k)
+//	count(k):    write(loc_k)
+//
+// DropZeroUpgrade simulates the broken variant where add never takes the
+// write intent at zero.
+type MultisetModel struct {
+	MaxCount        int
+	DropZeroUpgrade bool
+}
+
+var _ Model = MultisetModel{}
+
+// NewMultisetModel builds the sound multiset abstraction.
+func NewMultisetModel(maxCount int) MultisetModel {
+	return MultisetModel{MaxCount: maxCount}
+}
+
+// Name implements Model.
+func (mm MultisetModel) Name() string {
+	suffix := ""
+	if mm.DropZeroUpgrade {
+		suffix = ",broken"
+	}
+	return fmt.Sprintf("multiset(keys=3,max=%d%s)", mm.MaxCount, suffix)
+}
+
+// States implements Model. MaxCount bounds only the enumerated pre-states;
+// Apply is unbounded (the real multiset has no capacity).
+func (mm MultisetModel) States() []any {
+	var out []any
+	for a := 0; a <= mm.MaxCount; a++ {
+		for b := 0; b <= mm.MaxCount; b++ {
+			for c := 0; c <= mm.MaxCount; c++ {
+				out = append(out, msState{Counts: [3]int{a, b, c}})
+			}
+		}
+	}
+	return out
+}
+
+// Ops implements Model.
+func (mm MultisetModel) Ops() []any {
+	var out []any
+	for k := 0; k < 3; k++ {
+		out = append(out,
+			msOp{Kind: "add", K: k},
+			msOp{Kind: "remove", K: k},
+			msOp{Kind: "contains", K: k},
+			msOp{Kind: "count", K: k},
+		)
+	}
+	return out
+}
+
+// OpName implements Model.
+func (mm MultisetModel) OpName(op any) string {
+	o := op.(msOp)
+	return fmt.Sprintf("%s(%d)", o.Kind, o.K)
+}
+
+// Apply implements Model.
+func (mm MultisetModel) Apply(s, op any) (any, any) {
+	st := s.(msState)
+	o := op.(msOp)
+	switch o.Kind {
+	case "add":
+		st.Counts[o.K]++
+		return st, nil
+	case "remove":
+		if st.Counts[o.K] == 0 {
+			return st, msResult{}
+		}
+		st.Counts[o.K]--
+		return st, msResult{OK: true}
+	case "contains":
+		return st, msResult{OK: st.Counts[o.K] > 0}
+	case "count":
+		return st, msResult{OK: true, Val: st.Counts[o.K]}
+	}
+	return st, nil
+}
+
+// CA implements Model.
+func (mm MultisetModel) CA(op, s any) []Access {
+	st := s.(msState)
+	o := op.(msOp)
+	switch o.Kind {
+	case "add":
+		if !mm.DropZeroUpgrade && st.Counts[o.K] == 0 {
+			return []Access{{Loc: o.K, Write: true}}
+		}
+		return []Access{{Loc: o.K}}
+	case "remove":
+		if st.Counts[o.K] <= 1 {
+			return []Access{{Loc: o.K, Write: true}}
+		}
+		return []Access{{Loc: o.K}}
+	case "contains":
+		return []Access{{Loc: o.K}}
+	case "count":
+		return []Access{{Loc: o.K, Write: true}}
+	}
+	return nil
+}

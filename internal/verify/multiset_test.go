@@ -1,0 +1,69 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMultisetSound(t *testing.T) {
+	m := NewMultisetModel(3)
+	if vs := Check(m); len(vs) != 0 {
+		t.Fatalf("multiset abstraction reported unsound: %v", vs)
+	}
+}
+
+func TestMultisetSoundViaSAT(t *testing.T) {
+	m := NewMultisetModel(2)
+	vs, stats := CheckSAT(m)
+	if len(vs) != 0 {
+		t.Fatalf("SAT checker reported violations: %v", vs)
+	}
+	if stats.Formulas == 0 {
+		t.Fatal("SAT checker did no work")
+	}
+}
+
+func TestMultisetBrokenCaught(t *testing.T) {
+	m := MultisetModel{MaxCount: 2, DropZeroUpgrade: true}
+	direct := Check(m)
+	if len(direct) == 0 {
+		t.Fatal("direct checker missed the broken multiset abstraction")
+	}
+	found := false
+	for _, v := range direct {
+		if strings.HasPrefix(v.First, "add") && strings.HasPrefix(v.Second, "contains") ||
+			strings.HasPrefix(v.First, "contains") && strings.HasPrefix(v.Second, "add") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected add/contains counterexamples, got %v", direct[:min(3, len(direct))])
+	}
+	viaSAT, _ := CheckSAT(m)
+	if len(viaSAT) == 0 {
+		t.Fatal("SAT checker missed the broken multiset abstraction")
+	}
+}
+
+func TestMultisetPrecisionBetterThanSingleLock(t *testing.T) {
+	// Against a strawman single-location abstraction (everything writes
+	// loc 0), the per-element counter abstraction must be strictly more
+	// precise.
+	perElement := Precision(NewMultisetModel(2))
+	single := Precision(singleLockMultiset{MultisetModel: NewMultisetModel(2)})
+	if perElement.FalseConflicts >= single.FalseConflicts {
+		t.Fatalf("per-element=%d vs single-lock=%d false conflicts",
+			perElement.FalseConflicts, single.FalseConflicts)
+	}
+}
+
+// singleLockMultiset overrides the CA with one global exclusive lock.
+type singleLockMultiset struct {
+	MultisetModel
+}
+
+func (s singleLockMultiset) Name() string { return "multiset-single-lock" }
+
+func (s singleLockMultiset) CA(any, any) []Access {
+	return []Access{{Loc: 0, Write: true}}
+}

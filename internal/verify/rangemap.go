@@ -1,0 +1,160 @@
+package verify
+
+import "fmt"
+
+// rmOp is an operation on the bounded range-map model.
+type rmOp struct {
+	Kind   string // "get", "put", "remove", "range"
+	K      int
+	V      int
+	Lo, Hi int
+}
+
+// rmState is the bounded ordered-map state over keys 0..3; -1 marks absent.
+type rmState struct {
+	Vals [4]int
+}
+
+// rmRangeResult is a range query's return value: present keys and their
+// values inside the interval, positionally encoded.
+type rmRangeResult struct {
+	Vals [4]int
+}
+
+// RangeMapModel is a bounded ordered map (4 keys × Vals values) with the
+// range conflict abstraction of internal/core's OrderedMap: the key space is
+// divided into stripes of width StripeWidth; point updates write their key's
+// stripe, point reads read it, and a range query reads every stripe its
+// interval touches. This verifies the paper's Section 1 example — "queries
+// and updates to non-intersecting key ranges commute" — and, via
+// Definition 3.1, that intersecting ones always conflict.
+//
+// DropTail simulates the broken variant where a range query only reads the
+// stripe of its lower bound.
+type RangeMapModel struct {
+	Vals        int
+	StripeWidth int
+	DropTail    bool
+}
+
+var _ Model = RangeMapModel{}
+
+// NewRangeMapModel builds the sound range abstraction.
+func NewRangeMapModel(vals, stripeWidth int) RangeMapModel {
+	return RangeMapModel{Vals: vals, StripeWidth: stripeWidth}
+}
+
+// Name implements Model.
+func (rm RangeMapModel) Name() string {
+	suffix := ""
+	if rm.DropTail {
+		suffix = ",broken"
+	}
+	return fmt.Sprintf("rangemap(keys=4,vals=%d,w=%d%s)", rm.Vals, rm.StripeWidth, suffix)
+}
+
+// States implements Model.
+func (rm RangeMapModel) States() []any {
+	domain := []int{-1}
+	for v := 0; v < rm.Vals; v++ {
+		domain = append(domain, v)
+	}
+	var out []any
+	for _, a := range domain {
+		for _, b := range domain {
+			for _, c := range domain {
+				for _, d := range domain {
+					out = append(out, rmState{Vals: [4]int{a, b, c, d}})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Ops implements Model.
+func (rm RangeMapModel) Ops() []any {
+	var out []any
+	for k := 0; k < 4; k++ {
+		out = append(out, rmOp{Kind: "get", K: k})
+		out = append(out, rmOp{Kind: "remove", K: k})
+		for v := 0; v < rm.Vals; v++ {
+			out = append(out, rmOp{Kind: "put", K: k, V: v})
+		}
+	}
+	for lo := 0; lo < 4; lo++ {
+		for hi := lo; hi < 4; hi++ {
+			out = append(out, rmOp{Kind: "range", Lo: lo, Hi: hi})
+		}
+	}
+	return out
+}
+
+// OpName implements Model.
+func (rm RangeMapModel) OpName(op any) string {
+	o := op.(rmOp)
+	switch o.Kind {
+	case "put":
+		return fmt.Sprintf("put(%d,%d)", o.K, o.V)
+	case "range":
+		return fmt.Sprintf("range(%d,%d)", o.Lo, o.Hi)
+	default:
+		return fmt.Sprintf("%s(%d)", o.Kind, o.K)
+	}
+}
+
+// Apply implements Model.
+func (rm RangeMapModel) Apply(s, op any) (any, any) {
+	st := s.(rmState)
+	o := op.(rmOp)
+	switch o.Kind {
+	case "get":
+		return st, mapResult{Val: maxInt(st.Vals[o.K], 0), Had: st.Vals[o.K] >= 0}
+	case "put":
+		res := mapResult{Val: maxInt(st.Vals[o.K], 0), Had: st.Vals[o.K] >= 0}
+		st.Vals[o.K] = o.V
+		return st, res
+	case "remove":
+		res := mapResult{Val: maxInt(st.Vals[o.K], 0), Had: st.Vals[o.K] >= 0}
+		st.Vals[o.K] = -1
+		return st, res
+	case "range":
+		out := rmRangeResult{Vals: [4]int{-1, -1, -1, -1}}
+		for k := o.Lo; k <= o.Hi; k++ {
+			out.Vals[k] = st.Vals[k]
+		}
+		return st, out
+	}
+	return st, nil
+}
+
+func (rm RangeMapModel) stripe(k int) int { return k / rm.StripeWidth }
+
+// CA implements Model.
+func (rm RangeMapModel) CA(op, _ any) []Access {
+	o := op.(rmOp)
+	switch o.Kind {
+	case "get":
+		return []Access{{Loc: rm.stripe(o.K)}}
+	case "put", "remove":
+		return []Access{{Loc: rm.stripe(o.K), Write: true}}
+	case "range":
+		hi := o.Hi
+		if rm.DropTail {
+			hi = o.Lo
+		}
+		var out []Access
+		for st := rm.stripe(o.Lo); st <= rm.stripe(hi); st++ {
+			out = append(out, Access{Loc: st})
+		}
+		return out
+	}
+	return nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

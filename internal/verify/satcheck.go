@@ -1,0 +1,181 @@
+package verify
+
+import (
+	"proust/internal/sat"
+)
+
+// SATStats reports the work done by the SAT-based checker.
+type SATStats struct {
+	Pairs    int // ordered operation pairs encoded
+	Formulas int // formulas decided
+	Vars     int // total variables across formulas
+	Clauses  int // total clauses across formulas
+}
+
+// CheckSAT decides Definition 3.1 by reduction to satisfiability (the
+// paper's Appendix E), one formula per ordered operation pair:
+//
+//   - one-hot selectors choose the pre-state σ;
+//   - access-indicator variables for each (operation position, location,
+//     mode) are wired to the conflict-abstraction functions evaluated at σ
+//     (first op) and at the intermediate state (second op);
+//   - a Tseitin-encoded circuit defines "some location suffers a r/w, w/r
+//     or w/w collision", which is asserted false;
+//   - a clause restricts σ to states where the pair does not commute.
+//
+// A satisfying assignment decodes to a Violation; UNSAT for every pair and
+// order means the conflict abstraction is sound on the bounded model.
+func CheckSAT(m Model) ([]Violation, SATStats) {
+	var (
+		out   []Violation
+		stats SATStats
+	)
+	states := m.States()
+	ops := m.Ops()
+	for i, op1 := range ops {
+		for j := i; j < len(ops); j++ {
+			op2 := ops[j]
+			stats.Pairs++
+			for _, ordered := range orderedPairs(op1, op2) {
+				stats.Formulas++
+				v, varsN, clausesN := satCheckPair(m, states, ordered[0], ordered[1])
+				stats.Vars += varsN
+				stats.Clauses += clausesN
+				if v != nil {
+					out = append(out, *v)
+				}
+			}
+		}
+	}
+	return out, stats
+}
+
+func orderedPairs(a, b any) [][2]any {
+	return [][2]any{{a, b}, {b, a}}
+}
+
+// satCheckPair builds and decides the formula for "first then second".
+func satCheckPair(m Model, states []any, first, second any) (*Violation, int, int) {
+	b := sat.NewBuilder()
+
+	// One-hot state selectors.
+	sel := make([]int, len(states))
+	for i := range states {
+		sel[i] = b.Var()
+	}
+	b.ExactlyOne(sel...)
+
+	// Collect the locations touched anywhere, to size the access matrix.
+	locSet := make(map[int]bool)
+	type accessRow struct {
+		firstRd, firstWr, secondRd, secondWr map[int]bool
+		commutes                             bool
+	}
+	rows := make([]accessRow, len(states))
+	for i, s := range states {
+		mid, _ := m.Apply(s, first)
+		row := accessRow{
+			firstRd:  make(map[int]bool),
+			firstWr:  make(map[int]bool),
+			secondRd: make(map[int]bool),
+			secondWr: make(map[int]bool),
+			commutes: commutesAt(m, s, first, second),
+		}
+		for _, a := range m.CA(first, s) {
+			locSet[a.Loc] = true
+			if a.Write {
+				row.firstWr[a.Loc] = true
+			} else {
+				row.firstRd[a.Loc] = true
+			}
+		}
+		for _, a := range m.CA(second, mid) {
+			locSet[a.Loc] = true
+			if a.Write {
+				row.secondWr[a.Loc] = true
+			} else {
+				row.secondRd[a.Loc] = true
+			}
+		}
+		rows[i] = row
+	}
+	locs := make([]int, 0, len(locSet))
+	for l := range locSet {
+		locs = append(locs, l)
+	}
+
+	// Access-indicator variables, wired per state via implications.
+	type locVars struct {
+		aRd1, aWr1, aRd2, aWr2 int
+	}
+	lv := make(map[int]locVars, len(locs))
+	for _, l := range locs {
+		lv[l] = locVars{aRd1: b.Var(), aWr1: b.Var(), aRd2: b.Var(), aWr2: b.Var()}
+	}
+	wire := func(selLit, accessVar int, present bool) {
+		if present {
+			b.Add(-selLit, accessVar)
+		} else {
+			b.Add(-selLit, -accessVar)
+		}
+	}
+	for i := range states {
+		for _, l := range locs {
+			vars := lv[l]
+			wire(sel[i], vars.aRd1, rows[i].firstRd[l])
+			wire(sel[i], vars.aWr1, rows[i].firstWr[l])
+			wire(sel[i], vars.aRd2, rows[i].secondRd[l])
+			wire(sel[i], vars.aWr2, rows[i].secondWr[l])
+		}
+	}
+
+	// Conflict circuit: conflict_l ⇔ (wr1∧rd2) ∨ (wr1∧wr2) ∨ (rd1∧wr2).
+	var conflictBits []int
+	for _, l := range locs {
+		vars := lv[l]
+		wrRd := b.Var()
+		b.And(wrRd, vars.aWr1, vars.aRd2)
+		wrWr := b.Var()
+		b.And(wrWr, vars.aWr1, vars.aWr2)
+		rdWr := b.Var()
+		b.And(rdWr, vars.aRd1, vars.aWr2)
+		conf := b.Var()
+		b.Or(conf, wrRd, wrWr, rdWr)
+		conflictBits = append(conflictBits, conf)
+	}
+	anyConflict := b.Var()
+	b.Or(anyConflict, conflictBits...)
+	b.Unit(-anyConflict)
+
+	// Restrict to non-commuting states.
+	var nonCommuting []int
+	for i := range states {
+		if !rows[i].commutes {
+			nonCommuting = append(nonCommuting, sel[i])
+		}
+	}
+	if len(nonCommuting) == 0 {
+		// Everything commutes: trivially sound for this pair.
+		f := b.Formula()
+		return nil, f.NumVars, len(f.Clauses)
+	}
+	b.Add(nonCommuting...)
+
+	f := b.Formula()
+	assign, satisfiable := sat.Solve(f)
+	if !satisfiable {
+		return nil, f.NumVars, len(f.Clauses)
+	}
+	for i := range states {
+		if assign[sel[i]] {
+			return &Violation{
+				Model:  m.Name(),
+				State:  states[i],
+				First:  m.OpName(first),
+				Second: m.OpName(second),
+			}, f.NumVars, len(f.Clauses)
+		}
+	}
+	// Unreachable: ExactlyOne guarantees a selected state.
+	return nil, f.NumVars, len(f.Clauses)
+}

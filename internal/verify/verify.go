@@ -1,0 +1,177 @@
+// Package verify checks the soundness of conflict abstractions against
+// bounded models of abstract data types, implementing Section 3
+// ("Correctness") and Appendix E of the Proust paper.
+//
+// A conflict abstraction assigns each operation, given its arguments and the
+// current abstract state, a set of read/write accesses over STM locations.
+// It is *sound* (Definition 3.1) when any two operations that fail to
+// commute perform conflicting accesses — some location that one of them
+// writes and the other touches.
+//
+// Two checkers are provided:
+//
+//   - Check enumerates every (state, operation pair) of the bounded model
+//     directly and reports Definition 3.1 violations.
+//   - CheckSAT compiles the same question to CNF — one-hot state selectors,
+//     access-indicator bits wired to the conflict-abstraction functions, a
+//     Tseitin-encoded conflict circuit — and asks the in-repo DPLL solver
+//     (internal/sat) for a counterexample, mirroring the paper's SMT
+//     encoding. UNSAT means the abstraction is sound.
+//
+// Precision measures the converse: how often commuting operation pairs are
+// needlessly flagged as conflicting (false conflicts), which is the quantity
+// Proust exists to minimize.
+package verify
+
+import (
+	"fmt"
+	"reflect"
+)
+
+// Access is one conflict-abstraction access: a location index and a mode.
+type Access struct {
+	Loc   int
+	Write bool
+}
+
+// Model is a bounded ADT model plus its conflict abstraction. States,
+// operations and results are compared with reflect.DeepEqual, so plain
+// values (ints, arrays, structs without pointers) are the right encodings.
+type Model interface {
+	// Name identifies the model in reports.
+	Name() string
+	// States enumerates the bounded state space.
+	States() []any
+	// Ops enumerates the operations (with their arguments baked in).
+	Ops() []any
+	// OpName renders an operation for reports.
+	OpName(op any) string
+	// Apply executes op in state s, returning the next state and the
+	// operation's return value.
+	Apply(s, op any) (next any, result any)
+	// CA returns the conflict-abstraction accesses op performs in state s.
+	CA(op, s any) []Access
+}
+
+// Violation is a Definition 3.1 counterexample: in State, Op1 and Op2 do not
+// commute, yet the order given by First/Second performs no conflicting
+// accesses.
+type Violation struct {
+	Model  string
+	State  any
+	First  string
+	Second string
+}
+
+// String renders the violation.
+func (v Violation) String() string {
+	return fmt.Sprintf("%s: state %v: %s then %s do not commute but do not conflict",
+		v.Model, v.State, v.First, v.Second)
+}
+
+// Check enumerates the bounded model and returns every Definition 3.1
+// violation (none means the conflict abstraction is sound on the model).
+// Following the paper's encoding, the second operation's conflict
+// abstraction is evaluated in the intermediate state, and both serialization
+// orders must exhibit a conflict.
+func Check(m Model) []Violation {
+	var out []Violation
+	states := m.States()
+	ops := m.Ops()
+	for _, s := range states {
+		for i, op1 := range ops {
+			for j := i; j < len(ops); j++ {
+				op2 := ops[j]
+				if commutesAt(m, s, op1, op2) {
+					continue
+				}
+				if !conflictsInOrder(m, s, op1, op2) {
+					out = append(out, Violation{
+						Model:  m.Name(),
+						State:  s,
+						First:  m.OpName(op1),
+						Second: m.OpName(op2),
+					})
+				}
+				if !conflictsInOrder(m, s, op2, op1) {
+					out = append(out, Violation{
+						Model:  m.Name(),
+						State:  s,
+						First:  m.OpName(op2),
+						Second: m.OpName(op1),
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// commutesAt reports whether op1 and op2 commute in state s: both orders
+// yield the same final state and the same per-operation return values.
+func commutesAt(m Model, s, op1, op2 any) bool {
+	s1, r1a := m.Apply(s, op1)
+	s12, r2a := m.Apply(s1, op2)
+	s2, r2b := m.Apply(s, op2)
+	s21, r1b := m.Apply(s2, op1)
+	return reflect.DeepEqual(s12, s21) &&
+		reflect.DeepEqual(r1a, r1b) &&
+		reflect.DeepEqual(r2a, r2b)
+}
+
+// conflictsInOrder reports whether executing op1 then op2 from s performs
+// conflicting accesses: op1's CA is evaluated at s, op2's at the
+// intermediate state (the paper's Appendix E encoding).
+func conflictsInOrder(m Model, s, op1, op2 any) bool {
+	mid, _ := m.Apply(s, op1)
+	return accessesConflict(m.CA(op1, s), m.CA(op2, mid))
+}
+
+// accessesConflict reports whether two access sets collide: same location,
+// at least one write.
+func accessesConflict(a, b []Access) bool {
+	for _, x := range a {
+		for _, y := range b {
+			if x.Loc == y.Loc && (x.Write || y.Write) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// PrecisionReport quantifies false conflicts: pairs that commute yet are
+// flagged as conflicting. Lower FalseConflicts relative to CommutingPairs is
+// better; zero is a perfectly precise conflict abstraction.
+type PrecisionReport struct {
+	Model          string
+	CommutingPairs int
+	FalseConflicts int
+	TotalPairs     int
+	RealConflicts  int
+}
+
+// Precision measures the conflict abstraction's precision on the model.
+func Precision(m Model) PrecisionReport {
+	rep := PrecisionReport{Model: m.Name()}
+	states := m.States()
+	ops := m.Ops()
+	for _, s := range states {
+		for i, op1 := range ops {
+			for j := i; j < len(ops); j++ {
+				op2 := ops[j]
+				rep.TotalPairs++
+				conflicts := conflictsInOrder(m, s, op1, op2) || conflictsInOrder(m, s, op2, op1)
+				if commutesAt(m, s, op1, op2) {
+					rep.CommutingPairs++
+					if conflicts {
+						rep.FalseConflicts++
+					}
+				} else if conflicts {
+					rep.RealConflicts++
+				}
+			}
+		}
+	}
+	return rep
+}

@@ -1,0 +1,239 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCounterSound(t *testing.T) {
+	m := NewCounterModel(8)
+	if vs := Check(m); len(vs) != 0 {
+		t.Fatalf("paper's counter abstraction reported unsound: %v", vs)
+	}
+}
+
+func TestCounterSoundViaSAT(t *testing.T) {
+	m := NewCounterModel(8)
+	vs, stats := CheckSAT(m)
+	if len(vs) != 0 {
+		t.Fatalf("SAT checker reported violations: %v", vs)
+	}
+	if stats.Formulas == 0 || stats.Clauses == 0 {
+		t.Fatalf("SAT checker did no work: %+v", stats)
+	}
+}
+
+func TestCounterBrokenThresholdCaught(t *testing.T) {
+	// Threshold 1 misses the σ=1 double-decrement conflict.
+	m := CounterModel{Max: 8, Threshold: 1}
+	direct := Check(m)
+	if len(direct) == 0 {
+		t.Fatal("direct checker missed the broken counter abstraction")
+	}
+	viaSAT, _ := CheckSAT(m)
+	if len(viaSAT) == 0 {
+		t.Fatal("SAT checker missed the broken counter abstraction")
+	}
+	found := false
+	for _, v := range direct {
+		if v.State == 1 && v.First == "decr" && v.Second == "decr" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected a decr/decr violation at state 1, got %v", direct)
+	}
+}
+
+func TestCounterThresholdZeroCaught(t *testing.T) {
+	// Threshold 0: no accesses at all; decr/decr at 1 and 0 both break.
+	m := CounterModel{Max: 4, Threshold: 0}
+	if vs := Check(m); len(vs) == 0 {
+		t.Fatal("no-op abstraction must be unsound")
+	}
+}
+
+func TestMapSoundPerKey(t *testing.T) {
+	m := NewMapModel(2, 3) // one location per key
+	if vs := Check(m); len(vs) != 0 {
+		t.Fatalf("per-key map abstraction reported unsound: %v", vs)
+	}
+}
+
+func TestMapSoundStriped(t *testing.T) {
+	// M=1: every key maps to one location — maximally imprecise but still
+	// sound (the "k mod M" striping of Section 3).
+	m := NewMapModel(2, 1)
+	if vs := Check(m); len(vs) != 0 {
+		t.Fatalf("striped map abstraction reported unsound: %v", vs)
+	}
+}
+
+func TestMapBrokenCaught(t *testing.T) {
+	m := MapModel{Vals: 2, M: 3, DropReads: true}
+	direct := Check(m)
+	if len(direct) == 0 {
+		t.Fatal("direct checker missed the access-dropping map abstraction")
+	}
+	viaSAT, _ := CheckSAT(m)
+	if len(viaSAT) == 0 {
+		t.Fatal("SAT checker missed the access-dropping map abstraction")
+	}
+	// A put/get pair on the same key must be among the counterexamples.
+	found := false
+	for _, v := range direct {
+		if strings.HasPrefix(v.First, "put(0") && v.Second == "get(0)" ||
+			v.First == "get(0)" && strings.HasPrefix(v.Second, "put(0") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected a put/get violation on key 0, got %d violations", len(direct))
+	}
+}
+
+func TestMapPrecision(t *testing.T) {
+	perKey := Precision(NewMapModel(2, 3))
+	striped := Precision(NewMapModel(2, 1))
+	if perKey.FalseConflicts >= striped.FalseConflicts {
+		t.Fatalf("per-key abstraction should be strictly more precise: perKey=%d striped=%d false conflicts",
+			perKey.FalseConflicts, striped.FalseConflicts)
+	}
+	if perKey.TotalPairs != striped.TotalPairs {
+		t.Fatal("precision reports should cover the same pair space")
+	}
+	if perKey.RealConflicts == 0 {
+		t.Fatal("expected some real conflicts in the map model")
+	}
+}
+
+func TestPQueueSound(t *testing.T) {
+	m := NewPQueueModel(3)
+	if vs := Check(m); len(vs) != 0 {
+		t.Fatalf("Figure 3 priority-queue abstraction reported unsound: %v", vs)
+	}
+}
+
+func TestPQueueSoundViaSAT(t *testing.T) {
+	m := NewPQueueModel(2)
+	vs, stats := CheckSAT(m)
+	if len(vs) != 0 {
+		t.Fatalf("SAT checker reported violations: %v", vs)
+	}
+	if stats.Pairs == 0 {
+		t.Fatal("SAT checker encoded no pairs")
+	}
+}
+
+func TestPQueueBrokenCaught(t *testing.T) {
+	m := PQueueModel{Vals: 3, DropMinUpgrade: true}
+	direct := Check(m)
+	if len(direct) == 0 {
+		t.Fatal("direct checker missed the broken insert abstraction")
+	}
+	viaSAT, _ := CheckSAT(m)
+	if len(viaSAT) == 0 {
+		t.Fatal("SAT checker missed the broken insert abstraction")
+	}
+	// The counterexample must involve an insert against min or removeMin.
+	found := false
+	for _, v := range direct {
+		if strings.HasPrefix(v.First, "insert") && (v.Second == "min") ||
+			v.First == "min" && strings.HasPrefix(v.Second, "insert") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected insert/min counterexamples, got %v", direct[:min(3, len(direct))])
+	}
+}
+
+func TestQueueSound(t *testing.T) {
+	m := NewQueueModel(3)
+	if vs := Check(m); len(vs) != 0 {
+		t.Fatalf("queue head/tail abstraction reported unsound: %v", vs)
+	}
+	viaSAT, _ := CheckSAT(m)
+	if len(viaSAT) != 0 {
+		t.Fatalf("SAT checker reported violations: %v", viaSAT)
+	}
+}
+
+func TestQueueBrokenCaught(t *testing.T) {
+	m := QueueModel{Vals: 3, DropEmptyUpgrade: true}
+	direct := Check(m)
+	if len(direct) == 0 {
+		t.Fatal("direct checker missed the broken queue abstraction")
+	}
+	viaSAT, _ := CheckSAT(m)
+	if len(viaSAT) == 0 {
+		t.Fatal("SAT checker missed the broken queue abstraction")
+	}
+	// The counterexample must be at the empty state: enq vs deq/peek.
+	found := false
+	for _, v := range direct {
+		st, ok := v.State.(fqState)
+		if ok && st.N == 0 &&
+			(strings.HasPrefix(v.First, "enq") || strings.HasPrefix(v.Second, "enq")) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected empty-state enq violations, got %v", direct[:min(3, len(direct))])
+	}
+}
+
+func TestSATAgreesWithDirect(t *testing.T) {
+	models := []Model{
+		NewCounterModel(6),
+		CounterModel{Max: 6, Threshold: 1},
+		NewMapModel(2, 3),
+		NewMapModel(2, 1),
+		MapModel{Vals: 2, M: 3, DropReads: true},
+		NewPQueueModel(2),
+		PQueueModel{Vals: 2, DropMinUpgrade: true},
+		NewQueueModel(2),
+		QueueModel{Vals: 2, DropEmptyUpgrade: true},
+		NewMultisetModel(2),
+		MultisetModel{MaxCount: 2, DropZeroUpgrade: true},
+		NewRangeMapModel(1, 2),
+		RangeMapModel{Vals: 1, StripeWidth: 1, DropTail: true},
+	}
+	for _, m := range models {
+		direct := Check(m)
+		viaSAT, _ := CheckSAT(m)
+		if (len(direct) == 0) != (len(viaSAT) == 0) {
+			t.Errorf("%s: direct found %d violations, SAT found %d",
+				m.Name(), len(direct), len(viaSAT))
+		}
+	}
+}
+
+func TestViolationString(t *testing.T) {
+	v := Violation{Model: "m", State: 1, First: "a", Second: "b"}
+	if got := v.String(); !strings.Contains(got, "a then b") {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestAccessesConflict(t *testing.T) {
+	rd := func(l int) Access { return Access{Loc: l} }
+	wr := func(l int) Access { return Access{Loc: l, Write: true} }
+	tests := []struct {
+		name string
+		a, b []Access
+		want bool
+	}{
+		{name: "rd-rd same loc", a: []Access{rd(0)}, b: []Access{rd(0)}, want: false},
+		{name: "rd-wr same loc", a: []Access{rd(0)}, b: []Access{wr(0)}, want: true},
+		{name: "wr-rd same loc", a: []Access{wr(0)}, b: []Access{rd(0)}, want: true},
+		{name: "wr-wr same loc", a: []Access{wr(0)}, b: []Access{wr(0)}, want: true},
+		{name: "wr-wr distinct", a: []Access{wr(0)}, b: []Access{wr(1)}, want: false},
+		{name: "empty", a: nil, b: []Access{wr(0)}, want: false},
+	}
+	for _, tt := range tests {
+		if got := accessesConflict(tt.a, tt.b); got != tt.want {
+			t.Errorf("%s: accessesConflict = %v, want %v", tt.name, got, tt.want)
+		}
+	}
+}
