@@ -7,6 +7,9 @@
 //	proust-bench -experiment figure4memo      # memoizing shadow-copy row
 //	proust-bench -experiment trends           # summary of claims (a)-(d)
 //	proust-bench -experiment quick            # reduced grid for smoke runs
+//	proust-bench -experiment backends         # per-STM-backend throughput sweep
+//	proust-bench -list-backends               # enumerate registered STM backends
+//	proust-bench -policy tl2                  # run every system on one backend
 //	proust-bench -ops 1000000 -warmups 10 -reps 10   # the paper's protocol
 //
 // The absolute numbers differ from the paper's EC2 m4.10xlarge/JVM setup;
@@ -15,6 +18,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +26,7 @@ import (
 	"strings"
 
 	"proust/internal/bench"
+	"proust/internal/stm"
 )
 
 func main() {
@@ -34,20 +39,43 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("proust-bench", flag.ContinueOnError)
 	var (
-		experiment = fs.String("experiment", "quick", "figure4 | figure4memo | trends | quick")
+		experiment = fs.String("experiment", "quick", "figure4 | figure4memo | trends | quick | contention | backends")
 		ops        = fs.Int("ops", 0, "operations per configuration (0 = experiment default)")
 		warmups    = fs.Int("warmups", -1, "warm-up runs per configuration (-1 = experiment default)")
 		reps       = fs.Int("reps", -1, "timed repetitions per configuration (-1 = experiment default)")
 		threads    = fs.String("threads", "", "comma-separated thread counts (default per experiment)")
 		keyRange   = fs.Int("keyrange", 0, "key range (0 = experiment default)")
 		systems    = fs.String("systems", "", "comma-separated system subset (default: all)")
+		policy     = fs.String("policy", "", "STM backend name; runs every system on that backend (see -list-backends)")
+		listBk     = fs.Bool("list-backends", false, "list registered STM backends and exit")
+		jsonPath   = fs.String("json", "", "write per-backend results (ops/sec, abort causes, histograms) as JSON to this file ('-' = stdout)")
 		csvPath    = fs.String("csv", "", "also write results as CSV to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	if *listBk {
+		fmt.Println("Registered STM backends:")
+		for _, bf := range stm.Backends() {
+			fmt.Printf("  %-8s %-22s %s\n", bf.Name, "("+bf.Policy.String()+")", bf.Doc)
+		}
+		return nil
+	}
+
+	if *policy != "" {
+		if _, ok := stm.BackendByName(*policy); !ok {
+			return fmt.Errorf("unknown backend %q for -policy (valid backends: %s)",
+				*policy, strings.Join(stm.BackendNames(), ", "))
+		}
+	}
+
+	if *experiment == "backends" {
+		return runBackends(*policy, *threads, *ops, *warmups, *reps, *keyRange, *jsonPath)
+	}
+
 	cfg := bench.DefaultSweep(os.Stdout)
+	cfg.Backend = *policy
 	switch *experiment {
 	case "figure4":
 		cfg.TotalOps = 1000000
@@ -135,6 +163,92 @@ func run(args []string) error {
 		defer f.Close()
 		bench.WriteCSV(f, results)
 		fmt.Printf("\n# wrote %d results to %s\n", len(results), *csvPath)
+	}
+	return nil
+}
+
+// runBackends executes the per-STM-backend sweep (flat-ref workload over the
+// backend registry) and optionally exports full instrumentation — abort-cause
+// breakdown, validation-time and lock-hold histograms, tracer summary — as
+// JSON.
+func runBackends(policy, threads string, ops, warmups, reps, keyRange int, jsonPath string) error {
+	cfg := bench.DefaultBackendBench()
+	if ops > 0 {
+		cfg.TotalOps = ops
+	}
+	if warmups >= 0 {
+		cfg.Warmups = warmups
+	}
+	if reps > 0 {
+		cfg.Reps = reps
+	}
+	if keyRange > 0 {
+		cfg.KeyRange = keyRange
+	}
+	if threads != "" {
+		var ts []int
+		for _, part := range strings.Split(threads, ",") {
+			var t int
+			if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d", &t); err != nil || t < 1 {
+				return fmt.Errorf("bad -threads entry %q", part)
+			}
+			ts = append(ts, t)
+		}
+		cfg.Threads = ts
+	}
+
+	fmt.Printf("# proust-bench: experiment=backends GOMAXPROCS=%d ops=%d warmups=%d reps=%d keyRange=%d opsPerTxn=%d writeFrac=%.2f\n\n",
+		runtime.GOMAXPROCS(0), cfg.TotalOps, cfg.Warmups, cfg.Reps, cfg.KeyRange, cfg.OpsPerTxn, cfg.WriteFraction)
+
+	var results []bench.BackendResult
+	if policy != "" {
+		// Restrict the sweep to the requested backend.
+		for _, t := range cfg.Threads {
+			for i := 0; i < cfg.Warmups; i++ {
+				if _, err := bench.RunBackendBench(policy, t, cfg); err != nil {
+					return err
+				}
+			}
+			var best bench.BackendResult
+			for i := 0; i < cfg.Reps; i++ {
+				res, err := bench.RunBackendBench(policy, t, cfg)
+				if err != nil {
+					return err
+				}
+				if res.OpsPerSec > best.OpsPerSec {
+					best = res
+				}
+			}
+			results = append(results, best)
+			fmt.Printf("%-8s t=%d  %14.0f ops/sec  abort=%.2f%%\n",
+				best.Backend, best.Threads, best.OpsPerSec, best.AbortRate*100)
+		}
+	} else {
+		var err error
+		results, err = bench.SweepBackends(cfg, os.Stdout)
+		if err != nil {
+			return err
+		}
+	}
+
+	if jsonPath != "" {
+		payload := struct {
+			Config  bench.BackendBenchConfig `json:"config"`
+			Results []bench.BackendResult    `json:"results"`
+		}{cfg, results}
+		data, err := json.MarshalIndent(payload, "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if jsonPath == "-" {
+			os.Stdout.Write(data)
+		} else {
+			if err := os.WriteFile(jsonPath, data, 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("\n# wrote %d results to %s\n", len(results), jsonPath)
+		}
 	}
 	return nil
 }

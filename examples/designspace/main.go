@@ -24,22 +24,36 @@ type combo struct {
 	name       string
 	optimistic bool
 	strat      core.UpdateStrategy
-	policy     stm.DetectionPolicy
+	backend    string // STM backend registry name
 }
 
 func main() {
+	// STM backends are selected by registry name; the registry also carries
+	// the detection policy that core.CheckCombo arbitrates against.
+	fmt.Println("registered STM backends:")
+	for _, bf := range stm.Backends() {
+		fmt.Printf("  %-8s %-14s %s\n", bf.Name, "("+bf.Policy.String()+")", bf.Doc)
+	}
+	fmt.Println()
+
 	combos := []combo{
-		{"pessimistic+eager (boosting)      on mixed     ", false, core.Eager, stm.MixedEagerWWLazyRW},
-		{"pessimistic+lazy                  on mixed     ", false, core.Lazy, stm.MixedEagerWWLazyRW},
-		{"optimistic+eager  (Thm 5.2)       on eager-eager", true, core.Eager, stm.EagerEager},
-		{"optimistic+lazy   (predication-ish) on lazy-lazy", true, core.Lazy, stm.LazyLazy},
-		{"optimistic+lazy                   on mixed     ", true, core.Lazy, stm.MixedEagerWWLazyRW},
+		{"pessimistic+eager (boosting)      on ccstm  ", false, core.Eager, "ccstm"},
+		{"pessimistic+lazy                  on ccstm  ", false, core.Lazy, "ccstm"},
+		{"optimistic+eager  (Thm 5.2)       on eager  ", true, core.Eager, "eager"},
+		{"optimistic+lazy   (predication-ish) on tl2  ", true, core.Lazy, "tl2"},
+		{"optimistic+lazy                   on ccstm  ", true, core.Lazy, "ccstm"},
+		{"optimistic+lazy                   on norec  ", true, core.Lazy, "norec"},
 	}
 
 	fmt.Println("design-space tour: 8 goroutines × 2000 transfer txns over 64 keys")
 	fmt.Printf("%-52s %10s %9s %9s %9s\n", "combination", "time", "commits", "aborts", "abort%")
 	for _, c := range combos {
-		if err := core.CheckCombo(c.optimistic, c.strat, c.policy); err != nil {
+		bf, ok := stm.BackendByName(c.backend)
+		if !ok {
+			fmt.Printf("%-52s SKIPPED: unknown backend %q\n", c.name, c.backend)
+			continue
+		}
+		if err := core.CheckCombo(c.optimistic, c.strat, bf.Policy); err != nil {
 			fmt.Printf("%-52s SKIPPED: %v\n", c.name, err)
 			continue
 		}
@@ -65,7 +79,7 @@ func main() {
 }
 
 func runCombo(c combo) (time.Duration, stm.StatsSnapshot, error) {
-	s := stm.New(stm.WithPolicy(c.policy))
+	s := stm.New(stm.WithBackend(c.backend))
 	hash := func(k int) uint64 { return conc.IntHasher(k) }
 	var lap core.LockAllocatorPolicy[int]
 	if c.optimistic {

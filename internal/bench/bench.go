@@ -15,6 +15,7 @@ import (
 	"io"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -143,13 +144,36 @@ const benchMem = 1024
 // Proustian maps across the design space (eager/optimistic, lazy/optimistic
 // with snapshot shadow copies, lazy memoizing without and with log
 // combining, and pessimistic eager — the boosting configuration).
-func Factories() []Factory {
+// Each system runs on its historically-faithful STM backend (by registry
+// name: "ccstm" for the mixed CCSTM-like systems, "tl2" for the lazy ones).
+func Factories() []Factory { return FactoriesWithBackend("") }
+
+// FactoriesWithBackend returns the Figure-4 series with every system's STM
+// replaced by the named registry backend. The empty string keeps each
+// system's default backend. Panics on an unknown backend name (callers such
+// as proust-bench validate with stm.BackendByName first).
+func FactoriesWithBackend(backend string) []Factory {
+	if backend != "" {
+		if _, ok := stm.BackendByName(backend); !ok {
+			panic(fmt.Sprintf("bench: unknown backend %q (valid backends: %s)",
+				backend, strings.Join(stm.BackendNames(), ", ")))
+		}
+	}
+	// newSTM builds the system's STM on its default backend, or on the
+	// overridden one when the caller asked for a specific backend.
+	newSTM := func(def string) *stm.STM {
+		name := def
+		if backend != "" {
+			name = backend
+		}
+		return stm.New(stm.WithBackend(name))
+	}
 	intHash := func(k int) uint64 { return conc.IntHasher(k) }
 	return []Factory{
 		{
 			Name: "pure-stm",
 			New: func() System {
-				s := stm.New(stm.WithPolicy(stm.MixedEagerWWLazyRW))
+				s := newSTM("ccstm")
 				// 64 buckets over 1024 keys: roughly the false-conflict
 				// granularity a ref-based HAMT/TMap exhibits on its
 				// internal nodes.
@@ -160,7 +184,7 @@ func Factories() []Factory {
 		{
 			Name: "predication",
 			New: func() System {
-				s := stm.New(stm.WithPolicy(stm.MixedEagerWWLazyRW))
+				s := newSTM("ccstm")
 				return System{Name: "predication", STM: s,
 					Map: baseline.NewPredicationMap[int, int](s, conc.IntHasher)}
 			},
@@ -172,7 +196,7 @@ func Factories() []Factory {
 				// CCSTM-like backend despite the opacity caveat (its
 				// footnote 3); the workload makes no control-flow
 				// decisions on map results.
-				s := stm.New(stm.WithPolicy(stm.MixedEagerWWLazyRW))
+				s := newSTM("ccstm")
 				lap := core.NewOptimisticLAP(s, intHash, benchMem)
 				return System{Name: "proust-eager-opt", STM: s,
 					Map: core.NewMap[int, int](s, lap, conc.IntHasher)}
@@ -181,7 +205,7 @@ func Factories() []Factory {
 		{
 			Name: "proust-lazy-snapshot",
 			New: func() System {
-				s := stm.New(stm.WithPolicy(stm.LazyLazy))
+				s := newSTM("tl2")
 				lap := core.NewOptimisticLAP(s, intHash, benchMem)
 				return System{Name: "proust-lazy-snapshot", STM: s,
 					Map: core.NewLazySnapshotMap[int, int](s, lap, conc.IntHasher)}
@@ -190,7 +214,7 @@ func Factories() []Factory {
 		{
 			Name: "proust-lazy-memo",
 			New: func() System {
-				s := stm.New(stm.WithPolicy(stm.LazyLazy))
+				s := newSTM("tl2")
 				lap := core.NewOptimisticLAP(s, intHash, benchMem)
 				return System{Name: "proust-lazy-memo", STM: s,
 					Map: core.NewLazyMemoMap[int, int](s, lap, conc.IntHasher, false)}
@@ -199,7 +223,7 @@ func Factories() []Factory {
 		{
 			Name: "proust-lazy-memo-combining",
 			New: func() System {
-				s := stm.New(stm.WithPolicy(stm.LazyLazy))
+				s := newSTM("tl2")
 				lap := core.NewOptimisticLAP(s, intHash, benchMem)
 				return System{Name: "proust-lazy-memo-combining", STM: s,
 					Map: core.NewLazyMemoMap[int, int](s, lap, conc.IntHasher, true)}
@@ -209,7 +233,7 @@ func Factories() []Factory {
 			Name:   "proust-pessimistic",
 			OnlyO1: true,
 			New: func() System {
-				s := stm.New(stm.WithPolicy(stm.MixedEagerWWLazyRW))
+				s := newSTM("ccstm")
 				lap := core.NewPessimisticLAP(intHash, benchMem, core.DefaultLockTimeout)
 				return System{Name: "proust-pessimistic", STM: s, OnlyO1: true,
 					Map: core.NewMap[int, int](s, lap, conc.IntHasher)}
@@ -399,6 +423,7 @@ type SweepConfig struct {
 	Reps       int
 	Interleave bool
 	Systems    []string // empty = all
+	Backend    string   // STM backend override by registry name; empty = per-system default
 	Out        io.Writer
 }
 
@@ -421,15 +446,27 @@ func DefaultSweep(out io.Writer) SweepConfig {
 // column per system: the time in milliseconds to process TotalOps
 // operations (the paper's y-axis), plus abort rates. It returns all results.
 func Sweep(cfg SweepConfig) ([]Result, error) {
-	factories := Factories()
+	if cfg.Backend != "" {
+		if _, ok := stm.BackendByName(cfg.Backend); !ok {
+			return nil, fmt.Errorf("bench: unknown backend %q (valid backends: %s)",
+				cfg.Backend, strings.Join(stm.BackendNames(), ", "))
+		}
+	}
+	factories := FactoriesWithBackend(cfg.Backend)
 	if len(cfg.Systems) > 0 {
 		var sel []Factory
 		for _, name := range cfg.Systems {
-			f, ok := FactoryByName(name)
-			if !ok {
+			found := false
+			for _, f := range factories {
+				if f.Name == name {
+					sel = append(sel, f)
+					found = true
+					break
+				}
+			}
+			if !found {
 				return nil, fmt.Errorf("bench: unknown system %q", name)
 			}
-			sel = append(sel, f)
 		}
 		factories = sel
 	}

@@ -1,0 +1,47 @@
+package stm
+
+func init() {
+	RegisterBackend(BackendFactory{
+		Name:   "ccstm",
+		Policy: MixedEagerWWLazyRW,
+		Doc:    "CCSTM-style: encounter-time write locks with undo, invisible readers validated at commit",
+		New:    func() Backend { return ccstmBackend{} },
+	})
+}
+
+// ccstmBackend implements the MixedEagerWWLazyRW policy: write locks are
+// acquired at encounter time with an undo log (eager w/w detection), readers
+// stay invisible and the read set is validated at commit (lazy r/w
+// detection). This matches CCSTM, the default ScalaSTM backend used in the
+// paper's evaluation, and is this package's default backend.
+type ccstmBackend struct{}
+
+var _ Backend = ccstmBackend{}
+
+// Name implements Backend.
+func (ccstmBackend) Name() string { return "ccstm" }
+
+// Policy implements Backend.
+func (ccstmBackend) Policy() DetectionPolicy { return MixedEagerWWLazyRW }
+
+func (ccstmBackend) begin(tx *Txn) {
+	tx.readVersion = tx.s.clock.Load()
+}
+
+func (ccstmBackend) read(tx *Txn, r *baseRef) any { return tx.readVersioned(r) }
+
+func (ccstmBackend) touch(tx *Txn, r *baseRef) { _ = tx.readVersioned(r) }
+
+func (ccstmBackend) write(tx *Txn, r *baseRef, v any) {
+	if tx.updateOwnedWrite(r, v) {
+		return
+	}
+	tx.acquire(r)
+	tx.logUndoAndWrite(r, v)
+}
+
+func (ccstmBackend) validate(tx *Txn) bool { return tx.validateReads() }
+
+func (ccstmBackend) commit(tx *Txn) bool { return tx.commitEncounter(true) }
+
+func (ccstmBackend) abort(tx *Txn) { tx.restoreUndoAndRelease() }

@@ -1,0 +1,97 @@
+package stm
+
+func init() {
+	RegisterBackend(BackendFactory{
+		Name:   "eager",
+		Policy: EagerEager,
+		Doc:    "visible readers: encounter-time write locks plus reader registration, all conflicts detected eagerly",
+		New:    func() Backend { return eagerBackend{} },
+	})
+}
+
+// eagerBackend implements the EagerEager policy: write locks are acquired at
+// encounter time, and every read registers the transaction as a visible
+// reader, so a writer detects and arbitrates read-write conflicts the moment
+// it acquires the reference. All conflicts are detected eagerly, which is
+// the STM requirement of Theorem 5.2 (Eager/Optimistic Proust is opaque).
+type eagerBackend struct{}
+
+var _ Backend = eagerBackend{}
+
+// Name implements Backend.
+func (eagerBackend) Name() string { return "eager" }
+
+// Policy implements Backend.
+func (eagerBackend) Policy() DetectionPolicy { return EagerEager }
+
+func (eagerBackend) begin(tx *Txn) {
+	tx.readVersion = tx.s.clock.Load()
+}
+
+func (eagerBackend) read(tx *Txn, r *baseRef) any {
+	// Register visibly before sampling the version: any writer that
+	// acquires r after this point will arbitrate against us, so committed
+	// writes can never invalidate our read set silently (which is why this
+	// backend skips commit-time validation).
+	tx.registerReader(r)
+	return tx.readVersioned(r)
+}
+
+func (b eagerBackend) touch(tx *Txn, r *baseRef) { _ = b.read(tx, r) }
+
+func (eagerBackend) write(tx *Txn, r *baseRef, v any) {
+	if tx.updateOwnedWrite(r, v) {
+		return
+	}
+	tx.acquire(r)
+	tx.arbitrateReaders(r)
+	tx.logUndoAndWrite(r, v)
+}
+
+func (eagerBackend) validate(tx *Txn) bool { return tx.validateReads() }
+
+func (eagerBackend) commit(tx *Txn) bool { return tx.commitEncounter(false) }
+
+func (eagerBackend) abort(tx *Txn) { tx.restoreUndoAndRelease() }
+
+// registerReader adds tx to r's visible-reader table.
+func (tx *Txn) registerReader(r *baseRef) {
+	if tx.visibleSeen == nil {
+		tx.visibleSeen = make(map[*baseRef]struct{}, 8)
+	}
+	if _, ok := tx.visibleSeen[r]; ok {
+		return
+	}
+	r.addReader(tx)
+	tx.visibleSeen[r] = struct{}{}
+	tx.visible = append(tx.visible, r)
+}
+
+// arbitrateReaders resolves read-write conflicts eagerly: tx holds the write
+// lock on r and must either doom every visible reader or abort itself.
+func (tx *Txn) arbitrateReaders(r *baseRef) {
+	readers := r.activeReaders(tx)
+	for _, rd := range readers {
+		snap := rd.stateSnapshot()
+		if snap&statusMask != statusActive {
+			continue
+		}
+		if tx.s.cm.InvalidatesReader(tx, rd) {
+			doomTxn(rd, snap)
+			continue
+		}
+		// Reader wins: abort ourselves; rollback releases the lock.
+		tx.conflict(CauseLockConflict)
+	}
+}
+
+// unregisterReaders drops all visible-reader registrations of the attempt.
+// It is called on both commit and abort and is a no-op for the other
+// backends (the registration slices stay empty).
+func (tx *Txn) unregisterReaders() {
+	for _, r := range tx.visible {
+		r.removeReader(tx)
+	}
+	tx.visible = tx.visible[:0]
+	tx.visibleSeen = nil
+}

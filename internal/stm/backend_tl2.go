@@ -1,0 +1,132 @@
+package stm
+
+import "sort"
+
+func init() {
+	RegisterBackend(BackendFactory{
+		Name:   "tl2",
+		Policy: LazyLazy,
+		Doc:    "TL2-style: redo log, commit-time locking in global ref order, lazy w/w and r/w detection",
+		New:    func() Backend { return tl2Backend{} },
+	})
+}
+
+// tl2Backend implements the LazyLazy policy: writes are buffered in the redo
+// log and locked only at commit time, in global reference order; read-write
+// conflicts are found by commit-time read-set validation (the TL2 family).
+type tl2Backend struct{}
+
+var _ Backend = tl2Backend{}
+
+// Name implements Backend.
+func (tl2Backend) Name() string { return "tl2" }
+
+// Policy implements Backend.
+func (tl2Backend) Policy() DetectionPolicy { return LazyLazy }
+
+func (tl2Backend) begin(tx *Txn) {
+	tx.readVersion = tx.s.clock.Load()
+}
+
+func (tl2Backend) read(tx *Txn, r *baseRef) any { return tx.readVersioned(r) }
+
+func (tl2Backend) touch(tx *Txn, r *baseRef) { _ = tx.readVersioned(r) }
+
+func (tl2Backend) write(tx *Txn, r *baseRef, v any) {
+	if we, ok := tx.writes[r]; ok {
+		we.val = v
+		return
+	}
+	tx.recordWrite(r, v)
+}
+
+func (tl2Backend) validate(tx *Txn) bool { return tx.validateReads() }
+
+// commit implements the TL2-style commit: lock the write set in global
+// reference order, fetch a commit timestamp, validate the read set, publish.
+func (tl2Backend) commit(tx *Txn) bool {
+	if len(tx.writes) == 0 && len(tx.onCommitLocked) == 0 {
+		// Read-only fast path: each read was validated against the read
+		// version (with extension), so the transaction is serializable at
+		// its read version without further work.
+		if !tx.transitionCommitted() {
+			tx.rollback(CauseDoomed)
+			return false
+		}
+		tx.finishCommit()
+		return true
+	}
+
+	sort.Slice(tx.writeOrder, func(i, j int) bool {
+		return tx.writeOrder[i].id < tx.writeOrder[j].id
+	})
+	for _, r := range tx.writeOrder {
+		if !tx.lockForCommit(r) {
+			tx.rollback(CauseLockConflict)
+			return false
+		}
+		tx.markLocked()
+		tx.commitLocks = append(tx.commitLocks, r)
+	}
+
+	wv := tx.s.clock.Add(1)
+	// TL2 optimization: if no transaction committed since we started, the
+	// read set cannot have changed.
+	if wv != tx.readVersion+1 && !tx.validateReadsTimed() {
+		tx.rollback(CauseValidation)
+		return false
+	}
+	if !tx.transitionCommitted() {
+		tx.rollback(CauseDoomed)
+		return false
+	}
+
+	// The commit is now decided: apply deferred effects (Proust replay
+	// logs) while the write set is still locked, then publish.
+	tx.runCommitLocked()
+	for _, r := range tx.writeOrder {
+		r.value.Store(&box{v: tx.writes[r].val})
+		r.version.Store(wv)
+		r.owner.Store(nil)
+	}
+	tx.commitLocks = tx.commitLocks[:0]
+	tx.observeLockHold()
+	tx.finishCommit()
+	return true
+}
+
+func (tl2Backend) abort(tx *Txn) { tx.releaseCommitLocks() }
+
+// releaseCommitLocks frees refs locked during a failed lazy commit.
+func (tx *Txn) releaseCommitLocks() {
+	for _, r := range tx.commitLocks {
+		r.owner.Store(nil)
+	}
+	tx.commitLocks = tx.commitLocks[:0]
+	tx.observeLockHold()
+}
+
+// lockForCommit acquires the commit-time write lock on r without panicking.
+func (tx *Txn) lockForCommit(r *baseRef) bool {
+	const budget = 1024
+	for spins := 0; spins < budget; spins++ {
+		if tx.status() != statusActive {
+			return false
+		}
+		if r.owner.CompareAndSwap(nil, tx) {
+			return true
+		}
+		owner := r.owner.Load()
+		if owner == tx {
+			return true
+		}
+		if owner != nil {
+			snap := owner.stateSnapshot()
+			if snap&statusMask == statusActive && tx.s.cm.Wins(tx, owner) {
+				doomTxn(owner, snap)
+			}
+		}
+		procYield()
+	}
+	return false
+}

@@ -1,0 +1,184 @@
+package stm
+
+// Shared machinery of the versioned (TL2-lineage) backends: tl2, ccstm and
+// eager all stamp refs with the global version clock, keep an invisible or
+// visible read set validated against the transaction's read version, and
+// lock refs through the owner word. The norec backend uses none of this.
+
+// readVersioned performs an opaque versioned read of r's committed (or, if
+// tx itself holds the encounter-time lock, tentative) value and records a
+// read-set entry.
+func (tx *Txn) readVersioned(r *baseRef) any {
+	for spins := 0; ; spins++ {
+		v1 := r.version.Load()
+		owner := r.owner.Load()
+		if owner != nil && owner != tx {
+			tx.resolveRead(r, owner, spins)
+			continue
+		}
+		b := r.value.Load()
+		o2 := r.owner.Load()
+		if (o2 != nil && o2 != tx) || r.version.Load() != v1 {
+			continue
+		}
+		if v1 > tx.readVersion && !tx.extend() {
+			tx.conflict(CauseValidation)
+		}
+		tx.reads = append(tx.reads, readEntry{r: r, ver: v1})
+		return b.v
+	}
+}
+
+// resolveRead handles finding r locked by another transaction during a read.
+func (tx *Txn) resolveRead(r *baseRef, owner *Txn, spins int) {
+	snap := owner.stateSnapshot()
+	if snap&statusMask == statusActive && tx.s.cm.Wins(tx, owner) {
+		doomTxn(owner, snap)
+	}
+	tx.waitOrDie(r, owner, spins)
+}
+
+// waitOrDie spins briefly waiting for ownership of r to change; past the
+// spin budget it aborts tx.
+func (tx *Txn) waitOrDie(r *baseRef, owner *Txn, spins int) {
+	const spinBudget = 256
+	if spins > spinBudget {
+		tx.conflict(CauseLockConflict)
+	}
+	for i := 0; i < 32; i++ {
+		if r.owner.Load() != owner {
+			return
+		}
+		procYield()
+	}
+}
+
+// extend revalidates the read set against the current clock and, on success,
+// advances the transaction's read version (TinySTM-style timestamp
+// extension). This keeps long transactions opaque without spurious aborts.
+func (tx *Txn) extend() bool {
+	now := tx.s.clock.Load()
+	if !tx.validateReads() {
+		return false
+	}
+	tx.readVersion = now
+	return true
+}
+
+// validateReads checks every read-set entry's version and ownership.
+func (tx *Txn) validateReads() bool {
+	for i := range tx.reads {
+		re := &tx.reads[i]
+		o := re.r.owner.Load()
+		if o != nil && o != tx {
+			return false
+		}
+		if re.r.version.Load() != re.ver {
+			return false
+		}
+	}
+	return true
+}
+
+// acquire takes the write lock on r at encounter time, arbitrating with the
+// contention manager.
+func (tx *Txn) acquire(r *baseRef) {
+	for spins := 0; ; spins++ {
+		tx.checkAlive()
+		if r.owner.CompareAndSwap(nil, tx) {
+			tx.markLocked()
+			return
+		}
+		owner := r.owner.Load()
+		if owner == nil || owner == tx {
+			if owner == tx {
+				return
+			}
+			continue
+		}
+		snap := owner.stateSnapshot()
+		if snap&statusMask == statusActive && tx.s.cm.Wins(tx, owner) {
+			doomTxn(owner, snap)
+		}
+		tx.waitOrDie(r, owner, spins)
+	}
+}
+
+// updateOwnedWrite overwrites a ref the transaction already owns (it is in
+// the redo log, so the encounter lock is held). Reports whether r was owned.
+func (tx *Txn) updateOwnedWrite(r *baseRef, v any) bool {
+	we, ok := tx.writes[r]
+	if !ok {
+		return false
+	}
+	we.val = v
+	r.value.Store(&box{v: v})
+	return true
+}
+
+// logUndoAndWrite installs the tentative value under the encounter lock,
+// saving the previous box for rollback.
+func (tx *Txn) logUndoAndWrite(r *baseRef, v any) {
+	tx.undo = append(tx.undo, undoEntry{r: r, oldVal: r.value.Load()})
+	tx.owned = append(tx.owned, r)
+	tx.recordWrite(r, v)
+	r.value.Store(&box{v: v})
+}
+
+// restoreUndoAndRelease rolls back encounter-time writes: tentative values
+// are restored before ownership is released so that no reader can observe an
+// uncommitted value. Shared abort path of the ccstm and eager backends.
+func (tx *Txn) restoreUndoAndRelease() {
+	for i := len(tx.undo) - 1; i >= 0; i-- {
+		e := tx.undo[i]
+		e.r.value.Store(e.oldVal)
+	}
+	tx.undo = tx.undo[:0]
+	for _, r := range tx.owned {
+		r.owner.Store(nil)
+	}
+	tx.owned = tx.owned[:0]
+	tx.observeLockHold()
+}
+
+// commitEncounter finishes a commit under encounter-time locking: the write
+// set is already locked and contains tentative values; only validation
+// (when readers are invisible) and version publication remain.
+func (tx *Txn) commitEncounter(validate bool) bool {
+	if len(tx.owned) == 0 && len(tx.onCommitLocked) == 0 {
+		if !tx.transitionCommitted() {
+			tx.rollback(CauseDoomed)
+			return false
+		}
+		tx.finishCommit()
+		return true
+	}
+
+	wv := tx.s.clock.Add(1)
+	if validate {
+		// Invisible readers: read-write conflicts are detected here.
+		if wv != tx.readVersion+1 && !tx.validateReadsTimed() {
+			tx.rollback(CauseValidation)
+			return false
+		}
+	}
+	// With visible readers no commit-time validation is needed: a writer of
+	// anything in our read set must have arbitrated against us (we
+	// registered as a reader before reading), so either it aborted or we
+	// are already doomed and the transition below fails.
+	if !tx.transitionCommitted() {
+		tx.rollback(CauseDoomed)
+		return false
+	}
+
+	tx.runCommitLocked()
+	for _, r := range tx.owned {
+		r.version.Store(wv)
+		r.owner.Store(nil)
+	}
+	tx.owned = tx.owned[:0]
+	tx.undo = tx.undo[:0]
+	tx.observeLockHold()
+	tx.finishCommit()
+	return true
+}

@@ -1,196 +1,71 @@
 package stm
 
-import "sort"
+import "time"
 
-// commit attempts to commit the transaction. It returns false (after rolling
-// back) if the transaction must be retried. commit never panics.
+// commit attempts to commit the transaction through the backend's protocol.
+// It returns false (after rolling back) if the transaction must be retried.
+// commit never panics.
 func (tx *Txn) commit() bool {
-	switch {
-	case tx.s.policy == NOrec:
-		return tx.commitNOrec()
-	case tx.s.policy.EagerWriteLocks():
-		return tx.commitEager()
-	default:
-		return tx.commitLazy()
-	}
+	return tx.s.backend.commit(tx)
 }
 
-// commitLazy implements the TL2-style commit: lock the write set in global
-// reference order, fetch a commit timestamp, validate the read set, publish.
-func (tx *Txn) commitLazy() bool {
-	if len(tx.writes) == 0 && len(tx.onCommitLocked) == 0 {
-		// Read-only fast path: each read was validated against the read
-		// version (with extension), so the transaction is serializable at
-		// its read version without further work.
-		if !tx.transitionCommitted() {
-			tx.rollback(abortDoomed)
-			return false
-		}
-		tx.finishCommit()
-		return true
-	}
-
-	sort.Slice(tx.writeOrder, func(i, j int) bool {
-		return tx.writeOrder[i].id < tx.writeOrder[j].id
-	})
-	for _, r := range tx.writeOrder {
-		if !tx.lockForCommit(r) {
-			tx.rollback(abortConflict)
-			return false
-		}
-		tx.commitLocks = append(tx.commitLocks, r)
-	}
-
-	wv := tx.s.clock.Add(1)
-	// TL2 optimization: if no transaction committed since we started, the
-	// read set cannot have changed.
-	if wv != tx.readVersion+1 && !tx.validateReads() {
-		tx.rollback(abortValidation)
-		return false
-	}
-	if !tx.transitionCommitted() {
-		tx.rollback(abortDoomed)
-		return false
-	}
-
-	// The commit is now decided: apply deferred effects (Proust replay
-	// logs) while the write set is still locked, then publish.
-	tx.runCommitLocked()
-	for _, r := range tx.writeOrder {
-		r.value.Store(&box{v: tx.writes[r].val})
-		r.version.Store(wv)
-		r.owner.Store(nil)
-	}
-	tx.commitLocks = tx.commitLocks[:0]
-	tx.finishCommit()
-	return true
-}
-
-// commitEager commits under encounter-time locking: the write set is already
-// locked and contains tentative values; only validation (policy-dependent)
-// and version publication remain.
-func (tx *Txn) commitEager() bool {
-	if len(tx.owned) == 0 && len(tx.onCommitLocked) == 0 {
-		if !tx.transitionCommitted() {
-			tx.rollback(abortDoomed)
-			return false
-		}
-		tx.finishCommit()
-		return true
-	}
-
-	wv := tx.s.clock.Add(1)
-	if tx.s.policy == MixedEagerWWLazyRW {
-		// Invisible readers: read-write conflicts are detected here.
-		if wv != tx.readVersion+1 && !tx.validateReads() {
-			tx.rollback(abortValidation)
-			return false
-		}
-	}
-	// EagerEager needs no commit-time validation: a writer of anything in
-	// our read set must have arbitrated against us (we registered as a
-	// visible reader before reading), so either it aborted or we are
-	// already doomed and the transition below fails.
-	if !tx.transitionCommitted() {
-		tx.rollback(abortDoomed)
-		return false
-	}
-
-	tx.runCommitLocked()
-	for _, r := range tx.owned {
-		r.version.Store(wv)
-		r.owner.Store(nil)
-	}
-	tx.owned = tx.owned[:0]
-	tx.undo = tx.undo[:0]
-	tx.finishCommit()
-	return true
-}
-
-// lockForCommit acquires the commit-time write lock on r without panicking.
-func (tx *Txn) lockForCommit(r *baseRef) bool {
-	const budget = 1024
-	for spins := 0; spins < budget; spins++ {
-		if tx.status() != statusActive {
-			return false
-		}
-		if r.owner.CompareAndSwap(nil, tx) {
-			return true
-		}
-		owner := r.owner.Load()
-		if owner == tx {
-			return true
-		}
-		if owner != nil {
-			snap := owner.stateSnapshot()
-			if snap&statusMask == statusActive && tx.s.cm.Wins(tx, owner) {
-				doomTxn(owner, snap)
-			}
-		}
-		procYield()
-	}
-	return false
-}
-
+// transitionCommitted flips the current attempt from active to committed,
+// failing if a contention manager doomed the attempt first.
 func (tx *Txn) transitionCommitted() bool {
 	snap := uint64(tx.attempt)<<2 | statusActive
 	return tx.state.CompareAndSwap(snap, uint64(tx.attempt)<<2|statusCommitted)
 }
 
+// runCommitLocked applies deferred effects (Proust replay logs) inside the
+// backend's commit critical section.
 func (tx *Txn) runCommitLocked() {
 	for _, f := range tx.onCommitLocked {
 		f()
 	}
 }
 
+// finishCommit runs after the backend publishes the commit: visible-reader
+// registrations are dropped, OnCommit handlers run, and the commit is
+// counted and traced.
 func (tx *Txn) finishCommit() {
 	tx.unregisterReaders()
 	for _, f := range tx.onCommit {
 		f()
 	}
 	tx.s.stats.Commits.Add(1)
+	tx.traceCommit()
 }
 
-// rollback undoes all transaction effects: restores encounter-time writes,
-// releases locks, runs OnAbort handlers in LIFO order (Proust inverses) and
-// deregisters visible readers. It is idempotent per attempt in the sense
-// that every caller invokes it exactly once per failed attempt.
-func (tx *Txn) rollback(reason abortReason) {
+// validateReadsTimed performs a commit-time read-set validation pass and, on
+// sampled attempts, records its duration in the ValidationTime histogram.
+func (tx *Txn) validateReadsTimed() bool {
+	if !tx.sampled {
+		return tx.validateReads()
+	}
+	t0 := time.Now()
+	ok := tx.validateReads()
+	tx.s.stats.ValidationTime.observe(time.Since(t0))
+	return ok
+}
+
+// rollback undoes all transaction effects: the backend releases its locks
+// and restores encounter-time writes, OnAbort handlers run in LIFO order
+// (Proust inverses), visible readers are deregistered, and the abort is
+// counted and traced. Every caller invokes it exactly once per failed
+// attempt.
+func (tx *Txn) rollback(cause AbortCause) {
 	snap := tx.state.Load()
 	if snap&statusMask == statusActive {
 		tx.state.CompareAndSwap(snap, snap&^statusMask|statusAborted)
 	}
 
-	// Restore tentative values before releasing ownership so that no
-	// reader can observe an uncommitted value.
-	for i := len(tx.undo) - 1; i >= 0; i-- {
-		e := tx.undo[i]
-		e.r.value.Store(e.oldVal)
-	}
-	tx.undo = tx.undo[:0]
-	for _, r := range tx.owned {
-		r.owner.Store(nil)
-	}
-	tx.owned = tx.owned[:0]
-	for _, r := range tx.commitLocks {
-		r.owner.Store(nil)
-	}
-	tx.commitLocks = tx.commitLocks[:0]
+	tx.s.backend.abort(tx)
 
 	for i := len(tx.onAbort) - 1; i >= 0; i-- {
 		tx.onAbort[i]()
 	}
 	tx.unregisterReaders()
 
-	tx.s.stats.Aborts.Add(1)
-	switch reason {
-	case abortConflict:
-		tx.s.stats.ConflictAborts.Add(1)
-	case abortValidation:
-		tx.s.stats.ValidationAborts.Add(1)
-	case abortDoomed:
-		tx.s.stats.DoomedAborts.Add(1)
-	case abortUser:
-		tx.s.stats.UserAborts.Add(1)
-	}
+	tx.s.stats.countAbort(cause)
+	tx.traceAbort(cause)
 }

@@ -1,61 +1,100 @@
 package stm
 
-// NOrec support: a fourth detection policy implementing Dalessandro, Spear
-// and Scott's NOrec ("No Ownership Records", PPoPP 2010), one of the STMs in
-// the paper's Figure 1 classification (lazy w/w, lazy r/w) and the subject
-// of its future-work remark that "the Proust methodology could be
-// implemented as a framework for other STMs".
+import (
+	"sync/atomic"
+	"time"
+)
+
+func init() {
+	RegisterBackend(BackendFactory{
+		Name:   "norec",
+		Policy: NOrec,
+		Doc:    "NOrec: no per-ref metadata, one global sequence lock, value-based validation",
+		New:    func() Backend { return &norecBackend{} },
+	})
+}
+
+// norecBackend implements Dalessandro, Spear and Scott's NOrec ("No
+// Ownership Records", PPoPP 2010), one of the STMs in the paper's Figure 1
+// classification (lazy w/w, lazy r/w) and the subject of its future-work
+// remark that "the Proust methodology could be implemented as a framework
+// for other STMs".
 //
-// NOrec keeps no per-location metadata at all: a single global sequence
-// lock orders writers, and readers validate *values* instead of versions.
-// Because every committed write installs a fresh box, pointer identity of
-// the box doubles as value validation without requiring comparable value
-// types.
+// NOrec keeps no per-location metadata at all: a single global sequence lock
+// (owned by this backend, one per STM instance) orders writers, and readers
+// validate *values* instead of versions. Because every committed write
+// installs a fresh box, pointer identity of the box doubles as value
+// validation without requiring comparable value types. The transaction's
+// sequence snapshot lives in its own Txn field (Txn.snapshot), disjoint from
+// the read version of the TL2-lineage backends.
 //
 // Proust integration is unchanged: OnCommitLocked runs while the global
 // sequence lock is held — NOrec's "native locking mechanism" — so replay
 // logs apply atomically with the commit, and Ref.Touch records a read-log
 // entry that commit-time validation checks, exactly as Theorem 5.3 needs.
+type norecBackend struct {
+	seq atomic.Uint64 // global sequence lock (even = stable)
+}
 
-// norecBegin samples a stable (even) sequence number.
-func (tx *Txn) norecBegin() {
+var _ Backend = (*norecBackend)(nil)
+
+// Name implements Backend.
+func (*norecBackend) Name() string { return "norec" }
+
+// Policy implements Backend.
+func (*norecBackend) Policy() DetectionPolicy { return NOrec }
+
+// begin samples a stable (even) sequence number into the transaction's
+// snapshot.
+func (b *norecBackend) begin(tx *Txn) {
 	for {
-		s := tx.s.norecSeq.Load()
+		s := b.seq.Load()
 		if s&1 == 0 {
-			tx.readVersion = s // reuse the field as the NOrec snapshot
+			tx.snapshot = s
 			return
 		}
 		procYield()
 	}
 }
 
-// norecRead performs a NOrec read: consistent against the global sequence,
-// with full value revalidation whenever the sequence has moved.
-func (tx *Txn) norecRead(r *baseRef) any {
+// read performs a NOrec read: consistent against the global sequence, with
+// full value revalidation whenever the sequence has moved.
+func (b *norecBackend) read(tx *Txn, r *baseRef) any {
 	for {
-		b := r.value.Load()
-		s := tx.s.norecSeq.Load()
+		bx := r.value.Load()
+		s := b.seq.Load()
 		if s&1 == 1 {
 			procYield()
 			continue
 		}
-		if s != tx.readVersion {
-			if !tx.norecValidate() {
-				tx.conflict(abortValidation)
+		if s != tx.snapshot {
+			if !b.validate(tx) {
+				tx.conflict(CauseValidation)
 			}
-			tx.readVersion = s
+			tx.snapshot = s
 			continue // re-read under the new snapshot
 		}
-		tx.reads = append(tx.reads, readEntry{r: r, box: b})
-		return b.v
+		tx.reads = append(tx.reads, readEntry{r: r, box: bx})
+		return bx.v
 	}
 }
 
-// norecValidate waits for a stable sequence and compares every read-log
-// entry's box pointer against the current one.
-func (tx *Txn) norecValidate() bool {
+func (b *norecBackend) touch(tx *Txn, r *baseRef) { _ = b.read(tx, r) }
+
+// write buffers v in the redo log (lazy w/w, like tl2).
+func (*norecBackend) write(tx *Txn, r *baseRef, v any) {
+	if we, ok := tx.writes[r]; ok {
+		we.val = v
+		return
+	}
+	tx.recordWrite(r, v)
+}
+
+// validate waits for a stable sequence and compares every read-log entry's
+// box pointer against the current one, advancing the snapshot on success.
+func (b *norecBackend) validate(tx *Txn) bool {
 	for {
-		s := tx.s.norecSeq.Load()
+		s := b.seq.Load()
 		if s&1 == 1 {
 			procYield()
 			continue
@@ -66,46 +105,64 @@ func (tx *Txn) norecValidate() bool {
 				return false
 			}
 		}
-		if tx.s.norecSeq.Load() != s {
+		if b.seq.Load() != s {
 			continue
 		}
-		tx.readVersion = s
+		tx.snapshot = s
 		return true
 	}
 }
 
-// commitNOrec implements the NOrec commit: spin-acquire the global
-// sequence lock from the transaction's snapshot, revalidating on every
-// miss; then publish the redo log and release.
-func (tx *Txn) commitNOrec() bool {
+// validateTimed is the commit-time validation pass, recorded in the
+// ValidationTime histogram on sampled attempts.
+func (b *norecBackend) validateTimed(tx *Txn) bool {
+	if !tx.sampled {
+		return b.validate(tx)
+	}
+	t0 := time.Now()
+	ok := b.validate(tx)
+	tx.s.stats.ValidationTime.observe(time.Since(t0))
+	return ok
+}
+
+// commit implements the NOrec commit: spin-acquire the global sequence lock
+// from the transaction's snapshot, revalidating on every miss; then publish
+// the redo log and release.
+func (b *norecBackend) commit(tx *Txn) bool {
 	if len(tx.writes) == 0 && len(tx.onCommitLocked) == 0 {
 		// Read-only transactions are always consistent at their snapshot.
 		if !tx.transitionCommitted() {
-			tx.rollback(abortDoomed)
+			tx.rollback(CauseDoomed)
 			return false
 		}
 		tx.finishCommit()
 		return true
 	}
-	for !tx.s.norecSeq.CompareAndSwap(tx.readVersion, tx.readVersion+1) {
-		if !tx.norecValidate() {
-			tx.rollback(abortValidation)
+	for !b.seq.CompareAndSwap(tx.snapshot, tx.snapshot+1) {
+		if !b.validateTimed(tx) {
+			tx.rollback(CauseValidation)
 			return false
 		}
 	}
 	// Sequence lock held (odd): no reader returns and no writer commits
 	// until we release.
+	tx.markLocked()
 	if !tx.transitionCommitted() {
-		tx.s.norecSeq.Store(tx.readVersion + 2)
-		tx.rollback(abortDoomed)
+		b.seq.Store(tx.snapshot + 2)
+		tx.rollback(CauseDoomed)
 		return false
 	}
 	tx.runCommitLocked()
 	for _, r := range tx.writeOrder {
 		r.value.Store(&box{v: tx.writes[r].val})
-		r.version.Store(tx.readVersion + 2)
+		r.version.Store(tx.snapshot + 2)
 	}
-	tx.s.norecSeq.Store(tx.readVersion + 2)
+	b.seq.Store(tx.snapshot + 2)
+	tx.observeLockHold()
 	tx.finishCommit()
 	return true
 }
+
+// abort releases nothing: NOrec holds no per-ref locks, and the commit path
+// releases the sequence lock itself before rolling back.
+func (*norecBackend) abort(tx *Txn) { tx.observeLockHold() }

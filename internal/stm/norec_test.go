@@ -92,7 +92,7 @@ func TestNOrecSeqLockParity(t *testing.T) {
 		}()
 	}
 	wg.Wait()
-	if seq := s.norecSeq.Load(); seq&1 != 0 {
+	if seq := s.backend.(*norecBackend).seq.Load(); seq&1 != 0 {
 		t.Fatalf("sequence lock left odd: %d", seq)
 	}
 	if got := r.Load(); got != 800 {
@@ -112,7 +112,7 @@ func TestNOrecAbortDropsWrites(t *testing.T) {
 	if got := r.Load(); got != 5 {
 		t.Fatalf("value after abort = %d, want 5", got)
 	}
-	if seq := s.norecSeq.Load(); seq&1 != 0 {
+	if seq := s.backend.(*norecBackend).seq.Load(); seq&1 != 0 {
 		t.Fatalf("sequence lock left odd after abort: %d", seq)
 	}
 }

@@ -1,0 +1,227 @@
+package stm
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// AbortCause classifies why a transaction attempt aborted. It is the unified
+// abort-cause breakdown reported by Stats and Tracer across all backends.
+type AbortCause int
+
+const (
+	// CauseNone marks a non-abort event.
+	CauseNone AbortCause = iota
+	// CauseLockConflict: the attempt lost a lock acquisition or contention
+	// arbitration (encounter-time or commit-time).
+	CauseLockConflict
+	// CauseValidation: read-set validation failed (version- or value-based).
+	CauseValidation
+	// CauseDoomed: a contention manager doomed the attempt on behalf of
+	// another transaction.
+	CauseDoomed
+	// CauseUser: the transaction body returned an error or panicked.
+	CauseUser
+	// CauseMaxAttempts: the transaction exhausted WithMaxAttempts and was
+	// abandoned (reported once per transaction, after the final attempt's
+	// own abort cause).
+	CauseMaxAttempts
+)
+
+// String returns the cause name used in stats and trace output.
+func (c AbortCause) String() string {
+	switch c {
+	case CauseNone:
+		return "none"
+	case CauseLockConflict:
+		return "lock-conflict"
+	case CauseValidation:
+		return "validation"
+	case CauseDoomed:
+		return "doomed"
+	case CauseUser:
+		return "user"
+	case CauseMaxAttempts:
+		return "max-attempts"
+	default:
+		return "unknown"
+	}
+}
+
+// histSampleEvery: the duration histograms time one in every histSampleEvery
+// transaction attempts on average (power of two; sampled from the attempt's
+// xorshift state so lock-step workloads cannot alias the sampling pattern).
+// Timing a commit costs two time.Now calls per histogram — a measurable
+// fraction of a short transaction — so sampling keeps the instrumentation
+// within the hot-path budget while the bucket distribution stays
+// representative. Counters (commits, aborts by cause) are never sampled.
+const histSampleEvery = 8
+
+// histBuckets is the number of power-of-two duration buckets: bucket i counts
+// durations whose nanosecond value has bit length i, i.e. [2^(i-1), 2^i) ns,
+// with the last bucket absorbing everything longer (~34s and up at 36).
+const histBuckets = 36
+
+// DurationHist is a fixed-size power-of-two histogram of durations. Recording
+// is a single atomic increment — no allocations, safe for the commit hot
+// path under arbitrary concurrency.
+type DurationHist struct {
+	buckets [histBuckets]atomic.Uint64
+}
+
+// observe records one duration.
+func (h *DurationHist) observe(d time.Duration) {
+	ns := uint64(d)
+	i := bits.Len64(ns)
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	h.buckets[i].Add(1)
+}
+
+func (h *DurationHist) snapshot() DurationHistSnapshot {
+	var s DurationHistSnapshot
+	s.Buckets = make([]uint64, histBuckets)
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		s.Buckets[i] = n
+		s.Count += n
+	}
+	return s
+}
+
+func (h *DurationHist) reset() {
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+}
+
+// DurationHistSnapshot is a point-in-time copy of a DurationHist. Bucket i
+// counts durations in [2^(i-1), 2^i) nanoseconds.
+type DurationHistSnapshot struct {
+	Buckets []uint64 `json:"buckets"`
+	Count   uint64   `json:"count"`
+}
+
+// BucketUpperNS returns the exclusive upper bound of bucket i in nanoseconds.
+func (s DurationHistSnapshot) BucketUpperNS(i int) uint64 {
+	if i <= 0 {
+		return 1
+	}
+	return uint64(1) << i
+}
+
+// Quantile returns an upper-bound estimate of the q-quantile (0 < q <= 1).
+func (s DurationHistSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	target := uint64(q * float64(s.Count))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, n := range s.Buckets {
+		cum += n
+		if cum >= target {
+			return time.Duration(s.BucketUpperNS(i))
+		}
+	}
+	return time.Duration(s.BucketUpperNS(len(s.Buckets) - 1))
+}
+
+// Stats holds cumulative counters for an STM instance. Since every STM runs
+// exactly one backend, these are the per-backend statistics of the unified
+// instrumentation layer: throughput counters, the abort-cause breakdown, and
+// commit-path duration histograms.
+type Stats struct {
+	Starts  atomic.Uint64
+	Commits atomic.Uint64
+	Aborts  atomic.Uint64
+
+	// Abort-cause breakdown.
+	ConflictAborts    atomic.Uint64 // lost arbitration / lock acquisition
+	ValidationAborts  atomic.Uint64 // read-set validation failure
+	DoomedAborts      atomic.Uint64 // doomed by a contention manager
+	UserAborts        atomic.Uint64 // fn returned an error
+	MaxAttemptsAborts atomic.Uint64 // transactions abandoned by WithMaxAttempts
+
+	// ValidationTime observes the duration of each commit-time read-set
+	// validation pass (version- or value-based).
+	ValidationTime DurationHist
+	// LockHold observes, per writing transaction, how long write locks were
+	// held: from the first lock acquisition (encounter-time backends) or the
+	// start of the commit lock phase (lazy backends) until release.
+	LockHold DurationHist
+}
+
+// StatsSnapshot is a point-in-time copy of Stats.
+type StatsSnapshot struct {
+	Starts  uint64 `json:"starts"`
+	Commits uint64 `json:"commits"`
+	Aborts  uint64 `json:"aborts"`
+
+	ConflictAborts    uint64 `json:"conflict_aborts"`
+	ValidationAborts  uint64 `json:"validation_aborts"`
+	DoomedAborts      uint64 `json:"doomed_aborts"`
+	UserAborts        uint64 `json:"user_aborts"`
+	MaxAttemptsAborts uint64 `json:"max_attempts_aborts"`
+
+	ValidationTime DurationHistSnapshot `json:"validation_time"`
+	LockHold       DurationHistSnapshot `json:"lock_hold"`
+}
+
+// AbortsByCause returns the abort-cause breakdown keyed by cause name.
+func (s StatsSnapshot) AbortsByCause() map[string]uint64 {
+	return map[string]uint64{
+		CauseLockConflict.String(): s.ConflictAborts,
+		CauseValidation.String():   s.ValidationAborts,
+		CauseDoomed.String():       s.DoomedAborts,
+		CauseUser.String():         s.UserAborts,
+		CauseMaxAttempts.String():  s.MaxAttemptsAborts,
+	}
+}
+
+func (st *Stats) snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		Starts:            st.Starts.Load(),
+		Commits:           st.Commits.Load(),
+		Aborts:            st.Aborts.Load(),
+		ConflictAborts:    st.ConflictAborts.Load(),
+		ValidationAborts:  st.ValidationAborts.Load(),
+		DoomedAborts:      st.DoomedAborts.Load(),
+		UserAborts:        st.UserAborts.Load(),
+		MaxAttemptsAborts: st.MaxAttemptsAborts.Load(),
+		ValidationTime:    st.ValidationTime.snapshot(),
+		LockHold:          st.LockHold.snapshot(),
+	}
+}
+
+func (st *Stats) reset() {
+	st.Starts.Store(0)
+	st.Commits.Store(0)
+	st.Aborts.Store(0)
+	st.ConflictAborts.Store(0)
+	st.ValidationAborts.Store(0)
+	st.DoomedAborts.Store(0)
+	st.UserAborts.Store(0)
+	st.MaxAttemptsAborts.Store(0)
+	st.ValidationTime.reset()
+	st.LockHold.reset()
+}
+
+// countAbort records one abort with its cause.
+func (st *Stats) countAbort(cause AbortCause) {
+	st.Aborts.Add(1)
+	switch cause {
+	case CauseLockConflict:
+		st.ConflictAborts.Add(1)
+	case CauseValidation:
+		st.ValidationAborts.Add(1)
+	case CauseDoomed:
+		st.DoomedAborts.Add(1)
+	case CauseUser:
+		st.UserAborts.Add(1)
+	}
+}

@@ -9,10 +9,12 @@
 //     transaction's read version, with read-set revalidation and clock
 //     extension on failure, so no transaction (not even one that will later
 //     abort) observes an inconsistent memory snapshot.
-//   - Pluggable conflict-detection policies reproducing the right-hand table
-//     of Figure 1 in the Proust paper: LazyLazy (TL2-like), mixed
-//     eager-write/lazy-read (CCSTM-like, the paper's default backend), and
-//     EagerEager (visible readers, all conflicts detected at encounter time).
+//   - Pluggable conflict-detection backends reproducing the right-hand table
+//     of Figure 1 in the Proust paper, selected by registry name: "tl2"
+//     (lazy/lazy, TL2-like), "ccstm" (eager w/w, lazy r/w — the paper's
+//     default backend), "eager" (visible readers, all conflicts detected at
+//     encounter time) and "norec" (no per-reference metadata, value-based
+//     validation under a global sequence lock). See Backend.
 //   - Contention management (polite backoff, and greedy timestamp where the
 //     older transaction wins and may doom the younger).
 //   - Transaction lifecycle hooks. OnCommitLocked runs inside the commit
@@ -21,6 +23,9 @@
 //     applied ("behind the STM's native locking mechanisms", Section 4 of
 //     the paper).
 //   - Transaction-local storage (TxnLocal) used to carry replay logs.
+//   - Unified per-backend instrumentation: an abort-cause breakdown,
+//     commit-time validation and lock-hold duration histograms (Stats), and
+//     an optional lifecycle Tracer.
 //
 // Transactions are executed with (*STM).Atomically. Internal conflicts are
 // signalled by panicking with a private sentinel that Atomically recovers;
@@ -35,32 +40,36 @@ import (
 	"sync/atomic"
 )
 
-// DetectionPolicy selects when the STM detects read-write and write-write
-// conflicts. It reproduces the STM strategy table of Figure 1.
+// DetectionPolicy classifies when an STM backend detects read-write and
+// write-write conflicts. It reproduces the STM strategy table of Figure 1;
+// each registered Backend maps to exactly one policy.
 type DetectionPolicy int
 
 const (
 	// LazyLazy buffers writes in a redo log and acquires write locks only
 	// at commit time (in global reference order); read-write conflicts are
 	// found by commit-time read-set validation. This is the TL2 family:
-	// lazy w/w and lazy r/w detection.
+	// lazy w/w and lazy r/w detection. Implemented by the "tl2" backend.
 	LazyLazy DetectionPolicy = iota + 1
 	// MixedEagerWWLazyRW acquires write locks at encounter time with an
 	// undo log (eager w/w detection) but keeps readers invisible and
 	// validates the read set at commit (lazy r/w detection). This matches
 	// CCSTM, the default ScalaSTM backend used in the paper's evaluation.
+	// Implemented by the "ccstm" backend.
 	MixedEagerWWLazyRW
 	// EagerEager acquires write locks at encounter time and additionally
 	// registers visible readers on every reference, so a writer detects
 	// and arbitrates read-write conflicts the moment it tries to acquire
 	// the reference. All conflicts are detected eagerly, which is the STM
 	// requirement of Theorem 5.2 (Eager/Optimistic Proust is opaque).
+	// Implemented by the "eager" backend.
 	EagerEager
 	// NOrec keeps no per-reference metadata: a single global sequence
 	// lock orders commits and readers validate by value (box identity).
 	// Lazy w/w and lazy r/w detection, like LazyLazy, but with O(1) space
 	// overhead and value-based validation (Dalessandro, Spear, Scott —
 	// PPoPP 2010; cited as [8] in the paper's Figure 1 classification).
+	// Implemented by the "norec" backend.
 	NOrec
 )
 
@@ -90,17 +99,17 @@ func (p DetectionPolicy) EagerWriteLocks() bool {
 // configured maximum number of attempts.
 var ErrMaxAttempts = errors.New("stm: transaction exceeded maximum attempts")
 
-// STM is an instance of the transactional memory: a global version clock,
-// a conflict-detection policy, a contention manager and statistics. All
+// STM is an instance of the transactional memory: a global version clock, a
+// conflict-detection backend, a contention manager and statistics. All
 // references participating in the same transactions must be created against
 // the same STM.
 type STM struct {
-	clock    atomic.Uint64 // global version clock
-	norecSeq atomic.Uint64 // NOrec global sequence lock (even = stable)
-	refIDs   atomic.Uint64 // unique reference ids (commit-time lock order)
-	txnIDs   atomic.Uint64 // unique transaction serials
-	policy   DetectionPolicy
-	cm       ContentionManager
+	clock   atomic.Uint64 // global version clock
+	refIDs  atomic.Uint64 // unique reference ids (commit-time lock order)
+	txnIDs  atomic.Uint64 // unique transaction serials
+	backend Backend
+	cm      ContentionManager
+	tracer  Tracer
 	maxTries int
 	stats    Stats
 
@@ -116,10 +125,18 @@ type Option interface {
 
 type policyOption DetectionPolicy
 
-func (o policyOption) apply(s *STM) { s.policy = DetectionPolicy(o) }
+func (o policyOption) apply(s *STM) {
+	f, ok := backendForPolicy(DetectionPolicy(o))
+	if !ok {
+		panic(fmt.Sprintf("stm: no backend registered for policy %v", DetectionPolicy(o)))
+	}
+	s.backend = f.New()
+}
 
-// WithPolicy selects the conflict-detection policy. The default is
-// MixedEagerWWLazyRW, matching the CCSTM backend used by the paper.
+// WithPolicy selects the backend implementing the given conflict-detection
+// policy. It is the classification-based compatibility spelling of
+// WithBackend; the default is MixedEagerWWLazyRW ("ccstm"), matching the
+// backend used by the paper.
 func WithPolicy(p DetectionPolicy) Option { return policyOption(p) }
 
 type cmOption struct{ cm ContentionManager }
@@ -138,21 +155,36 @@ func (o maxTriesOption) apply(s *STM) { s.maxTries = int(o) }
 // returns ErrMaxAttempts when exceeded. Zero (the default) means unbounded.
 func WithMaxAttempts(n int) Option { return maxTriesOption(n) }
 
-// New creates an STM instance.
+// New creates an STM instance. The default backend is "ccstm"
+// (MixedEagerWWLazyRW), matching the paper's evaluation.
 func New(opts ...Option) *STM {
 	s := &STM{
-		policy: MixedEagerWWLazyRW,
-		cm:     Backoff{},
+		cm: Backoff{},
 	}
 	for _, o := range opts {
 		o.apply(s)
+	}
+	if s.backend == nil {
+		f, ok := BackendByName(DefaultBackend)
+		if !ok {
+			panic("stm: default backend not registered")
+		}
+		s.backend = f.New()
 	}
 	s.retryCv = sync.NewCond(&s.retryMu)
 	return s
 }
 
-// Policy returns the conflict-detection policy of this instance.
-func (s *STM) Policy() DetectionPolicy { return s.policy }
+// DefaultBackend is the registry name of the backend New selects when no
+// WithBackend/WithPolicy option is given.
+const DefaultBackend = "ccstm"
+
+// Policy returns the conflict-detection classification of this instance's
+// backend.
+func (s *STM) Policy() DetectionPolicy { return s.backend.Policy() }
+
+// Backend returns the backend instance of this STM.
+func (s *STM) Backend() Backend { return s.backend }
 
 // GlobalClock returns the current value of the global version clock. It is
 // exported for tests and diagnostics.
@@ -165,6 +197,8 @@ func (s *STM) Atomically(fn func(tx *Txn) error) error {
 	tx := s.newTxn()
 	for {
 		if s.maxTries > 0 && tx.attempt >= s.maxTries {
+			s.stats.MaxAttemptsAborts.Add(1)
+			tx.traceAbort(CauseMaxAttempts)
 			return ErrMaxAttempts
 		}
 		tx.beginAttempt()
@@ -173,7 +207,7 @@ func (s *STM) Atomically(fn func(tx *Txn) error) error {
 		switch sig {
 		case sigNone:
 			if err != nil {
-				tx.rollback(abortUser)
+				tx.rollback(CauseUser)
 				return err
 			}
 			if tx.commit() {
@@ -234,48 +268,4 @@ func (s *STM) waitCommit(gen uint64) {
 	for s.retryGen == gen {
 		s.retryCv.Wait()
 	}
-}
-
-// Stats holds cumulative counters for an STM instance.
-type Stats struct {
-	Starts           atomic.Uint64
-	Commits          atomic.Uint64
-	Aborts           atomic.Uint64
-	ConflictAborts   atomic.Uint64 // lost arbitration / lock acquisition
-	ValidationAborts atomic.Uint64 // read-set validation failure
-	DoomedAborts     atomic.Uint64 // doomed by another transaction
-	UserAborts       atomic.Uint64 // fn returned an error
-}
-
-// StatsSnapshot is a point-in-time copy of Stats.
-type StatsSnapshot struct {
-	Starts           uint64
-	Commits          uint64
-	Aborts           uint64
-	ConflictAborts   uint64
-	ValidationAborts uint64
-	DoomedAborts     uint64
-	UserAborts       uint64
-}
-
-func (st *Stats) snapshot() StatsSnapshot {
-	return StatsSnapshot{
-		Starts:           st.Starts.Load(),
-		Commits:          st.Commits.Load(),
-		Aborts:           st.Aborts.Load(),
-		ConflictAborts:   st.ConflictAborts.Load(),
-		ValidationAborts: st.ValidationAborts.Load(),
-		DoomedAborts:     st.DoomedAborts.Load(),
-		UserAborts:       st.UserAborts.Load(),
-	}
-}
-
-func (st *Stats) reset() {
-	st.Starts.Store(0)
-	st.Commits.Store(0)
-	st.Aborts.Store(0)
-	st.ConflictAborts.Store(0)
-	st.ValidationAborts.Store(0)
-	st.DoomedAborts.Store(0)
-	st.UserAborts.Store(0)
 }

@@ -1,0 +1,69 @@
+package stm
+
+// TraceKind distinguishes tracer event types.
+type TraceKind int
+
+const (
+	// TraceCommit is emitted once per committed transaction.
+	TraceCommit TraceKind = iota + 1
+	// TraceAbort is emitted once per aborted attempt (including attempts of
+	// transactions that later commit) and once more, with CauseMaxAttempts,
+	// when a transaction is abandoned by WithMaxAttempts.
+	TraceAbort
+)
+
+// TraceEvent describes one transaction lifecycle event.
+type TraceEvent struct {
+	// Backend is the registry name of the backend that ran the transaction.
+	Backend string `json:"backend"`
+	Kind    TraceKind `json:"kind"`
+	// Cause is the abort cause for TraceAbort events, CauseNone otherwise.
+	Cause AbortCause `json:"cause"`
+	// Attempt is the 1-based attempt number at the time of the event.
+	Attempt int `json:"attempt"`
+	// Reads and Writes are the read- and write-set sizes at the event.
+	Reads  int `json:"reads"`
+	Writes int `json:"writes"`
+}
+
+// Tracer observes transaction lifecycle events. Trace may be called
+// concurrently from many goroutines and runs on the transaction hot path:
+// implementations must be cheap and must not run transactions themselves.
+// A nil tracer (the default) costs one predictable branch per event site.
+type Tracer interface {
+	Trace(ev TraceEvent)
+}
+
+type tracerOption struct{ t Tracer }
+
+func (o tracerOption) apply(s *STM) { s.tracer = o.t }
+
+// WithTracer attaches an optional lifecycle tracer to the STM instance.
+func WithTracer(t Tracer) Option { return tracerOption{t: t} }
+
+// traceCommit emits a commit event if a tracer is attached.
+func (tx *Txn) traceCommit() {
+	if t := tx.s.tracer; t != nil {
+		t.Trace(TraceEvent{
+			Backend: tx.s.backend.Name(),
+			Kind:    TraceCommit,
+			Attempt: tx.attempt,
+			Reads:   len(tx.reads),
+			Writes:  len(tx.writes),
+		})
+	}
+}
+
+// traceAbort emits an abort event if a tracer is attached.
+func (tx *Txn) traceAbort(cause AbortCause) {
+	if t := tx.s.tracer; t != nil {
+		t.Trace(TraceEvent{
+			Backend: tx.s.backend.Name(),
+			Kind:    TraceAbort,
+			Cause:   cause,
+			Attempt: tx.attempt,
+			Reads:   len(tx.reads),
+			Writes:  len(tx.writes),
+		})
+	}
+}

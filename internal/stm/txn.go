@@ -17,15 +17,6 @@ const (
 	statusMask = 0x3
 )
 
-type abortReason int
-
-const (
-	abortConflict abortReason = iota + 1
-	abortValidation
-	abortDoomed
-	abortUser
-)
-
 // signals raised (via panic) inside a transaction body.
 type txnSignal int
 
@@ -35,14 +26,14 @@ const (
 	sigRetry
 )
 
-type conflictSignal struct{ reason abortReason }
+type conflictSignal struct{ cause AbortCause }
 
 type retrySignal struct{}
 
 type readEntry struct {
 	r   *baseRef
 	ver uint64
-	box *box // NOrec: value identity instead of version
+	box *box // norec backend: value identity instead of version
 }
 
 type writeEntry struct {
@@ -57,6 +48,11 @@ type undoEntry struct {
 // Txn is a transaction descriptor. A Txn is created by Atomically and must
 // not be used outside the function it was passed to, nor from other
 // goroutines.
+//
+// The descriptor is shared by all backends: the redo log (writes/writeOrder)
+// and read set are policy-agnostic machinery, while the remaining fields are
+// each owned by the backend family annotated on them and untouched by the
+// others.
 type Txn struct {
 	s     *STM
 	birth uint64 // serial of the first attempt; contention-manager priority
@@ -64,15 +60,20 @@ type Txn struct {
 
 	state atomic.Uint64 // attempt<<2 | status
 
-	readVersion uint64
+	readVersion uint64 // versioned backends (tl2, ccstm, eager): TL2 read version
+	snapshot    uint64 // norec backend: global sequence-lock snapshot (even)
+
 	reads       []readEntry
 	writes      map[*baseRef]*writeEntry
 	writeOrder  []*baseRef
-	undo        []undoEntry // encounter-time locking only, in acquisition order
-	owned       []*baseRef  // refs whose owner == tx (encounter-time locking)
-	commitLocks []*baseRef  // refs locked during a lazy commit
-	visible     []*baseRef  // refs where tx is registered as a visible reader
+	undo        []undoEntry // encounter-time backends, in acquisition order
+	owned       []*baseRef  // refs whose owner == tx (encounter-time backends)
+	commitLocks []*baseRef  // refs locked during a lazy commit (tl2 backend)
+	visible     []*baseRef  // refs where tx is a visible reader (eager backend)
 	visibleSeen map[*baseRef]struct{}
+
+	lockStart time.Time // first write-lock acquisition (LockHold histogram)
+	sampled   bool      // this attempt feeds the duration histograms
 
 	locals map[any]any
 
@@ -97,10 +98,6 @@ func (s *STM) newTxn() *Txn {
 func (tx *Txn) beginAttempt() {
 	tx.attempt++
 	tx.id = tx.s.txnIDs.Add(1)
-	tx.readVersion = tx.s.clock.Load()
-	if tx.s.policy == NOrec {
-		tx.norecBegin()
-	}
 	tx.reads = tx.reads[:0]
 	tx.writes = nil
 	tx.writeOrder = tx.writeOrder[:0]
@@ -109,10 +106,18 @@ func (tx *Txn) beginAttempt() {
 	tx.commitLocks = tx.commitLocks[:0]
 	tx.visible = tx.visible[:0]
 	tx.visibleSeen = nil
+	tx.lockStart = time.Time{}
+	// Histogram sampling draw (1 in histSampleEvery): advance the attempt's
+	// xorshift state and test the top bits of the mixed value.
+	tx.rng ^= tx.rng >> 12
+	tx.rng ^= tx.rng << 25
+	tx.rng ^= tx.rng >> 27
+	tx.sampled = (tx.rng*0x2545f4914f6cdd1d)>>(64-3) == 0 // 3 = log2(histSampleEvery)
 	tx.locals = nil
 	tx.onAbort = tx.onAbort[:0]
 	tx.onCommit = tx.onCommit[:0]
 	tx.onCommitLocked = tx.onCommitLocked[:0]
+	tx.s.backend.begin(tx)
 	tx.state.Store(uint64(tx.attempt)<<2 | statusActive)
 }
 
@@ -147,14 +152,14 @@ func doomTxn(victim *Txn, snap uint64) bool {
 // contention manager doomed it.
 func (tx *Txn) checkAlive() {
 	if tx.status() == statusAborted {
-		panic(conflictSignal{reason: abortDoomed})
+		panic(conflictSignal{cause: CauseDoomed})
 	}
 }
 
-// conflict unwinds the transaction with the given reason; Atomically will
+// conflict unwinds the transaction with the given cause; Atomically will
 // roll back and retry.
-func (tx *Txn) conflict(reason abortReason) {
-	panic(conflictSignal{reason: reason})
+func (tx *Txn) conflict(cause AbortCause) {
+	panic(conflictSignal{cause: cause})
 }
 
 // Retry aborts the transaction and blocks until some other transaction
@@ -172,7 +177,7 @@ func Retry(tx *Txn) {
 // abort plus backoff.
 func AbortAndRetry(tx *Txn) {
 	_ = tx
-	panic(conflictSignal{reason: abortConflict})
+	panic(conflictSignal{cause: CauseLockConflict})
 }
 
 // OnAbort registers f to run if the transaction aborts (for any reason,
@@ -197,15 +202,15 @@ func (tx *Txn) runBody(fn func(*Txn) error) (err error, sig txnSignal) {
 		switch v := r.(type) {
 		case nil:
 		case conflictSignal:
-			tx.rollback(v.reason)
+			tx.rollback(v.cause)
 			sig = sigConflict
 		case retrySignal:
-			tx.rollback(abortConflict)
+			tx.rollback(CauseLockConflict)
 			sig = sigRetry
 		default:
 			// A panic from user code: roll back and re-panic so the
 			// caller sees it with locks and hooks cleaned up.
-			tx.rollback(abortUser)
+			tx.rollback(CauseUser)
 			panic(r)
 		}
 	}()
@@ -213,13 +218,15 @@ func (tx *Txn) runBody(fn func(*Txn) error) (err error, sig txnSignal) {
 	return err, sigNone
 }
 
-// read returns the value of r as observed by tx, maintaining opacity.
+// read returns the value of r as observed by tx, maintaining opacity. Reads
+// of refs in the redo log are served from it here; everything else is the
+// backend's consistent read.
 func (tx *Txn) read(r *baseRef) any {
 	tx.checkAlive()
 	if we, ok := tx.writes[r]; ok {
 		return we.val
 	}
-	return tx.readConsistent(r)
+	return tx.s.backend.read(tx, r)
 }
 
 // touch registers r in the read set (so it is validated at commit) even if
@@ -229,121 +236,16 @@ func (tx *Txn) read(r *baseRef) any {
 // read-after-write would not, since it is served from the redo log.
 func (tx *Txn) touch(r *baseRef) {
 	tx.checkAlive()
-	_ = tx.readConsistent(r)
+	tx.s.backend.touch(tx, r)
 }
 
-// readConsistent performs an opaque read of r's committed (or, if tx itself
-// holds the encounter-time lock, tentative) value and records a read-set
-// entry.
-func (tx *Txn) readConsistent(r *baseRef) any {
-	if tx.s.policy == NOrec {
-		return tx.norecRead(r)
-	}
-	if tx.s.policy == EagerEager {
-		// Register visibly before sampling the version: any writer that
-		// acquires r after this point will arbitrate against us, so
-		// committed writes can never invalidate our read set silently
-		// (which is why EagerEager skips commit-time validation).
-		tx.registerReader(r)
-	}
-	for spins := 0; ; spins++ {
-		v1 := r.version.Load()
-		owner := r.owner.Load()
-		if owner != nil && owner != tx {
-			tx.resolveRead(r, owner, spins)
-			continue
-		}
-		b := r.value.Load()
-		o2 := r.owner.Load()
-		if (o2 != nil && o2 != tx) || r.version.Load() != v1 {
-			continue
-		}
-		if v1 > tx.readVersion && !tx.extend() {
-			tx.conflict(abortValidation)
-		}
-		tx.reads = append(tx.reads, readEntry{r: r, ver: v1})
-		return b.v
-	}
-}
-
-// resolveRead handles finding r locked by another transaction during a read.
-func (tx *Txn) resolveRead(r *baseRef, owner *Txn, spins int) {
-	snap := owner.stateSnapshot()
-	if snap&statusMask == statusActive && tx.s.cm.Wins(tx, owner) {
-		doomTxn(owner, snap)
-	}
-	tx.waitOrDie(r, owner, spins)
-}
-
-// waitOrDie spins briefly waiting for ownership of r to change; past the
-// spin budget it aborts tx.
-func (tx *Txn) waitOrDie(r *baseRef, owner *Txn, spins int) {
-	const spinBudget = 256
-	if spins > spinBudget {
-		tx.conflict(abortConflict)
-	}
-	for i := 0; i < 32; i++ {
-		if r.owner.Load() != owner {
-			return
-		}
-		procYield()
-	}
-}
-
-// extend revalidates the read set against the current clock and, on success,
-// advances the transaction's read version (TinySTM-style timestamp
-// extension). This keeps long transactions opaque without spurious aborts.
-func (tx *Txn) extend() bool {
-	now := tx.s.clock.Load()
-	if !tx.validateReads() {
-		return false
-	}
-	tx.readVersion = now
-	return true
-}
-
-func (tx *Txn) validateReads() bool {
-	for i := range tx.reads {
-		re := &tx.reads[i]
-		o := re.r.owner.Load()
-		if o != nil && o != tx {
-			return false
-		}
-		if re.r.version.Load() != re.ver {
-			return false
-		}
-	}
-	return true
-}
-
-// write records (policy LazyLazy) or applies (encounter-time policies) a
-// write of v to r.
+// write records or applies a write of v to r, per the backend's strategy.
 func (tx *Txn) write(r *baseRef, v any) {
 	tx.checkAlive()
-	if !tx.s.policy.EagerWriteLocks() {
-		if we, ok := tx.writes[r]; ok {
-			we.val = v
-			return
-		}
-		tx.recordWrite(r, v)
-		return
-	}
-	// Encounter-time locking with an undo log.
-	if we, ok := tx.writes[r]; ok {
-		we.val = v
-		r.value.Store(&box{v: v})
-		return
-	}
-	tx.acquire(r)
-	if tx.s.policy == EagerEager {
-		tx.arbitrateReaders(r)
-	}
-	tx.undo = append(tx.undo, undoEntry{r: r, oldVal: r.value.Load()})
-	tx.owned = append(tx.owned, r)
-	tx.recordWrite(r, v)
-	r.value.Store(&box{v: v})
+	tx.s.backend.write(tx, r, v)
 }
 
+// recordWrite enters r into the redo log.
 func (tx *Txn) recordWrite(r *baseRef, v any) {
 	if tx.writes == nil {
 		tx.writes = make(map[*baseRef]*writeEntry, 8)
@@ -352,66 +254,21 @@ func (tx *Txn) recordWrite(r *baseRef, v any) {
 	tx.writeOrder = append(tx.writeOrder, r)
 }
 
-// acquire takes the write lock on r at encounter time, arbitrating with the
-// contention manager.
-func (tx *Txn) acquire(r *baseRef) {
-	for spins := 0; ; spins++ {
-		tx.checkAlive()
-		if r.owner.CompareAndSwap(nil, tx) {
-			return
-		}
-		owner := r.owner.Load()
-		if owner == nil || owner == tx {
-			if owner == tx {
-				return
-			}
-			continue
-		}
-		snap := owner.stateSnapshot()
-		if snap&statusMask == statusActive && tx.s.cm.Wins(tx, owner) {
-			doomTxn(owner, snap)
-		}
-		tx.waitOrDie(r, owner, spins)
+// markLocked stamps the start of the write-lock hold window (first lock
+// only, sampled attempts only — see histSampleEvery).
+func (tx *Txn) markLocked() {
+	if tx.sampled && tx.lockStart.IsZero() {
+		tx.lockStart = time.Now()
 	}
 }
 
-// registerReader adds tx to r's visible-reader table (EagerEager policy).
-func (tx *Txn) registerReader(r *baseRef) {
-	if tx.visibleSeen == nil {
-		tx.visibleSeen = make(map[*baseRef]struct{}, 8)
+// observeLockHold closes the write-lock hold window and records it in the
+// LockHold histogram.
+func (tx *Txn) observeLockHold() {
+	if !tx.lockStart.IsZero() {
+		tx.s.stats.LockHold.observe(time.Since(tx.lockStart))
+		tx.lockStart = time.Time{}
 	}
-	if _, ok := tx.visibleSeen[r]; ok {
-		return
-	}
-	r.addReader(tx)
-	tx.visibleSeen[r] = struct{}{}
-	tx.visible = append(tx.visible, r)
-}
-
-// arbitrateReaders resolves read-write conflicts eagerly: tx holds the write
-// lock on r and must either doom every visible reader or abort itself.
-func (tx *Txn) arbitrateReaders(r *baseRef) {
-	readers := r.activeReaders(tx)
-	for _, rd := range readers {
-		snap := rd.stateSnapshot()
-		if snap&statusMask != statusActive {
-			continue
-		}
-		if tx.s.cm.InvalidatesReader(tx, rd) {
-			doomTxn(rd, snap)
-			continue
-		}
-		// Reader wins: abort ourselves; rollback releases the lock.
-		tx.conflict(abortConflict)
-	}
-}
-
-func (tx *Txn) unregisterReaders() {
-	for _, r := range tx.visible {
-		r.removeReader(tx)
-	}
-	tx.visible = tx.visible[:0]
-	tx.visibleSeen = nil
 }
 
 // backoff performs randomized exponential backoff between attempts.
