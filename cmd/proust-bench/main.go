@@ -11,6 +11,8 @@
 //	proust-bench -list-backends               # enumerate registered STM backends
 //	proust-bench -policy tl2                  # run every system on one backend
 //	proust-bench -ops 1000000 -warmups 10 -reps 10   # the paper's protocol
+//	proust-bench -metrics-addr :9090 -experiment figure4   # live observability
+//	proust-bench -series ts.jsonl -flight flight.jsonl     # time series + flight dump
 //
 // The absolute numbers differ from the paper's EC2 m4.10xlarge/JVM setup;
 // the shapes (who wins, scaling trends, the effect of o and u) are the
@@ -24,10 +26,26 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"time"
 
 	"proust/internal/bench"
+	"proust/internal/obs"
 	"proust/internal/stm"
 )
+
+// dumpFlight writes the flight recorder to path as JSON lines.
+func dumpFlight(fr *obs.FlightRecorder, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "proust-bench: flight dump:", err)
+		return
+	}
+	defer f.Close()
+	if err := fr.DumpJSONL(f); err != nil {
+		fmt.Fprintln(os.Stderr, "proust-bench: flight dump:", err)
+	}
+	fmt.Printf("# wrote flight recorder dump to %s\n", path)
+}
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -50,6 +68,11 @@ func run(args []string) error {
 		listBk     = fs.Bool("list-backends", false, "list registered STM backends and exit")
 		jsonPath   = fs.String("json", "", "write per-backend results (ops/sec, abort causes, histograms) as JSON to this file ('-' = stdout)")
 		csvPath    = fs.String("csv", "", "also write results as CSV to this file")
+
+		metricsAddr = fs.String("metrics-addr", "", "serve /metrics (Prometheus text), /metrics.json, /flight and /debug/pprof on this address for the duration of the run")
+		seriesPath  = fs.String("series", "", "append a periodic observability time series (JSON lines) to this file")
+		seriesInt   = fs.Duration("series-interval", time.Second, "sampling interval for -series")
+		flightPath  = fs.String("flight", "", "dump the transaction flight recorder (JSON lines) to this file when the run ends")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -76,6 +99,49 @@ func run(args []string) error {
 
 	cfg := bench.DefaultSweep(os.Stdout)
 	cfg.Backend = *policy
+
+	var obsv *bench.Observability
+	if *metricsAddr != "" || *seriesPath != "" || *flightPath != "" {
+		obsv = bench.NewObservability(0)
+		cfg.Obs = obsv
+		if *metricsAddr != "" {
+			addr, stop, err := obs.Serve(*metricsAddr, obsv.Registry, obsv.Flight)
+			if err != nil {
+				return fmt.Errorf("metrics endpoint: %w", err)
+			}
+			defer stop()
+			fmt.Printf("# observability: http://%s/metrics (also /metrics.json, /flight, /debug/pprof)\n", addr)
+		}
+		if *seriesPath != "" {
+			f, err := os.Create(*seriesPath)
+			if err != nil {
+				return fmt.Errorf("create series file: %w", err)
+			}
+			defer f.Close()
+			stop := obsv.StartSeries(f, *seriesInt)
+			defer stop()
+		}
+		// Abort storms auto-dump the flight recorder so the window around
+		// the storm is preserved even if the process is later killed.
+		stormBase := *flightPath
+		if stormBase == "" {
+			stormBase = "flight"
+		}
+		obsv.Flight.SetStormPolicy(10000, int64(100*time.Millisecond), func(fr *obs.FlightRecorder) {
+			n := fr.Storms()
+			path := fmt.Sprintf("%s.storm%d.jsonl", stormBase, n)
+			fmt.Fprintf(os.Stderr, "# abort storm %d detected; dumping flight recorder to %s\n", n, path)
+			go dumpFlight(fr, path)
+		})
+		defer func() {
+			if *flightPath != "" {
+				dumpFlight(obsv.Flight, *flightPath)
+			}
+			fc := obsv.Estimator.Stats()
+			fmt.Printf("# false-conflict estimate: %d conflict aborts examined, %d likely false, %d likely true, %d unattributed (ratio %.3f)\n",
+				fc.Examined, fc.LikelyFalse, fc.LikelyTrue, fc.Unattributed, fc.Ratio)
+		}()
+	}
 	switch *experiment {
 	case "figure4":
 		cfg.TotalOps = 1000000

@@ -61,6 +61,10 @@ type CauseTracer struct {
 
 var _ stm.Tracer = (*CauseTracer)(nil)
 
+// TimestampFree implements stm.TimestampFree: the tracer only counts events,
+// so the STM can skip the per-event clock read.
+func (ct *CauseTracer) TimestampFree() {}
+
 // Trace implements stm.Tracer.
 func (ct *CauseTracer) Trace(ev stm.TraceEvent) {
 	switch ev.Kind {

@@ -22,6 +22,7 @@ import (
 	"proust/internal/baseline"
 	"proust/internal/conc"
 	"proust/internal/core"
+	"proust/internal/lock"
 	"proust/internal/stm"
 )
 
@@ -122,6 +123,9 @@ type System struct {
 	Name string
 	STM  *stm.STM
 	Map  core.TxMap[int, int]
+	// Locks is the abstract-lock stripe table for pessimistic systems (nil
+	// otherwise); observability attaches a lock.Observer here.
+	Locks *lock.Striped
 	// PessimisticOnly mirrors the paper: the pessimistic series is only
 	// reported for o=1 (longer transactions livelock against the STM's
 	// contention management; Section 7).
@@ -236,7 +240,8 @@ func FactoriesWithBackend(backend string) []Factory {
 				s := newSTM("ccstm")
 				lap := core.NewPessimisticLAP(intHash, benchMem, core.DefaultLockTimeout)
 				return System{Name: "proust-pessimistic", STM: s, OnlyO1: true,
-					Map: core.NewMap[int, int](s, lap, conc.IntHasher)}
+					Locks: lap.Locks(),
+					Map:   core.NewMap[int, int](s, lap, conc.IntHasher)}
 			},
 		},
 	}
@@ -424,7 +429,10 @@ type SweepConfig struct {
 	Interleave bool
 	Systems    []string // empty = all
 	Backend    string   // STM backend override by registry name; empty = per-system default
-	Out        io.Writer
+	// Obs instruments every system built during the sweep (nil = zero-cost
+	// uninstrumented run).
+	Obs *Observability
+	Out io.Writer
 }
 
 // DefaultSweep mirrors the paper's grid (scaled op counts are the caller's
@@ -453,6 +461,11 @@ func Sweep(cfg SweepConfig) ([]Result, error) {
 		}
 	}
 	factories := FactoriesWithBackend(cfg.Backend)
+	if cfg.Obs != nil {
+		for i := range factories {
+			factories[i] = cfg.Obs.Instrumented(factories[i])
+		}
+	}
 	if len(cfg.Systems) > 0 {
 		var sel []Factory
 		for _, name := range cfg.Systems {

@@ -1,0 +1,140 @@
+package bench
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"proust/internal/stm"
+	"proust/internal/verify"
+)
+
+// modelOpRecord translates a bounded-map model operation (via its rendered
+// name, e.g. "put(1,0)") into the runtime OpRecord shape the oracle sees.
+func modelOpRecord(t *testing.T, m verify.Model, op any) stm.OpRecord {
+	t.Helper()
+	name := m.OpName(op)
+	kind, _, ok := strings.Cut(name, "(")
+	if !ok {
+		t.Fatalf("unparseable op name %q", name)
+	}
+	var k, v int
+	switch kind {
+	case "put":
+		if _, err := fmt.Sscanf(name, "put(%d,%d)", &k, &v); err != nil {
+			t.Fatalf("unparseable op name %q: %v", name, err)
+		}
+	case "get", "remove":
+		if _, err := fmt.Sscanf(name, kind+"(%d)", &k); err != nil {
+			t.Fatalf("unparseable op name %q: %v", name, err)
+		}
+	default:
+		t.Fatalf("unknown op kind in %q", name)
+	}
+	return stm.OpRecord{Op: kind, Key: uint64(k)}
+}
+
+// TestMapOpsCommuteMatchesVerifyModel cross-checks the runtime commutativity
+// oracle against the exhaustive bounded-map model: MapOpsCommute must equal
+// state-independent commutativity (commutes in every enumerated state) for
+// every operation pair. This ties the false-conflict estimator's verdicts to
+// the same Definition-3.1 machinery that verifies the conflict abstractions.
+func TestMapOpsCommuteMatchesVerifyModel(t *testing.T) {
+	m := verify.NewMapModel(2, 3)
+	ops := m.Ops()
+	for i, op1 := range ops {
+		for j := i; j < len(ops); j++ {
+			op2 := ops[j]
+			want := verify.Commutes(m, op1, op2)
+			got := MapOpsCommute(modelOpRecord(t, m, op1), modelOpRecord(t, m, op2))
+			if got != want {
+				t.Errorf("%s vs %s: oracle says commute=%v, model says %v",
+					m.OpName(op1), m.OpName(op2), got, want)
+			}
+		}
+	}
+}
+
+// TestInstrumentedRunExportsMetrics drives a small contended workload through
+// an instrumented optimistic system and a pessimistic one, then checks every
+// layer surfaced: per-ADT-op outcome counters, per-backend STM stats,
+// abstract-lock acquisition metrics, flight-recorder events and
+// false-conflict classification.
+func TestInstrumentedRunExportsMetrics(t *testing.T) {
+	o := NewObservability(4096)
+
+	for _, name := range []string{"proust-eager-opt", "proust-pessimistic"} {
+		f, ok := FactoryByName(name)
+		if !ok {
+			t.Fatalf("factory %s missing", name)
+		}
+		w := Workload{
+			Threads: 4, OpsPerTxn: 1, WriteFraction: 0.5,
+			KeyRange: 64, TotalOps: 8000, Seed: 7,
+		}
+		if _, err := Run(o.Instrumented(f), w); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := o.Registry.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		`proust_adt_ops_total{structure="proust-eager-opt",op="put",outcome="committed"}`,
+		`proust_adt_ops_total{structure="proust-pessimistic",op="get",outcome="committed"}`,
+		`proust_stm_commits_total{backend="ccstm"}`,
+		`proust_stm_aborts_total{backend="ccstm",cause="validation"}`,
+		`proust_lock_acquires_total{mode="read",outcome="uncontended"}`,
+		`proust_lock_wait_nanoseconds_count{mode="write"}`,
+		`proust_false_conflict_ratio_permille`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+
+	snaps := o.Collector.Snapshots()
+	if snaps["ccstm"].Commits == 0 {
+		t.Errorf("collector saw no ccstm commits: %+v", snaps)
+	}
+	if len(o.Flight.Events()) == 0 {
+		t.Error("flight recorder captured no events")
+	}
+	if st := snaps["ccstm"]; st.Aborts > 0 {
+		if fc := o.Estimator.Stats(); fc.Examined == 0 {
+			t.Errorf("STM saw %d aborts but estimator examined none", st.Aborts)
+		}
+	}
+}
+
+func TestStartSeriesEmitsValidJSONLines(t *testing.T) {
+	o := NewObservability(64)
+	var buf bytes.Buffer
+	stop := o.StartSeries(&buf, 5*time.Millisecond)
+	time.Sleep(25 * time.Millisecond)
+	stop()
+
+	sc := bufio.NewScanner(&buf)
+	lines := 0
+	for sc.Scan() {
+		var pt SeriesPoint
+		if err := json.Unmarshal(sc.Bytes(), &pt); err != nil {
+			t.Fatalf("line %d invalid: %v", lines, err)
+		}
+		if pt.TS == "" {
+			t.Errorf("line %d has no timestamp", lines)
+		}
+		lines++
+	}
+	// At least the final flush point must be present.
+	if lines == 0 {
+		t.Fatal("series emitted no points")
+	}
+}

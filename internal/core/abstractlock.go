@@ -17,11 +17,74 @@ import (
 type AbstractLock[K comparable] struct {
 	lap   LockAllocatorPolicy[K]
 	strat UpdateStrategy
+
+	// Instrumentation (nil when not attached; see Instrument).
+	name    string
+	sink    Sink
+	hash    func(K) uint64
+	pending *stm.TxnLocal[*opTally]
+}
+
+// opTally counts per-operation executions of one attempt. An ADT wrapper has
+// a handful of distinct operation names, so a fixed array with linear scan
+// beats a map on the hot path (no hashing, no map allocation).
+type opTally struct {
+	names  [4]string
+	counts [4]uint64
+	n      int
+	spill  map[string]uint64 // only for wrappers with >4 distinct ops
+}
+
+func (t *opTally) bump(op string) {
+	for i := 0; i < t.n; i++ {
+		if t.names[i] == op {
+			t.counts[i]++
+			return
+		}
+	}
+	if t.n < len(t.names) {
+		t.names[t.n] = op
+		t.counts[t.n] = 1
+		t.n++
+		return
+	}
+	if t.spill == nil {
+		t.spill = make(map[string]uint64, 4)
+	}
+	t.spill[op]++
+}
+
+func (t *opTally) flush(sink Sink, structure string, committed bool) {
+	for i := 0; i < t.n; i++ {
+		sink.OpOutcome(structure, t.names[i], committed, t.counts[i])
+	}
+	for op, n := range t.spill {
+		sink.OpOutcome(structure, op, committed, n)
+	}
 }
 
 // NewAbstractLock creates an abstract lock for a design-space point.
 func NewAbstractLock[K comparable](lap LockAllocatorPolicy[K], strat UpdateStrategy) *AbstractLock[K] {
 	return &AbstractLock[K]{lap: lap, strat: strat}
+}
+
+// Instrument attaches ADT-level observability: per-operation commit/abort
+// counts flow to sink under the structure name, and — when the transaction's
+// STM is traced — each ApplyOp notes an (op, key-hash) record on the attempt
+// via Txn.NoteOp (hash may be nil, zeroing key hashes). Call before the
+// structure sees concurrent traffic; nil sink detaches the counters.
+func (l *AbstractLock[K]) Instrument(name string, hash func(K) uint64, sink Sink) {
+	l.name, l.hash, l.sink = name, hash, sink
+	if sink == nil {
+		l.pending = nil
+		return
+	}
+	l.pending = stm.NewTxnLocal(func(tx *stm.Txn) *opTally {
+		t := &opTally{}
+		tx.OnCommit(func() { t.flush(l.sink, l.name, true) })
+		tx.OnAbort(func() { t.flush(l.sink, l.name, false) })
+		return t
+	})
 }
 
 // Strategy returns the update strategy.
@@ -35,6 +98,28 @@ func (l *AbstractLock[K]) Optimistic() bool { return l.lap.Optimistic() }
 // effect when the transaction aborts; it receives op's return value.
 // Inverses run in LIFO order on abort (the boosting discipline).
 func (l *AbstractLock[K]) Apply(tx *stm.Txn, intents []Intent[K], op func() any, inverse func(any)) any {
+	return l.ApplyOp(tx, "", intents, op, inverse)
+}
+
+// ApplyOp is Apply with an ADT operation label for observability: when the
+// abstract lock is instrumented the attempt's per-op outcome counters are
+// bumped, and when the STM is traced an OpRecord (label plus first intent's
+// key hash) is attached to the attempt for flight-recorder/estimator
+// consumers. With no instrumentation and no tracer the label costs two
+// predictable branches.
+func (l *AbstractLock[K]) ApplyOp(tx *stm.Txn, opName string, intents []Intent[K], op func() any, inverse func(any)) any {
+	if opName != "" {
+		if tx.Traced() {
+			var kh uint64
+			if l.hash != nil && len(intents) > 0 {
+				kh = l.hash(intents[0].Key)
+			}
+			tx.NoteOp(opName, kh)
+		}
+		if l.pending != nil {
+			l.pending.Get(tx).bump(opName)
+		}
+	}
 	l.lap.PreOp(tx, intents)
 	ret := op()
 	switch {

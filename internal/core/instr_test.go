@@ -1,0 +1,158 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"proust/internal/conc"
+	"proust/internal/stm"
+)
+
+// memSink collects Sink events under a mutex (test-only).
+type memSink struct {
+	mu        sync.Mutex
+	committed map[string]uint64 // structure/op -> n
+	aborted   map[string]uint64
+	depths    []int
+}
+
+func newMemSink() *memSink {
+	return &memSink{committed: map[string]uint64{}, aborted: map[string]uint64{}}
+}
+
+func (s *memSink) OpOutcome(structure, op string, committed bool, n uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	k := structure + "/" + op
+	if committed {
+		s.committed[k] += n
+	} else {
+		s.aborted[k] += n
+	}
+}
+
+func (s *memSink) ReplayDepth(structure string, depth int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.depths = append(s.depths, depth)
+}
+
+func TestInstrumentedMapCountsOpOutcomes(t *testing.T) {
+	s := stm.New(stm.WithBackend("ccstm"))
+	lap := NewOptimisticLAP(s, conc.IntHasher, 64)
+	m := NewMap[int, int](s, lap, conc.IntHasher)
+	sink := newMemSink()
+	m.Instrument("map", sink)
+
+	if err := s.Atomically(func(tx *stm.Txn) error {
+		m.Put(tx, 1, 10)
+		m.Put(tx, 2, 20)
+		m.Get(tx, 1)
+		m.Remove(tx, 2)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sink.mu.Lock()
+	defer sink.mu.Unlock()
+	want := map[string]uint64{"map/put": 2, "map/get": 1, "map/remove": 1}
+	for k, n := range want {
+		if sink.committed[k] != n {
+			t.Errorf("committed[%s] = %d, want %d", k, sink.committed[k], n)
+		}
+	}
+	if len(sink.aborted) != 0 {
+		t.Errorf("unexpected aborted ops: %v", sink.aborted)
+	}
+}
+
+func TestInstrumentedLazyMapsReportReplayDepth(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mk   func(s *stm.STM) (TxMap[int, int], interface {
+			Instrument(string, Sink)
+		})
+	}{
+		{"snapshot", func(s *stm.STM) (TxMap[int, int], interface{ Instrument(string, Sink) }) {
+			m := NewLazySnapshotMap[int, int](s, NewOptimisticLAP(s, conc.IntHasher, 64), conc.IntHasher)
+			return m, m
+		}},
+		{"memo", func(s *stm.STM) (TxMap[int, int], interface{ Instrument(string, Sink) }) {
+			m := NewLazyMemoMap[int, int](s, NewOptimisticLAP(s, conc.IntHasher, 64), conc.IntHasher, false)
+			return m, m
+		}},
+		{"memo-combining", func(s *stm.STM) (TxMap[int, int], interface{ Instrument(string, Sink) }) {
+			m := NewLazyMemoMap[int, int](s, NewOptimisticLAP(s, conc.IntHasher, 64), conc.IntHasher, true)
+			return m, m
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s := stm.New(stm.WithBackend("tl2"))
+			m, in := tc.mk(s)
+			sink := newMemSink()
+			in.Instrument(tc.name, sink)
+			if err := s.Atomically(func(tx *stm.Txn) error {
+				m.Put(tx, 1, 10)
+				m.Put(tx, 2, 20)
+				m.Remove(tx, 1)
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			sink.mu.Lock()
+			defer sink.mu.Unlock()
+			if len(sink.depths) != 1 {
+				t.Fatalf("replay depths = %v, want one entry", sink.depths)
+			}
+			// Three logged ops; combining collapses to two distinct keys.
+			want := 3
+			if tc.name == "memo-combining" {
+				want = 2
+			}
+			if sink.depths[0] != want {
+				t.Errorf("replay depth = %d, want %d", sink.depths[0], want)
+			}
+			if sink.committed[tc.name+"/put"] != 2 || sink.committed[tc.name+"/remove"] != 1 {
+				t.Errorf("committed ops = %v", sink.committed)
+			}
+		})
+	}
+}
+
+// TestInstrumentedAbortAttribution drives two transactions into a real
+// conflict and checks aborted attempts flush their op counts to the aborted
+// side of the sink.
+func TestInstrumentedAbortAttribution(t *testing.T) {
+	s := stm.New(stm.WithBackend("ccstm"))
+	lap := NewOptimisticLAP(s, conc.IntHasher, 64)
+	m := NewMap[int, int](s, lap, conc.IntHasher)
+	sink := newMemSink()
+	m.Instrument("map", sink)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				_ = s.Atomically(func(tx *stm.Txn) error {
+					v, _ := m.Get(tx, 0)
+					m.Put(tx, 0, v+1)
+					return nil
+				})
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	st := s.Stats()
+	sink.mu.Lock()
+	defer sink.mu.Unlock()
+	if sink.committed["map/put"] != 400 {
+		t.Errorf("committed puts = %d, want 400", sink.committed["map/put"])
+	}
+	aborted := sink.aborted["map/put"] + sink.aborted["map/get"]
+	if st.Aborts > 0 && aborted == 0 {
+		t.Errorf("stats saw %d aborts but sink attributed none", st.Aborts)
+	}
+}

@@ -178,20 +178,30 @@ func NewPessimisticLAP[K comparable](hash func(K) uint64, n int, timeout time.Du
 	return l
 }
 
+// SetObserver attaches an abstract-lock acquisition observer to the stripe
+// table (wait durations, contention, timeouts, per-stripe attribution). Call
+// before the LAP sees concurrent traffic; nil detaches.
+func (l *PessimisticLAP[K]) SetObserver(o lock.Observer) { l.locks.SetObserver(o) }
+
+// Locks exposes the stripe table for diagnostics.
+func (l *PessimisticLAP[K]) Locks() *lock.Striped { return l.locks }
+
 // PreOp acquires the stripes for all intents on behalf of the transaction.
 // Locks are released by OnCommit/OnAbort hooks (strict two-phase locking:
 // "released implicitly on commit or abort", Section 3).
 func (l *PessimisticLAP[K]) PreOp(tx *stm.Txn, intents []Intent[K]) {
 	hs := l.held.Get(tx)
 	for _, in := range intents {
-		stripe := l.locks.Stripe(l.hash(in.Key))
+		h := l.hash(in.Key)
+		stripe := l.locks.Stripe(h)
 		hs.stripes[stripe] = struct{}{}
-		var err error
+		mode := lock.Read
 		if in.Mode == ModeWrite {
-			err = stripe.Lock(tx, l.timeout)
-		} else {
-			err = stripe.RLock(tx, l.timeout)
+			mode = lock.Write
 		}
+		// Acquire through the stripe table so an attached lock.Observer
+		// sees the wait.
+		err := l.locks.Acquire(tx, h, mode, l.timeout)
 		if err != nil {
 			// Timeout or upgrade contention: deadlock avoidance by abort
 			// plus backoff; the OnAbort hook releases everything

@@ -15,6 +15,7 @@ type LazySnapshotMap[K comparable, V any] struct {
 	al   *AbstractLock[K]
 	log  *SnapshotLog[*conc.Ctrie[K, V]]
 	size *stm.Ref[int]
+	hash conc.Hasher[K]
 }
 
 var _ TxMap[int, int] = (*LazySnapshotMap[int, int])(nil)
@@ -26,12 +27,20 @@ func NewLazySnapshotMap[K comparable, V any](s *stm.STM, lap LockAllocatorPolicy
 		al:   NewAbstractLock(lap, Lazy),
 		log:  NewSnapshotLog(base, func(ct *conc.Ctrie[K, V]) *conc.Ctrie[K, V] { return ct.Snapshot() }),
 		size: stm.NewRef(s, 0),
+		hash: hash,
 	}
+}
+
+// Instrument attaches ADT-level observability: per-operation outcome counts
+// plus the replay-log depth of each committing transaction.
+func (m *LazySnapshotMap[K, V]) Instrument(name string, sink Sink) {
+	m.al.Instrument(name, m.hash, sink)
+	m.log.Instrument(name, sink)
 }
 
 // Put stores v under k, returning the previous value if any.
 func (m *LazySnapshotMap[K, V]) Put(tx *stm.Txn, k K, v V) (V, bool) {
-	ret := m.al.Apply(tx, []Intent[K]{W(k)}, func() any {
+	ret := m.al.ApplyOp(tx, "put", []Intent[K]{W(k)}, func() any {
 		r := m.log.Mutate(tx, func(ct *conc.Ctrie[K, V]) any {
 			old, had := ct.Put(k, v)
 			return prev[V]{val: old, had: had}
@@ -50,7 +59,7 @@ func (m *LazySnapshotMap[K, V]) Put(tx *stm.Txn, k K, v V) (V, bool) {
 // copy when one exists (the readOnly optimization otherwise reads the
 // unmodified base directly).
 func (m *LazySnapshotMap[K, V]) Get(tx *stm.Txn, k K) (V, bool) {
-	ret := m.al.Apply(tx, []Intent[K]{R(k)}, func() any {
+	ret := m.al.ApplyOp(tx, "get", []Intent[K]{R(k)}, func() any {
 		return m.log.Read(tx, func(ct *conc.Ctrie[K, V]) any {
 			v, ok := ct.Get(k)
 			return prev[V]{val: v, had: ok}
@@ -68,7 +77,7 @@ func (m *LazySnapshotMap[K, V]) Contains(tx *stm.Txn, k K) bool {
 
 // Remove deletes k, returning the previous value if any.
 func (m *LazySnapshotMap[K, V]) Remove(tx *stm.Txn, k K) (V, bool) {
-	ret := m.al.Apply(tx, []Intent[K]{W(k)}, func() any {
+	ret := m.al.ApplyOp(tx, "remove", []Intent[K]{W(k)}, func() any {
 		r := m.log.Mutate(tx, func(ct *conc.Ctrie[K, V]) any {
 			old, had := ct.Remove(k)
 			return prev[V]{val: old, had: had}
@@ -97,6 +106,7 @@ type LazyMemoMap[K comparable, V any] struct {
 	al   *AbstractLock[K]
 	log  *MemoLog[K, V]
 	size *stm.Ref[int]
+	hash conc.Hasher[K]
 }
 
 var _ TxMap[int, int] = (*LazyMemoMap[int, int])(nil)
@@ -109,12 +119,20 @@ func NewLazyMemoMap[K comparable, V any](s *stm.STM, lap LockAllocatorPolicy[K],
 		al:   NewAbstractLock(lap, Lazy),
 		log:  NewMemoLog[K, V](base, combine),
 		size: stm.NewRef(s, 0),
+		hash: hash,
 	}
+}
+
+// Instrument attaches ADT-level observability: per-operation outcome counts
+// plus the replay-log depth of each committing transaction.
+func (m *LazyMemoMap[K, V]) Instrument(name string, sink Sink) {
+	m.al.Instrument(name, m.hash, sink)
+	m.log.Instrument(name, sink)
 }
 
 // Put stores v under k, returning the previous value if any.
 func (m *LazyMemoMap[K, V]) Put(tx *stm.Txn, k K, v V) (V, bool) {
-	ret := m.al.Apply(tx, []Intent[K]{W(k)}, func() any {
+	ret := m.al.ApplyOp(tx, "put", []Intent[K]{W(k)}, func() any {
 		old, had := m.log.Put(tx, k, v)
 		if !had {
 			m.size.Modify(tx, func(n int) int { return n + 1 })
@@ -127,7 +145,7 @@ func (m *LazyMemoMap[K, V]) Put(tx *stm.Txn, k K, v V) (V, bool) {
 
 // Get returns the value stored under k.
 func (m *LazyMemoMap[K, V]) Get(tx *stm.Txn, k K) (V, bool) {
-	ret := m.al.Apply(tx, []Intent[K]{R(k)}, func() any {
+	ret := m.al.ApplyOp(tx, "get", []Intent[K]{R(k)}, func() any {
 		v, ok := m.log.Get(tx, k)
 		return prev[V]{val: v, had: ok}
 	}, nil)
@@ -143,7 +161,7 @@ func (m *LazyMemoMap[K, V]) Contains(tx *stm.Txn, k K) bool {
 
 // Remove deletes k, returning the previous value if any.
 func (m *LazyMemoMap[K, V]) Remove(tx *stm.Txn, k K) (V, bool) {
-	ret := m.al.Apply(tx, []Intent[K]{W(k)}, func() any {
+	ret := m.al.ApplyOp(tx, "remove", []Intent[K]{W(k)}, func() any {
 		old, had := m.log.Remove(tx, k)
 		if had {
 			m.size.Modify(tx, func(n int) int { return n - 1 })

@@ -32,6 +32,7 @@ type Map[K comparable, V any] struct {
 	al   *AbstractLock[K]
 	base *conc.Ctrie[K, V]
 	size *stm.Ref[int]
+	hash conc.Hasher[K]
 }
 
 var _ TxMap[int, int] = (*Map[int, int])(nil)
@@ -42,12 +43,18 @@ func NewMap[K comparable, V any](s *stm.STM, lap LockAllocatorPolicy[K], hash co
 		al:   NewAbstractLock(lap, Eager),
 		base: conc.NewCtrie[K, V](hash),
 		size: stm.NewRef(s, 0),
+		hash: hash,
 	}
+}
+
+// Instrument attaches ADT-level observability (see AbstractLock.Instrument).
+func (m *Map[K, V]) Instrument(name string, sink Sink) {
+	m.al.Instrument(name, m.hash, sink)
 }
 
 // Put stores v under k, returning the previous value if any.
 func (m *Map[K, V]) Put(tx *stm.Txn, k K, v V) (V, bool) {
-	ret := m.al.Apply(tx, []Intent[K]{W(k)}, func() any {
+	ret := m.al.ApplyOp(tx, "put", []Intent[K]{W(k)}, func() any {
 		old, had := m.base.Put(k, v)
 		if !had {
 			m.size.Modify(tx, func(n int) int { return n + 1 })
@@ -67,7 +74,7 @@ func (m *Map[K, V]) Put(tx *stm.Txn, k K, v V) (V, bool) {
 
 // Get returns the value stored under k.
 func (m *Map[K, V]) Get(tx *stm.Txn, k K) (V, bool) {
-	ret := m.al.Apply(tx, []Intent[K]{R(k)}, func() any {
+	ret := m.al.ApplyOp(tx, "get", []Intent[K]{R(k)}, func() any {
 		v, ok := m.base.Get(k)
 		return prev[V]{val: v, had: ok}
 	}, nil)
@@ -83,7 +90,7 @@ func (m *Map[K, V]) Contains(tx *stm.Txn, k K) bool {
 
 // Remove deletes k, returning the previous value if any.
 func (m *Map[K, V]) Remove(tx *stm.Txn, k K) (V, bool) {
-	ret := m.al.Apply(tx, []Intent[K]{W(k)}, func() any {
+	ret := m.al.ApplyOp(tx, "remove", []Intent[K]{W(k)}, func() any {
 		old, had := m.base.Remove(k)
 		if had {
 			m.size.Modify(tx, func(n int) int { return n - 1 })

@@ -29,6 +29,15 @@ type SnapshotLog[D any] struct {
 	// a non-atomic cut.
 	cut   sync.RWMutex
 	local *stm.TxnLocal[*snapLogState[D]]
+
+	name string
+	sink Sink // nil when uninstrumented
+}
+
+// Instrument attaches a Sink: each committing transaction reports its replay
+// depth (pending operation count) from inside the commit critical section.
+func (l *SnapshotLog[D]) Instrument(name string, sink Sink) {
+	l.name, l.sink = name, sink
 }
 
 type snapLogState[D any] struct {
@@ -42,6 +51,9 @@ func NewSnapshotLog[D any](base D, snapshot func(D) D) *SnapshotLog[D] {
 	l.local = stm.NewTxnLocal(func(tx *stm.Txn) *snapLogState[D] {
 		st := &snapLogState[D]{}
 		tx.OnCommitLocked(func() {
+			if l.sink != nil {
+				l.sink.ReplayDepth(l.name, len(st.pending))
+			}
 			l.cut.RLock()
 			defer l.cut.RUnlock()
 			for _, f := range st.pending {
@@ -120,6 +132,16 @@ type MemoLog[K comparable, V any] struct {
 	base    MapBase[K, V]
 	combine bool
 	local   *stm.TxnLocal[*memoState[K, V]]
+
+	name string
+	sink Sink // nil when uninstrumented
+}
+
+// Instrument attaches a Sink: each committing transaction reports its replay
+// depth — logged operations, or distinct touched keys when combining — from
+// inside the commit critical section.
+func (l *MemoLog[K, V]) Instrument(name string, sink Sink) {
+	l.name, l.sink = name, sink
 }
 
 type memoState[K comparable, V any] struct {
@@ -148,6 +170,13 @@ func NewMemoLog[K comparable, V any](base MapBase[K, V], combine bool) *MemoLog[
 func (l *MemoLog[K, V]) Combining() bool { return l.combine }
 
 func (l *MemoLog[K, V]) replay(st *memoState[K, V]) {
+	if l.sink != nil {
+		if l.combine {
+			l.sink.ReplayDepth(l.name, len(st.order))
+		} else {
+			l.sink.ReplayDepth(l.name, len(st.ops))
+		}
+	}
 	if !l.combine {
 		for _, op := range st.ops {
 			op(l.base)

@@ -47,16 +47,24 @@ func NewReentrantRW() *ReentrantRW {
 
 // RLock acquires the read side for owner, waiting up to timeout.
 func (l *ReentrantRW) RLock(owner Owner, timeout time.Duration) error {
+	_, err := l.rlock(owner, timeout)
+	return err
+}
+
+// rlock is RLock reporting whether the acquisition had to wait (observer
+// instrumentation: a contended acquisition blocked at least once).
+func (l *ReentrantRW) rlock(owner Owner, timeout time.Duration) (waited bool, err error) {
 	deadline := time.Now().Add(timeout)
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	for {
 		if l.writer == nil || l.writer == owner || l.readers[owner] > 0 {
 			l.readers[owner]++
-			return nil
+			return waited, nil
 		}
+		waited = true
 		if !l.waitUntil(deadline) {
-			return ErrTimeout
+			return waited, ErrTimeout
 		}
 	}
 }
@@ -66,13 +74,19 @@ func (l *ReentrantRW) RLock(owner Owner, timeout time.Duration) error {
 // ErrUpgradeDeadlock while other readers are present (two upgraders would
 // otherwise deadlock).
 func (l *ReentrantRW) Lock(owner Owner, timeout time.Duration) error {
+	_, err := l.lock(owner, timeout)
+	return err
+}
+
+// lock is Lock reporting whether the acquisition had to wait.
+func (l *ReentrantRW) lock(owner Owner, timeout time.Duration) (waited bool, err error) {
 	deadline := time.Now().Add(timeout)
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	for {
 		if l.writer == owner {
 			l.wCount++
-			return nil
+			return waited, nil
 		}
 		otherReaders := len(l.readers)
 		if l.readers[owner] > 0 {
@@ -81,15 +95,16 @@ func (l *ReentrantRW) Lock(owner Owner, timeout time.Duration) error {
 		if l.writer == nil && otherReaders == 0 {
 			l.writer = owner
 			l.wCount = 1
-			return nil
+			return waited, nil
 		}
 		if l.readers[owner] > 0 && otherReaders > 0 {
 			// Upgrade would have to wait for other readers, which may
 			// themselves be waiting to upgrade: abort immediately.
-			return ErrUpgradeDeadlock
+			return waited, ErrUpgradeDeadlock
 		}
+		waited = true
 		if !l.waitUntil(deadline) {
-			return ErrTimeout
+			return waited, ErrTimeout
 		}
 	}
 }

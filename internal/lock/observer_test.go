@@ -1,0 +1,121 @@
+package lock
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+type recordingObserver struct {
+	mu     sync.Mutex
+	events []struct {
+		stripe  int
+		mode    Mode
+		wait    time.Duration
+		outcome AcquireOutcome
+	}
+}
+
+func (r *recordingObserver) ObserveAcquire(stripe int, m Mode, wait time.Duration, outcome AcquireOutcome) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events = append(r.events, struct {
+		stripe  int
+		mode    Mode
+		wait    time.Duration
+		outcome AcquireOutcome
+	}{stripe, m, wait, outcome})
+}
+
+func (r *recordingObserver) byOutcome(o AcquireOutcome) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, e := range r.events {
+		if e.outcome == o {
+			n++
+		}
+	}
+	return n
+}
+
+func TestStripedObserverOutcomes(t *testing.T) {
+	obs := &recordingObserver{}
+	st := NewStriped(4)
+	st.SetObserver(obs)
+
+	ownerA, ownerB := new(int), new(int)
+
+	// Uncontended write acquisition.
+	if err := st.Acquire(ownerA, 1, Write, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Timed-out write acquisition by another owner on the same stripe.
+	if err := st.Acquire(ownerB, 1, Write, 5*time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("expected timeout, got %v", err)
+	}
+	// Contended acquisition that eventually succeeds: release from a helper
+	// while B waits.
+	done := make(chan error, 1)
+	go func() {
+		done <- st.Acquire(ownerB, 1, Read, time.Second)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	st.ReleaseAll(ownerA)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	// Upgrade conflict: A and B read the same stripe, A upgrades.
+	st.ReleaseAll(ownerB)
+	if err := st.Acquire(ownerA, 2, Read, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Acquire(ownerB, 2, Read, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Acquire(ownerA, 2, Write, time.Second); !errors.Is(err, ErrUpgradeDeadlock) {
+		t.Fatalf("expected upgrade deadlock, got %v", err)
+	}
+
+	if got := obs.byOutcome(Uncontended); got != 3 {
+		t.Errorf("uncontended = %d, want 3", got)
+	}
+	if got := obs.byOutcome(TimedOut); got != 1 {
+		t.Errorf("timeout = %d, want 1", got)
+	}
+	if got := obs.byOutcome(Contended); got != 1 {
+		t.Errorf("contended = %d, want 1", got)
+	}
+	if got := obs.byOutcome(UpgradeConflict); got != 1 {
+		t.Errorf("upgrade-conflict = %d, want 1", got)
+	}
+
+	obs.mu.Lock()
+	defer obs.mu.Unlock()
+	for _, e := range obs.events {
+		if e.stripe != 1 && e.stripe != 2 {
+			t.Errorf("unexpected stripe index %d", e.stripe)
+		}
+		if e.wait < 0 {
+			t.Errorf("negative wait %v", e.wait)
+		}
+	}
+}
+
+// TestStripedNoObserverFastPath checks the nil-observer path still acquires
+// and releases correctly (the default production configuration).
+func TestStripedNoObserverFastPath(t *testing.T) {
+	st := NewStriped(2)
+	owner := new(int)
+	if err := st.Acquire(owner, 7, Write, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Stripe(7).HoldsWrite(owner) {
+		t.Fatal("write not held")
+	}
+	st.ReleaseAll(owner)
+	if st.Stripe(7).HoldsWrite(owner) {
+		t.Fatal("write still held after ReleaseAll")
+	}
+}

@@ -1,6 +1,7 @@
 package lock
 
 import (
+	"errors"
 	"time"
 )
 
@@ -22,6 +23,49 @@ func (m Mode) String() string {
 	return "write"
 }
 
+// AcquireOutcome classifies how an abstract-lock acquisition ended; reported
+// to the Observer per Striped.Acquire call.
+type AcquireOutcome int
+
+const (
+	// Uncontended: the lock was free (or re-entrant) on the first check.
+	Uncontended AcquireOutcome = iota + 1
+	// Contended: the acquisition blocked at least once before succeeding.
+	Contended
+	// TimedOut: the acquisition gave up at the deadline (the caller turns
+	// this into transaction abort + backoff).
+	TimedOut
+	// UpgradeConflict: a read-to-write upgrade failed fast because other
+	// readers were present.
+	UpgradeConflict
+)
+
+// String returns the outcome label used in metrics.
+func (o AcquireOutcome) String() string {
+	switch o {
+	case Uncontended:
+		return "uncontended"
+	case Contended:
+		return "contended"
+	case TimedOut:
+		return "timeout"
+	case UpgradeConflict:
+		return "upgrade-conflict"
+	default:
+		return "unknown"
+	}
+}
+
+// Observer receives one callback per Striped.Acquire with the stripe index,
+// the requested mode, the wall-clock wait (including uncontended fast paths,
+// whose wait is the lock-handoff cost itself) and the outcome. Implementations
+// must be cheap and safe for arbitrary concurrency; internal/obs provides one
+// over its metrics registry. A nil observer (the default) costs one
+// predictable branch per acquisition.
+type Observer interface {
+	ObserveAcquire(stripe int, m Mode, wait time.Duration, outcome AcquireOutcome)
+}
+
 // Striped is a fixed-size table of re-entrant reader-writer locks indexed by
 // a hash. It implements lock striping (Herlihy & Shavit): Proust's
 // pessimistic lock-allocator policy maps abstract-state keys onto stripes,
@@ -29,6 +73,7 @@ func (m Mode) String() string {
 // ("operations with key k read and write to location k mod M", Section 3).
 type Striped struct {
 	stripes []*ReentrantRW
+	obs     Observer
 }
 
 // NewStriped creates a table with n stripes (n is rounded up to a power of
@@ -45,6 +90,10 @@ func NewStriped(n int) *Striped {
 	return st
 }
 
+// SetObserver attaches an acquisition observer. Call before the table sees
+// concurrent traffic; passing nil detaches (restoring the zero-cost path).
+func (s *Striped) SetObserver(o Observer) { s.obs = o }
+
 // Len returns the number of stripes.
 func (s *Striped) Len() int { return len(s.stripes) }
 
@@ -55,11 +104,35 @@ func (s *Striped) Stripe(h uint64) *ReentrantRW {
 
 // Acquire takes the lock for hash h in the given mode on behalf of owner.
 func (s *Striped) Acquire(owner Owner, h uint64, m Mode, timeout time.Duration) error {
-	l := s.Stripe(h)
-	if m == Read {
-		return l.RLock(owner, timeout)
+	idx := int(h & uint64(len(s.stripes)-1))
+	l := s.stripes[idx]
+	if s.obs == nil {
+		if m == Read {
+			return l.RLock(owner, timeout)
+		}
+		return l.Lock(owner, timeout)
 	}
-	return l.Lock(owner, timeout)
+	var (
+		waited bool
+		err    error
+	)
+	start := time.Now()
+	if m == Read {
+		waited, err = l.rlock(owner, timeout)
+	} else {
+		waited, err = l.lock(owner, timeout)
+	}
+	outcome := Uncontended
+	switch {
+	case errors.Is(err, ErrTimeout):
+		outcome = TimedOut
+	case errors.Is(err, ErrUpgradeDeadlock):
+		outcome = UpgradeConflict
+	case waited:
+		outcome = Contended
+	}
+	s.obs.ObserveAcquire(idx, m, time.Since(start), outcome)
+	return err
 }
 
 // ReleaseAll drops every acquisition owner holds across all stripes.

@@ -1,0 +1,270 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"proust/internal/core"
+	"proust/internal/lock"
+	"proust/internal/stm"
+)
+
+// LockObserver bridges lock.Observer onto a Registry: acquisition counts by
+// mode and outcome, wait-time histograms by mode, and an internal per-stripe
+// contention table (kept out of the registry to avoid thousand-label
+// cardinality; query it with HotStripes).
+type LockObserver struct {
+	acquires *CounterVec   // labels: mode, outcome
+	waits    *HistogramVec // labels: mode
+
+	contended []atomic.Uint64 // per-stripe contended+timeout+upgrade counts
+}
+
+var _ lock.Observer = (*LockObserver)(nil)
+
+// NewLockObserver registers the abstract-lock families on r and returns an
+// observer for a stripe table of the given size. r may be nil (metrics
+// become no-ops; the stripe table still counts).
+func NewLockObserver(r *Registry, stripes int) *LockObserver {
+	if stripes < 1 {
+		stripes = 1
+	}
+	return &LockObserver{
+		acquires: r.Counter("proust_lock_acquires_total",
+			"Abstract-lock acquisitions by mode and outcome.", "mode", "outcome"),
+		waits: r.Histogram("proust_lock_wait_nanoseconds",
+			"Abstract-lock acquisition wait time.", UnitNanoseconds, "mode"),
+		contended: make([]atomic.Uint64, stripes),
+	}
+}
+
+// ObserveAcquire implements lock.Observer.
+func (o *LockObserver) ObserveAcquire(stripe int, m lock.Mode, wait time.Duration, outcome lock.AcquireOutcome) {
+	o.acquires.With(m.String(), outcome.String()).Inc()
+	o.waits.With(m.String()).Observe(uint64(wait))
+	if outcome != lock.Uncontended && stripe >= 0 && stripe < len(o.contended) {
+		o.contended[stripe].Add(1)
+	}
+}
+
+// StripeContention is one entry of the hot-stripe report.
+type StripeContention struct {
+	Stripe int    `json:"stripe"`
+	Count  uint64 `json:"count"`
+}
+
+// HotStripes returns the n stripes with the most contended (blocked, timed
+// out, or upgrade-conflicted) acquisitions, most contended first. Stripes
+// with zero contention are omitted.
+func (o *LockObserver) HotStripes(n int) []StripeContention {
+	var out []StripeContention
+	for i := range o.contended {
+		if c := o.contended[i].Load(); c > 0 {
+			out = append(out, StripeContention{Stripe: i, Count: c})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Stripe < out[j].Stripe
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// CoreSink bridges core.Sink onto a Registry: per-structure, per-operation
+// commit/abort counters and lazy-replay depth histograms.
+type CoreSink struct {
+	ops    *CounterVec   // labels: structure, op, outcome
+	depths *HistogramVec // labels: structure
+}
+
+var _ core.Sink = (*CoreSink)(nil)
+
+// NewCoreSink registers the ADT-operation families on r.
+func NewCoreSink(r *Registry) *CoreSink {
+	return &CoreSink{
+		ops: r.Counter("proust_adt_ops_total",
+			"ADT operations by structure, operation and transaction outcome.",
+			"structure", "op", "outcome"),
+		depths: r.Histogram("proust_adt_replay_depth",
+			"Lazy-log replay depth (operations replayed per committing transaction).",
+			UnitCount, "structure"),
+	}
+}
+
+// OpOutcome implements core.Sink.
+func (s *CoreSink) OpOutcome(structure, op string, committed bool, n uint64) {
+	outcome := "committed"
+	if !committed {
+		outcome = "aborted"
+	}
+	s.ops.With(structure, op, outcome).Add(n)
+}
+
+// ReplayDepth implements core.Sink.
+func (s *CoreSink) ReplayDepth(structure string, depth int) {
+	s.depths.With(structure).Observe(uint64(depth))
+}
+
+// STMCollector mirrors STM instances' cumulative Stats into a Registry on
+// every gather (scrape-time pull, zero extra hot-path cost): throughput
+// counters, the per-backend abort-cause breakdown, and quantile gauges over
+// the sampled duration histograms (sample factor stm.HistogramSampleEvery).
+// Attach tracks the latest instance per backend name, so harnesses that
+// rebuild their STM per run (like the bench factories) stay scrapeable. Use
+// one collector per registry.
+type STMCollector struct {
+	mu   sync.Mutex
+	stms map[string]*stm.STM
+
+	starts, commits, aborts, samples *CounterVec
+	quant                            *GaugeVec
+}
+
+// NewSTMCollector registers the per-backend STM families on r and hooks the
+// collector into r's gather cycle. r may be nil (everything no-ops).
+func NewSTMCollector(r *Registry) *STMCollector {
+	c := &STMCollector{
+		stms: make(map[string]*stm.STM),
+		starts: r.Counter("proust_stm_starts_total",
+			"Transaction attempts started.", "backend"),
+		commits: r.Counter("proust_stm_commits_total",
+			"Transactions committed.", "backend"),
+		aborts: r.Counter("proust_stm_aborts_total",
+			"Transaction attempts aborted, by cause.", "backend", "cause"),
+		quant: r.Gauge("proust_stm_duration_quantile_nanoseconds",
+			"Quantile estimates over the sampled STM duration histograms "+
+				"(1-in-N sampled; see proust_stm_duration_samples_total).",
+			"backend", "hist", "q"),
+		samples: r.Counter("proust_stm_duration_samples_total",
+			"Sampled observations underlying the duration quantiles "+
+				"(multiply by sample_every for population estimates).",
+			"backend", "hist", "sample_every"),
+	}
+	r.OnGather(c.collect)
+	return c
+}
+
+// Attach registers (or replaces) the scraped STM instance for its backend.
+func (c *STMCollector) Attach(s *stm.STM) {
+	if c == nil || s == nil {
+		return
+	}
+	c.mu.Lock()
+	c.stms[s.Backend().Name()] = s
+	c.mu.Unlock()
+}
+
+// Snapshots returns the current stats of every attached instance by backend.
+func (c *STMCollector) Snapshots() map[string]stm.StatsSnapshot {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]stm.StatsSnapshot, len(c.stms))
+	for name, s := range c.stms {
+		out[name] = s.Stats()
+	}
+	return out
+}
+
+func (c *STMCollector) collect() {
+	for backend, st := range c.Snapshots() {
+		c.starts.With(backend).set(st.Starts)
+		c.commits.With(backend).set(st.Commits)
+		for cause, n := range st.AbortsByCause() {
+			c.aborts.With(backend, cause).set(n)
+		}
+		for name, h := range map[string]stm.DurationHistSnapshot{
+			"validation": st.ValidationTime,
+			"lock_hold":  st.LockHold,
+		} {
+			c.quant.With(backend, name, "0.5").Set(int64(h.Quantile(0.5)))
+			c.quant.With(backend, name, "0.99").Set(int64(h.Quantile(0.99)))
+			c.samples.With(backend, name, itoa(h.SampleEvery)).set(h.Count)
+		}
+	}
+}
+
+// RegisterSTM mirrors one STM instance's Stats into r — the single-embedder
+// convenience over STMCollector.
+func RegisterSTM(r *Registry, s *stm.STM) {
+	if r == nil || s == nil {
+		return
+	}
+	NewSTMCollector(r).Attach(s)
+}
+
+func itoa(n uint64) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// multiTracer fans one event out to several tracers.
+type multiTracer []stm.Tracer
+
+func (m multiTracer) Trace(ev stm.TraceEvent) {
+	for _, t := range m {
+		t.Trace(ev)
+	}
+}
+
+// tsFreeMulti is a multiTracer every member of which is stm.TimestampFree;
+// the combination advertises the same, keeping the clock read skipped.
+type tsFreeMulti struct{ multiTracer }
+
+func (tsFreeMulti) TimestampFree() {}
+
+// Tracers combines tracers into one (nil entries are dropped). With zero or
+// one live tracers it returns nil or the tracer itself, preserving the
+// single-branch fast path. If every live tracer is stm.TimestampFree, so is
+// the combination.
+func Tracers(ts ...stm.Tracer) stm.Tracer {
+	var live multiTracer
+	allTSFree := true
+	for _, t := range ts {
+		switch v := t.(type) {
+		case nil:
+			continue
+		case *FlightRecorder:
+			if v == nil {
+				continue
+			}
+		case *FalseConflictEstimator:
+			if v == nil {
+				continue
+			}
+		}
+		if _, ok := t.(stm.TimestampFree); !ok {
+			allTSFree = false
+		}
+		live = append(live, t)
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	default:
+		if allTSFree {
+			return tsFreeMulti{live}
+		}
+		return live
+	}
+}

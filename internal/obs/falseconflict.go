@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"sync/atomic"
+
+	"proust/internal/stm"
+)
+
+// FalseConflictEstimator classifies STM-level conflict aborts as likely-false
+// or likely-true at the ADT level. Proust's conflict abstraction maps
+// operations onto mem[0..M) locations (or lock stripes); hash aliasing and
+// coarse intents make the STM abort transactions whose operations actually
+// commute — false conflicts, pure overhead. The estimator implements
+// stm.Tracer: it keeps a lock-free ring of the op-sets of recently committed
+// transactions, and for every conflict abort checks the aborted attempt's
+// noted operations (Txn.NoteOp, attached by instrumented wrappers) against
+// them under an injected commutativity oracle:
+//
+//   - some recent committed op does NOT commute with some aborted op →
+//     likely true conflict (the abort was semantically necessary);
+//   - every pair commutes → likely false conflict;
+//   - no ops on either side → unattributed.
+//
+// "Likely" because the ring is a bounded sample of recent commits, not the
+// exact concurrent-transaction set, and classification walks the ring
+// newest-first under a fixed pair-check budget (pairBudget) so a single abort
+// never burns more than a few microseconds on the aborting transaction's
+// retry path. The oracle is the ADT commutativity relation (e.g.
+// bench.MapOpsCommute, cross-checked against the exhaustive internal/verify
+// model in tests).
+type FalseConflictEstimator struct {
+	commutes func(a, b stm.OpRecord) bool
+
+	ring []atomic.Pointer[[]stm.OpRecord]
+	next atomic.Uint64
+
+	examined     atomic.Uint64
+	likelyFalse  atomic.Uint64
+	likelyTrue   atomic.Uint64
+	unattributed atomic.Uint64
+
+	verdicts *CounterVec // labels: verdict
+}
+
+var _ stm.Tracer = (*FalseConflictEstimator)(nil)
+
+// NewFalseConflictEstimator creates an estimator remembering the op-sets of
+// the last ringSize committed transactions (rounded up to a power of two;
+// non-positive selects 256). commutes must be safe for concurrent use. r may
+// be nil (registry counters become no-ops; accessors still work).
+func NewFalseConflictEstimator(r *Registry, ringSize int, commutes func(a, b stm.OpRecord) bool) *FalseConflictEstimator {
+	if ringSize <= 0 {
+		ringSize = 256
+	}
+	n := 1
+	for n < ringSize {
+		n <<= 1
+	}
+	e := &FalseConflictEstimator{
+		commutes: commutes,
+		ring:     make([]atomic.Pointer[[]stm.OpRecord], n),
+		verdicts: r.Counter("proust_false_conflict_aborts_total",
+			"Conflict aborts classified against the ADT commutativity oracle.",
+			"verdict"),
+	}
+	ratio := r.Gauge("proust_false_conflict_ratio_permille",
+		"Likely-false conflict aborts per thousand classified conflict aborts.").With()
+	r.OnGather(func() { ratio.Set(int64(e.Stats().Ratio * 1000)) })
+	return e
+}
+
+// Trace implements stm.Tracer.
+func (e *FalseConflictEstimator) Trace(ev stm.TraceEvent) {
+	if e == nil {
+		return
+	}
+	switch ev.Kind {
+	case stm.TraceCommit:
+		if len(ev.Ops) == 0 {
+			return
+		}
+		ops := ev.Ops
+		i := e.next.Add(1) - 1
+		e.ring[i&uint64(len(e.ring)-1)].Store(&ops)
+	case stm.TraceAbort:
+		switch ev.Cause {
+		case stm.CauseLockConflict, stm.CauseValidation, stm.CauseDoomed:
+		default:
+			return // user errors and abandonment are not conflicts
+		}
+		e.examined.Add(1)
+		e.verdict(ev.Ops).Inc()
+	}
+}
+
+// pairBudget caps the (aborted op, committed op) commutativity checks spent
+// classifying one abort. Without it a full ring of large op-sets costs tens of
+// thousands of oracle calls per abort — enough to dominate a contended run.
+const pairBudget = 4096
+
+// verdict classifies one conflict abort and returns its registry counter
+// (nil-safe), bumping the internal tally as a side effect. It walks the ring
+// newest-first (recent commits are the plausible conflict partners) and stops
+// once pairBudget checks have been spent.
+func (e *FalseConflictEstimator) verdict(aborted []stm.OpRecord) *Counter {
+	if len(aborted) == 0 {
+		e.unattributed.Add(1)
+		return e.verdicts.With("unattributed")
+	}
+	seen := false
+	budget := pairBudget
+	n := uint64(len(e.ring))
+	newest := e.next.Load()
+	for off := uint64(1); off <= n && budget > 0; off++ {
+		p := e.ring[(newest-off)&(n-1)].Load()
+		if p == nil {
+			continue
+		}
+		seen = true
+		for _, committed := range *p {
+			for _, a := range aborted {
+				budget--
+				if !e.commutes(a, committed) {
+					e.likelyTrue.Add(1)
+					return e.verdicts.With("likely_true")
+				}
+			}
+		}
+	}
+	if !seen {
+		e.unattributed.Add(1)
+		return e.verdicts.With("unattributed")
+	}
+	e.likelyFalse.Add(1)
+	return e.verdicts.With("likely_false")
+}
+
+// FalseConflictStats is a point-in-time tally of the estimator's verdicts.
+type FalseConflictStats struct {
+	Examined     uint64  `json:"examined"`
+	LikelyFalse  uint64  `json:"likely_false"`
+	LikelyTrue   uint64  `json:"likely_true"`
+	Unattributed uint64  `json:"unattributed"`
+	Ratio        float64 `json:"false_conflict_ratio"`
+}
+
+// Stats returns the verdict tally. Ratio is likely-false over all classified
+// (likely-false + likely-true) aborts; 0 when nothing was classified.
+func (e *FalseConflictEstimator) Stats() FalseConflictStats {
+	if e == nil {
+		return FalseConflictStats{}
+	}
+	s := FalseConflictStats{
+		Examined:     e.examined.Load(),
+		LikelyFalse:  e.likelyFalse.Load(),
+		LikelyTrue:   e.likelyTrue.Load(),
+		Unattributed: e.unattributed.Load(),
+	}
+	if n := s.LikelyFalse + s.LikelyTrue; n > 0 {
+		s.Ratio = float64(s.LikelyFalse) / float64(n)
+	}
+	return s
+}

@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync/atomic"
+
+	"proust/internal/stm"
+)
+
+// FlightRecorder is a lock-free ring buffer of recent stm.TraceEvents. It
+// implements stm.Tracer: every commit and abort event is stored into a
+// sharded ring (shard chosen by transaction serial, so concurrent writers
+// rarely contend on the same cache lines) with plain atomic pointer stores —
+// no locks, no blocking, O(1) per event. The recorder keeps the most recent
+// Cap() events and can be dumped at any time as JSON lines, on demand
+// (/flight endpoint, DumpJSONL) or automatically when an abort storm is
+// detected (SetStormPolicy).
+type FlightRecorder struct {
+	shards []flightShard
+	mask   uint64
+
+	// Abort-storm detection over a sliding window of event timestamps.
+	stormWindow    int64 // ns; 0 disables
+	stormThreshold uint64
+	onStorm        atomic.Pointer[func(*FlightRecorder)]
+	windowStart    atomic.Int64
+	windowAborts   atomic.Uint64
+	windowFired    atomic.Bool
+	storms         atomic.Uint64
+}
+
+type flightShard struct {
+	slots []atomic.Pointer[stm.TraceEvent]
+	next  atomic.Uint64
+	_     [40]byte // keep shard write cursors on separate cache lines
+}
+
+// NewFlightRecorder creates a recorder with the given total capacity spread
+// over shards rings (both rounded up to powers of two; non-positive values
+// select 8 shards × 128 events). Retained events are live heap the garbage
+// collector re-scans every cycle, so the default capacity is deliberately
+// modest; size it up only when the post-mortem window needs to be longer.
+func NewFlightRecorder(shards, capacity int) *FlightRecorder {
+	if shards <= 0 {
+		shards = 8
+	}
+	if capacity <= 0 {
+		capacity = 8 * 128
+	}
+	ns := 1
+	for ns < shards {
+		ns <<= 1
+	}
+	per := (capacity + ns - 1) / ns
+	np := 1
+	for np < per {
+		np <<= 1
+	}
+	fr := &FlightRecorder{shards: make([]flightShard, ns), mask: uint64(ns - 1)}
+	for i := range fr.shards {
+		fr.shards[i].slots = make([]atomic.Pointer[stm.TraceEvent], np)
+	}
+	return fr
+}
+
+// Cap returns the total number of events the recorder retains.
+func (fr *FlightRecorder) Cap() int {
+	if fr == nil || len(fr.shards) == 0 {
+		return 0
+	}
+	return len(fr.shards) * len(fr.shards[0].slots)
+}
+
+// SetStormPolicy arms automatic dumping: when more than threshold abort
+// events land within a window of windowNanos (by event timestamp), fire is
+// invoked once — from the goroutine whose abort tripped the threshold, so
+// keep it cheap or hand off — and re-arms for the next window. A zero
+// windowNanos disables detection.
+func (fr *FlightRecorder) SetStormPolicy(threshold uint64, windowNanos int64, fire func(*FlightRecorder)) {
+	if fr == nil {
+		return
+	}
+	fr.stormThreshold = threshold
+	fr.stormWindow = windowNanos
+	if fire != nil {
+		fr.onStorm.Store(&fire)
+	} else {
+		fr.onStorm.Store(nil)
+	}
+}
+
+// Storms returns how many abort storms have been detected.
+func (fr *FlightRecorder) Storms() uint64 {
+	if fr == nil {
+		return 0
+	}
+	return fr.storms.Load()
+}
+
+// Trace implements stm.Tracer. Safe for concurrent use; a nil receiver is a
+// no-op.
+func (fr *FlightRecorder) Trace(ev stm.TraceEvent) {
+	if fr == nil {
+		return
+	}
+	sh := &fr.shards[ev.Serial&fr.mask]
+	i := sh.next.Add(1) - 1
+	e := ev // heap copy owned by the ring
+	sh.slots[i&uint64(len(sh.slots)-1)].Store(&e)
+	if ev.Kind == stm.TraceAbort && fr.stormWindow > 0 {
+		fr.noteAbort(ev.TS)
+	}
+}
+
+// noteAbort advances the sliding storm window. The window rolls forward when
+// the current event is past its end; threshold crossings within one window
+// fire at most once.
+func (fr *FlightRecorder) noteAbort(ts int64) {
+	for {
+		start := fr.windowStart.Load()
+		if ts-start < fr.stormWindow && start != 0 {
+			break
+		}
+		if fr.windowStart.CompareAndSwap(start, ts) {
+			fr.windowAborts.Store(0)
+			fr.windowFired.Store(false)
+			break
+		}
+	}
+	if fr.windowAborts.Add(1) >= fr.stormThreshold &&
+		fr.windowFired.CompareAndSwap(false, true) {
+		fr.storms.Add(1)
+		if f := fr.onStorm.Load(); f != nil {
+			(*f)(fr)
+		}
+	}
+}
+
+// Events returns a copy of the retained events sorted by timestamp (then by
+// serial for equal stamps).
+func (fr *FlightRecorder) Events() []stm.TraceEvent {
+	if fr == nil {
+		return nil
+	}
+	var out []stm.TraceEvent
+	for si := range fr.shards {
+		sh := &fr.shards[si]
+		for i := range sh.slots {
+			if p := sh.slots[i].Load(); p != nil {
+				out = append(out, *p)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].TS != out[j].TS {
+			return out[i].TS < out[j].TS
+		}
+		return out[i].Serial < out[j].Serial
+	})
+	return out
+}
+
+// DumpJSONL writes the retained events as JSON lines (one TraceEvent object
+// per line, timestamp-ordered).
+func (fr *FlightRecorder) DumpJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, ev := range fr.Events() {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -58,6 +58,14 @@ func (c AbortCause) String() string {
 // representative. Counters (commits, aborts by cause) are never sampled.
 const histSampleEvery = 8
 
+// HistogramSampleEvery is the exported sampling factor of the duration
+// histograms: on average one in this many transaction attempts contributes
+// observations. Snapshot bucket counts must be multiplied by it to estimate
+// full-population counts; quantile estimates need no correction (sampling is
+// unbiased across buckets). It is also carried on every DurationHistSnapshot
+// as SampleEvery so JSON consumers cannot misread sampled counts as totals.
+const HistogramSampleEvery = histSampleEvery
+
 // histBuckets is the number of power-of-two duration buckets: bucket i counts
 // durations whose nanosecond value has bit length i, i.e. [2^(i-1), 2^i) ns,
 // with the last bucket absorbing everything longer (~34s and up at 36).
@@ -82,6 +90,7 @@ func (h *DurationHist) observe(d time.Duration) {
 
 func (h *DurationHist) snapshot() DurationHistSnapshot {
 	var s DurationHistSnapshot
+	s.SampleEvery = histSampleEvery
 	s.Buckets = make([]uint64, histBuckets)
 	for i := range h.buckets {
 		n := h.buckets[i].Load()
@@ -99,9 +108,24 @@ func (h *DurationHist) reset() {
 
 // DurationHistSnapshot is a point-in-time copy of a DurationHist. Bucket i
 // counts durations in [2^(i-1), 2^i) nanoseconds.
+//
+// The histogram is sampled: only one in SampleEvery transaction attempts is
+// timed, so Count and Buckets cover roughly 1/SampleEvery of the population.
+// Multiply by SampleEvery to estimate full-population counts; Quantile needs
+// no correction.
 type DurationHistSnapshot struct {
-	Buckets []uint64 `json:"buckets"`
-	Count   uint64   `json:"count"`
+	Buckets     []uint64 `json:"buckets"`
+	Count       uint64   `json:"count"`
+	SampleEvery uint64   `json:"sample_every"`
+}
+
+// EstimatedTotal estimates the full-population observation count by undoing
+// the sampling factor.
+func (s DurationHistSnapshot) EstimatedTotal() uint64 {
+	if s.SampleEvery == 0 {
+		return s.Count
+	}
+	return s.Count * s.SampleEvery
 }
 
 // BucketUpperNS returns the exclusive upper bound of bucket i in nanoseconds.

@@ -38,6 +38,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // DetectionPolicy classifies when an STM backend detects read-write and
@@ -110,8 +111,12 @@ type STM struct {
 	backend Backend
 	cm      ContentionManager
 	tracer  Tracer
+	stampTS  bool         // tracer attached and not TimestampFree
+	now      func() int64 // TraceEvent timestamp clock, nil = wall time
 	maxTries int
 	stats    Stats
+	epoch    time.Time // monotonic base for compact in-Txn timestamps
+	epochNS  int64     // wall nanoseconds at epoch (TraceEvent.TS base)
 
 	retryMu  sync.Mutex
 	retryCv  *sync.Cond
@@ -159,8 +164,10 @@ func WithMaxAttempts(n int) Option { return maxTriesOption(n) }
 // (MixedEagerWWLazyRW), matching the paper's evaluation.
 func New(opts ...Option) *STM {
 	s := &STM{
-		cm: Backoff{},
+		cm:    Backoff{},
+		epoch: time.Now(),
 	}
+	s.epochNS = s.epoch.UnixNano()
 	for _, o := range opts {
 		o.apply(s)
 	}
@@ -190,13 +197,30 @@ func (s *STM) Backend() Backend { return s.backend }
 // exported for tests and diagnostics.
 func (s *STM) GlobalClock() uint64 { return s.clock.Load() }
 
+// sinceEpoch returns monotonic nanoseconds since the instance was created.
+// Duration stamps stored inside Txn use this compact form (8 bytes instead of
+// time.Time's 24) to keep the descriptor small.
+func (s *STM) sinceEpoch() int64 { return int64(time.Since(s.epoch)) }
+
+// nowNanos reads the instance timestamp clock (wall time unless WithClock
+// injected one). Only called on traced event paths; the default derives wall
+// nanoseconds as epoch + monotonic elapsed, which reads just the monotonic
+// clock — roughly half the cost of time.Now's wall+monotonic read, and it
+// keeps TS stamps of one instance strictly consistent with each other.
+func (s *STM) nowNanos() int64 {
+	if s.now != nil {
+		return s.now()
+	}
+	return s.epochNS + s.sinceEpoch()
+}
+
 // Atomically runs fn as a transaction, retrying on conflicts until it either
 // commits or fn returns a non-nil error (which aborts the transaction and is
 // returned verbatim).
 func (s *STM) Atomically(fn func(tx *Txn) error) error {
 	tx := s.newTxn()
 	for {
-		if s.maxTries > 0 && tx.attempt >= s.maxTries {
+		if s.maxTries > 0 && int(tx.attempt) >= s.maxTries {
 			s.stats.MaxAttemptsAborts.Add(1)
 			tx.traceAbort(CauseMaxAttempts)
 			return ErrMaxAttempts

@@ -12,10 +12,32 @@ const (
 	TraceAbort
 )
 
+// String returns the kind name used in trace output.
+func (k TraceKind) String() string {
+	switch k {
+	case TraceCommit:
+		return "commit"
+	case TraceAbort:
+		return "abort"
+	default:
+		return "unknown"
+	}
+}
+
+// OpRecord is one ADT-level operation note attached to a transaction attempt
+// via (*Txn).NoteOp: the operation label (e.g. "put") and a hash of the
+// abstract key it touched. The Proust wrappers record these so that tracer
+// consumers (flight recorder, false-conflict estimator) can attribute
+// STM-level conflicts to ADT-semantic operations.
+type OpRecord struct {
+	Op  string `json:"op"`
+	Key uint64 `json:"key"`
+}
+
 // TraceEvent describes one transaction lifecycle event.
 type TraceEvent struct {
 	// Backend is the registry name of the backend that ran the transaction.
-	Backend string `json:"backend"`
+	Backend string    `json:"backend"`
 	Kind    TraceKind `json:"kind"`
 	// Cause is the abort cause for TraceAbort events, CauseNone otherwise.
 	Cause AbortCause `json:"cause"`
@@ -24,6 +46,15 @@ type TraceEvent struct {
 	// Reads and Writes are the read- and write-set sizes at the event.
 	Reads  int `json:"reads"`
 	Writes int `json:"writes"`
+	// Serial is the attempt's unique serial (see Txn.Serial).
+	Serial uint64 `json:"serial"`
+	// TS is the event timestamp in nanoseconds from the instance clock
+	// (wall time by default; injectable with WithClock for deterministic
+	// tests and replay). Zero when the attached tracer is TimestampFree.
+	TS int64 `json:"ts"`
+	// Ops lists the ADT operations the attempt noted via NoteOp, in
+	// execution order. Empty unless a Proustian wrapper was instrumented.
+	Ops []OpRecord `json:"ops,omitempty"`
 }
 
 // Tracer observes transaction lifecycle events. Trace may be called
@@ -34,12 +65,76 @@ type Tracer interface {
 	Trace(ev TraceEvent)
 }
 
+// TimestampFree marks a Tracer that never reads TraceEvent.TS. The clock read
+// is the single largest fixed cost of building an event (~tens of nanoseconds
+// per commit or abort); when the attached tracer implements this interface the
+// STM skips it and stamps TS as zero. Counting tracers (abort-cause tallies,
+// commit counters) should implement it; ordering consumers (flight recorder,
+// storm detection) must not.
+type TimestampFree interface {
+	TimestampFree()
+}
+
 type tracerOption struct{ t Tracer }
 
-func (o tracerOption) apply(s *STM) { s.tracer = o.t }
+func (o tracerOption) apply(s *STM) { s.setTracer(o.t) }
 
 // WithTracer attaches an optional lifecycle tracer to the STM instance.
 func WithTracer(t Tracer) Option { return tracerOption{t: t} }
+
+// SetTracer attaches (or replaces) the lifecycle tracer after construction.
+// It must be called before any transactions run — benchmark and service
+// harnesses use it to instrument STM instances created by factories.
+func (s *STM) SetTracer(t Tracer) { s.setTracer(t) }
+
+func (s *STM) setTracer(t Tracer) {
+	s.tracer = t
+	_, tsFree := t.(TimestampFree)
+	s.stampTS = t != nil && !tsFree
+}
+
+// eventTS produces the TraceEvent.TS stamp: zero when the attached tracer is
+// TimestampFree, the instance clock otherwise.
+func (s *STM) eventTS() int64 {
+	if !s.stampTS {
+		return 0
+	}
+	return s.nowNanos()
+}
+
+type clockOption struct{ now func() int64 }
+
+func (o clockOption) apply(s *STM) { s.now = o.now }
+
+// WithClock injects the nanosecond clock used to stamp TraceEvent.TS.
+// The default is wall time; tests inject deterministic clocks. The clock is
+// only consulted when a tracer is attached.
+func WithClock(now func() int64) Option { return clockOption{now: now} }
+
+// Traced reports whether a tracer is attached to the transaction's STM
+// instance. Wrappers gate the cost of building OpRecords on it.
+func (tx *Txn) Traced() bool { return tx.s.tracer != nil }
+
+// NoteOp attaches an ADT-level operation record to the current attempt; the
+// records ride on the attempt's commit/abort TraceEvent. A no-op (one branch)
+// when no tracer is attached.
+func (tx *Txn) NoteOp(op string, key uint64) {
+	if tx.s.tracer == nil {
+		return
+	}
+	tx.ops = append(tx.ops, OpRecord{Op: op, Key: key})
+}
+
+// traceOps returns a copy of the attempt's op notes (the tx-owned slice is
+// reused across attempts and must not escape).
+func (tx *Txn) traceOps() []OpRecord {
+	if len(tx.ops) == 0 {
+		return nil
+	}
+	out := make([]OpRecord, len(tx.ops))
+	copy(out, tx.ops)
+	return out
+}
 
 // traceCommit emits a commit event if a tracer is attached.
 func (tx *Txn) traceCommit() {
@@ -47,9 +142,12 @@ func (tx *Txn) traceCommit() {
 		t.Trace(TraceEvent{
 			Backend: tx.s.backend.Name(),
 			Kind:    TraceCommit,
-			Attempt: tx.attempt,
+			Attempt: int(tx.attempt),
 			Reads:   len(tx.reads),
 			Writes:  len(tx.writes),
+			Serial:  tx.id,
+			TS:      tx.s.eventTS(),
+			Ops:     tx.traceOps(),
 		})
 	}
 }
@@ -61,9 +159,12 @@ func (tx *Txn) traceAbort(cause AbortCause) {
 			Backend: tx.s.backend.Name(),
 			Kind:    TraceAbort,
 			Cause:   cause,
-			Attempt: tx.attempt,
+			Attempt: int(tx.attempt),
 			Reads:   len(tx.reads),
 			Writes:  len(tx.writes),
+			Serial:  tx.id,
+			TS:      tx.s.eventTS(),
+			Ops:     tx.traceOps(),
 		})
 	}
 }

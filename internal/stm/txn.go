@@ -72,8 +72,7 @@ type Txn struct {
 	visible     []*baseRef  // refs where tx is a visible reader (eager backend)
 	visibleSeen map[*baseRef]struct{}
 
-	lockStart time.Time // first write-lock acquisition (LockHold histogram)
-	sampled   bool      // this attempt feeds the duration histograms
+	lockStart int64 // first write-lock acquisition, ns since s.epoch (LockHold histogram)
 
 	locals map[any]any
 
@@ -81,8 +80,15 @@ type Txn struct {
 	onCommit       []func() // run FIFO after the commit completes
 	onCommitLocked []func() // run FIFO inside the commit critical section
 
-	attempt int
+	attempt int32
+	sampled bool // this attempt feeds the duration histograms
 	rng     uint64
+
+	// ADT-level op notes (NoteOp), populated only when traced. The field
+	// rides in the 24 bytes reclaimed by the compact lockStart stamp and the
+	// int32 attempt, so adding observability did not grow the descriptor's
+	// allocation size class.
+	ops []OpRecord
 }
 
 func (s *STM) newTxn() *Txn {
@@ -106,7 +112,10 @@ func (tx *Txn) beginAttempt() {
 	tx.commitLocks = tx.commitLocks[:0]
 	tx.visible = tx.visible[:0]
 	tx.visibleSeen = nil
-	tx.lockStart = time.Time{}
+	tx.lockStart = 0
+	if tx.ops != nil { // nil until the first NoteOp; skip the barrier-ed store
+		tx.ops = tx.ops[:0]
+	}
 	// Histogram sampling draw (1 in histSampleEvery): advance the attempt's
 	// xorshift state and test the top bits of the mixed value.
 	tx.rng ^= tx.rng >> 12
@@ -128,7 +137,7 @@ func (tx *Txn) beginAttempt() {
 func (tx *Txn) Serial() uint64 { return tx.id }
 
 // Attempt returns the 1-based attempt number of the transaction.
-func (tx *Txn) Attempt() int { return tx.attempt }
+func (tx *Txn) Attempt() int { return int(tx.attempt) }
 
 // STM returns the instance this transaction runs against.
 func (tx *Txn) STM() *STM { return tx.s }
@@ -257,17 +266,17 @@ func (tx *Txn) recordWrite(r *baseRef, v any) {
 // markLocked stamps the start of the write-lock hold window (first lock
 // only, sampled attempts only — see histSampleEvery).
 func (tx *Txn) markLocked() {
-	if tx.sampled && tx.lockStart.IsZero() {
-		tx.lockStart = time.Now()
+	if tx.sampled && tx.lockStart == 0 {
+		tx.lockStart = tx.s.sinceEpoch()
 	}
 }
 
 // observeLockHold closes the write-lock hold window and records it in the
 // LockHold histogram.
 func (tx *Txn) observeLockHold() {
-	if !tx.lockStart.IsZero() {
-		tx.s.stats.LockHold.observe(time.Since(tx.lockStart))
-		tx.lockStart = time.Time{}
+	if tx.lockStart != 0 {
+		tx.s.stats.LockHold.observe(time.Duration(tx.s.sinceEpoch() - tx.lockStart))
+		tx.lockStart = 0
 	}
 }
 

@@ -107,6 +107,21 @@ func Check(m Model) []Violation {
 	return out
 }
 
+// Commutes reports whether op1 and op2 commute in every enumerated state of
+// the model — the state-independent commutativity relation that runtime
+// conflict oracles (e.g. the obs false-conflict estimator's injected
+// predicate) approximate. Runtime oracles only see (operation, key) pairs,
+// not abstract states, so state-independent commutativity is exactly the
+// strongest relation they can claim; tests cross-check them against this.
+func Commutes(m Model, op1, op2 any) bool {
+	for _, s := range m.States() {
+		if !commutesAt(m, s, op1, op2) {
+			return false
+		}
+	}
+	return true
+}
+
 // commutesAt reports whether op1 and op2 commute in state s: both orders
 // yield the same final state and the same per-operation return values.
 func commutesAt(m Model, s, op1, op2 any) bool {
