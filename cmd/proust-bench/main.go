@@ -69,6 +69,11 @@ func run(args []string) error {
 		jsonPath   = fs.String("json", "", "write per-backend results (ops/sec, abort causes, histograms) as JSON to this file ('-' = stdout)")
 		csvPath    = fs.String("csv", "", "also write results as CSV to this file")
 
+		chaos     = fs.Bool("chaos", false, "wrap every system's backend in the fault-injecting chaos layer (soak mode)")
+		chaosSeed = fs.Uint64("chaos-seed", 1, "deterministic seed for -chaos fault draws")
+		deadline  = fs.Duration("deadline", 0, "per-transaction deadline via AtomicallyCtx (0 = nil-ctx fast path); expiries count as timeouts")
+		escalate  = fs.Int("escalate", 0, "escalate transactions to serial mode after this many conflict aborts (0 = disabled)")
+
 		metricsAddr = fs.String("metrics-addr", "", "serve /metrics (Prometheus text), /metrics.json, /flight and /debug/pprof on this address for the duration of the run")
 		seriesPath  = fs.String("series", "", "append a periodic observability time series (JSON lines) to this file")
 		seriesInt   = fs.Duration("series-interval", time.Second, "sampling interval for -series")
@@ -99,6 +104,13 @@ func run(args []string) error {
 
 	cfg := bench.DefaultSweep(os.Stdout)
 	cfg.Backend = *policy
+	if *chaos {
+		cc := stm.DefaultChaosConfig()
+		cc.Seed = *chaosSeed
+		cfg.Chaos = &cc
+	}
+	cfg.Escalate = *escalate
+	cfg.TxnDeadline = *deadline
 
 	var obsv *bench.Observability
 	if *metricsAddr != "" || *seriesPath != "" || *flightPath != "" {

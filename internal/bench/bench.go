@@ -11,12 +11,15 @@
 package bench
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"proust/internal/baseline"
@@ -65,6 +68,12 @@ type Workload struct {
 	// reified committedSize reference — the paper's Listing 2
 	// optimization — which every presence-changing update must write.
 	ReplaceOnly bool
+	// TxnDeadline, when positive, runs every transaction through
+	// AtomicallyCtx with this per-transaction deadline. Expired
+	// transactions count as Result.Timeouts instead of failing the run —
+	// the tail-latency robustness measurement. Zero keeps the nil-ctx
+	// fast path (allocation-identical to pre-robustness builds).
+	TxnDeadline time.Duration
 }
 
 // DefaultKeyRange matches the paper.
@@ -157,6 +166,16 @@ func Factories() []Factory { return FactoriesWithBackend("") }
 // system's default backend. Panics on an unknown backend name (callers such
 // as proust-bench validate with stm.BackendByName first).
 func FactoriesWithBackend(backend string) []Factory {
+	return FactoriesWithOptions(backend)
+}
+
+// FactoriesWithOptions returns the Figure-4 series with an optional backend
+// override plus extra stm.Options applied to every system's STM — the hook
+// through which the robustness knobs (stm.WithChaos, stm.WithEscalation,
+// stm.WithMaxAttempts) reach the benchmark systems. Options are applied
+// after the backend selection, so WithChaos wraps whichever backend each
+// system runs on.
+func FactoriesWithOptions(backend string, opts ...stm.Option) []Factory {
 	if backend != "" {
 		if _, ok := stm.BackendByName(backend); !ok {
 			panic(fmt.Sprintf("bench: unknown backend %q (valid backends: %s)",
@@ -170,7 +189,10 @@ func FactoriesWithBackend(backend string) []Factory {
 		if backend != "" {
 			name = backend
 		}
-		return stm.New(stm.WithBackend(name))
+		all := make([]stm.Option, 0, len(opts)+1)
+		all = append(all, stm.WithBackend(name))
+		all = append(all, opts...)
+		return stm.New(all...)
 	}
 	intHash := func(k int) uint64 { return conc.IntHasher(k) }
 	return []Factory{
@@ -267,6 +289,12 @@ type Result struct {
 	Duration      time.Duration
 	Commits       uint64
 	Aborts        uint64
+	// Timeouts counts transactions abandoned by Workload.TxnDeadline
+	// (always zero when no deadline is configured).
+	Timeouts uint64
+	// Escalations counts transactions that escalated to serial mode
+	// (non-zero only when the system's STM runs stm.WithEscalation).
+	Escalations uint64
 }
 
 // Millis returns the duration in milliseconds (Figure 4's y-axis).
@@ -329,6 +357,7 @@ func Run(f Factory, w Workload) (Result, error) {
 		wg       sync.WaitGroup
 		runErrMu sync.Mutex
 		runErr   error
+		timeouts atomic.Uint64
 	)
 	start := time.Now()
 	for t := 0; t < w.Threads; t++ {
@@ -341,7 +370,7 @@ func Run(f Factory, w Workload) (Result, error) {
 				for j := range ops {
 					ops[j] = genOp(r, w)
 				}
-				err := sys.STM.Atomically(func(tx *stm.Txn) error {
+				body := func(tx *stm.Txn) error {
 					for _, op := range ops {
 						switch op.Kind {
 						case OpGet:
@@ -356,7 +385,21 @@ func Run(f Factory, w Workload) (Result, error) {
 						}
 					}
 					return nil
-				})
+				}
+				var err error
+				if w.TxnDeadline > 0 {
+					ctx, cancel := context.WithTimeout(context.Background(), w.TxnDeadline)
+					err = sys.STM.AtomicallyCtx(ctx, body)
+					cancel()
+					if errors.Is(err, stm.ErrDeadline) {
+						// An expired transaction is a measured outcome of the
+						// tail-latency run, not a benchmark failure.
+						timeouts.Add(1)
+						err = nil
+					}
+				} else {
+					err = sys.STM.Atomically(body)
+				}
 				if err != nil {
 					runErrMu.Lock()
 					if runErr == nil {
@@ -383,6 +426,8 @@ func Run(f Factory, w Workload) (Result, error) {
 		Duration:      elapsed,
 		Commits:       st.Commits,
 		Aborts:        st.Aborts,
+		Timeouts:      timeouts.Load(),
+		Escalations:   st.Escalations,
 	}, nil
 }
 
@@ -429,6 +474,15 @@ type SweepConfig struct {
 	Interleave bool
 	Systems    []string // empty = all
 	Backend    string   // STM backend override by registry name; empty = per-system default
+	// Chaos, when non-nil, wraps every system's backend in the fault-injecting
+	// chaos layer with this configuration — the soak-under-load mode.
+	Chaos *stm.ChaosConfig
+	// Escalate, when positive, enables starvation escalation on every
+	// system's STM with this conflict-abort threshold.
+	Escalate int
+	// TxnDeadline, when positive, bounds each transaction via AtomicallyCtx;
+	// expiries are reported as Result.Timeouts (see Workload.TxnDeadline).
+	TxnDeadline time.Duration
 	// Obs instruments every system built during the sweep (nil = zero-cost
 	// uninstrumented run).
 	Obs *Observability
@@ -460,7 +514,14 @@ func Sweep(cfg SweepConfig) ([]Result, error) {
 				cfg.Backend, strings.Join(stm.BackendNames(), ", "))
 		}
 	}
-	factories := FactoriesWithBackend(cfg.Backend)
+	var stmOpts []stm.Option
+	if cfg.Chaos != nil {
+		stmOpts = append(stmOpts, stm.WithChaos(*cfg.Chaos))
+	}
+	if cfg.Escalate > 0 {
+		stmOpts = append(stmOpts, stm.WithEscalation(cfg.Escalate))
+	}
+	factories := FactoriesWithOptions(cfg.Backend, stmOpts...)
 	if cfg.Obs != nil {
 		for i := range factories {
 			factories[i] = cfg.Obs.Instrumented(factories[i])
@@ -511,6 +572,7 @@ func Sweep(cfg SweepConfig) ([]Result, error) {
 						TotalOps:      cfg.TotalOps,
 						Seed:          42,
 						Interleave:    cfg.Interleave,
+						TxnDeadline:   cfg.TxnDeadline,
 					}
 					res, _, err := RunRepeated(f, w, cfg.Warmups, cfg.Reps)
 					if err != nil {
@@ -528,11 +590,12 @@ func Sweep(cfg SweepConfig) ([]Result, error) {
 
 // WriteCSV emits results in CSV form.
 func WriteCSV(out io.Writer, results []Result) {
-	fmt.Fprintln(out, "system,threads,ops_per_txn,write_fraction,total_ops,millis,ops_per_sec,commits,aborts,abort_rate")
+	fmt.Fprintln(out, "system,threads,ops_per_txn,write_fraction,total_ops,millis,ops_per_sec,commits,aborts,abort_rate,timeouts,escalations")
 	for _, r := range results {
-		fmt.Fprintf(out, "%s,%d,%d,%.2f,%d,%.3f,%.0f,%d,%d,%.4f\n",
+		fmt.Fprintf(out, "%s,%d,%d,%.2f,%d,%.3f,%.0f,%d,%d,%.4f,%d,%d\n",
 			r.System, r.Threads, r.OpsPerTxn, r.WriteFraction, r.TotalOps,
-			r.Millis(), r.OpsPerSec(), r.Commits, r.Aborts, r.AbortRate())
+			r.Millis(), r.OpsPerSec(), r.Commits, r.Aborts, r.AbortRate(),
+			r.Timeouts, r.Escalations)
 	}
 }
 

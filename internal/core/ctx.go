@@ -1,0 +1,30 @@
+package core
+
+import (
+	"context"
+
+	"proust/internal/stm"
+)
+
+// Do runs fn as a context-aware transaction against s. It is the
+// recommended entry point for transactions over the Proustian data
+// structures in this package when the caller has a deadline or cancellation
+// scope: blocking operations inside the transaction (DequeueWait, or any
+// stm.Retry-based wait) park until another transaction commits, and ctx is
+// what bounds that wait — cancellation surfaces as stm.ErrCanceled, deadline
+// expiry as stm.ErrDeadline, and instance shutdown as stm.ErrClosed. A nil
+// ctx is exactly (*stm.STM).Atomically.
+//
+// The abstract-lock inverses of this package compose transparently: a
+// transaction abandoned between attempts has already rolled back (inverse
+// operations ran, abstract locks released), so no structure is left with
+// uncommitted effects.
+func Do(ctx context.Context, s *stm.STM, fn func(tx *stm.Txn) error) error {
+	return s.AtomicallyCtx(ctx, fn)
+}
+
+// DoResult runs fn as a context-aware transaction and returns its result.
+// See Do for the cancellation semantics.
+func DoResult[T any](ctx context.Context, s *stm.STM, fn func(tx *stm.Txn) (T, error)) (T, error) {
+	return stm.AtomicallyCtxResult(ctx, s, fn)
+}

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"proust/internal/stm"
+)
+
+// TestDequeueWaitBlocksAndDelivers: a DequeueWait consumer parks on the
+// empty queue (surviving unrelated commits — the Retry/maxTries regression
+// at the ADT layer) and receives the value once a producer enqueues.
+func TestDequeueWaitBlocksAndDelivers(t *testing.T) {
+	s := stm.New(stm.WithMaxAttempts(3))
+	q := NewQueue[int](s, NewOptimisticLAP(s, QStateHash, 4))
+	noise := stm.NewRef(s, 0)
+
+	got := make(chan int, 1)
+	errc := make(chan error, 1)
+	go func() {
+		v, err := DoResult(nil, s, func(tx *stm.Txn) (int, error) {
+			return q.DequeueWait(tx), nil
+		})
+		if err != nil {
+			errc <- err
+			return
+		}
+		got <- v
+	}()
+
+	// Unrelated commits wake the parked consumer; with maxTries = 3 it must
+	// survive all of them (wake-ups are not conflict aborts).
+	for i := 0; i < 30; i++ {
+		if err := s.Atomically(func(tx *stm.Txn) error {
+			noise.Set(tx, i)
+			return nil
+		}); err != nil {
+			t.Fatalf("noise commit %d: %v", i, err)
+		}
+	}
+	select {
+	case err := <-errc:
+		t.Fatalf("consumer failed while queue empty: %v", err)
+	case v := <-got:
+		t.Fatalf("consumer returned %d from an empty queue", v)
+	case <-time.After(10 * time.Millisecond):
+	}
+
+	if err := s.Atomically(func(tx *stm.Txn) error {
+		q.Enqueue(tx, 42)
+		return nil
+	}); err != nil {
+		t.Fatalf("producer: %v", err)
+	}
+	select {
+	case v := <-got:
+		if v != 42 {
+			t.Fatalf("dequeued %d, want 42", v)
+		}
+	case err := <-errc:
+		t.Fatalf("consumer: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("consumer never woke after enqueue")
+	}
+}
+
+// TestDequeueWaitDeadline: a context deadline bounds the blocking dequeue.
+func TestDequeueWaitDeadline(t *testing.T) {
+	s := stm.New()
+	q := NewQueue[int](s, NewOptimisticLAP(s, QStateHash, 4))
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, err := DoResult(ctx, s, func(tx *stm.Txn) (int, error) {
+		return q.DequeueWait(tx), nil
+	})
+	if !errors.Is(err, stm.ErrDeadline) {
+		t.Fatalf("err = %v, want stm.ErrDeadline", err)
+	}
+}
+
+// TestDequeueWaitClose: stm.Close unblocks parked consumers with ErrClosed
+// and the queue's committed state is unaffected.
+func TestDequeueWaitClose(t *testing.T) {
+	s := stm.New()
+	q := NewQueue[int](s, NewOptimisticLAP(s, QStateHash, 4))
+
+	const consumers = 4
+	errs := make(chan error, consumers)
+	var wg sync.WaitGroup
+	for i := 0; i < consumers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := DoResult(nil, s, func(tx *stm.Txn) (int, error) {
+				return q.DequeueWait(tx), nil
+			})
+			errs <- err
+		}()
+	}
+	time.Sleep(10 * time.Millisecond) // let the consumers park
+	s.Close()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if !errors.Is(err, stm.ErrClosed) {
+			t.Fatalf("consumer err = %v, want stm.ErrClosed", err)
+		}
+	}
+}
+
+// TestDoCancellationRollsBackInverses: a canceled transaction must leave no
+// partial ADT effects — the eager inverses ran on its final rollback.
+func TestDoCancellationRollsBackInverses(t *testing.T) {
+	s := stm.New()
+	q := NewQueue[int](s, NewOptimisticLAP(s, QStateHash, 4))
+
+	ctx, cancel := context.WithCancel(context.Background())
+	entered := make(chan struct{}, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- Do(ctx, s, func(tx *stm.Txn) error {
+			q.Enqueue(tx, 7) // eager: applied immediately, inverse on abort
+			select {
+			case entered <- struct{}{}:
+			default:
+			}
+			q.DequeueWait(tx) // queue only holds our own tentative element
+			q.DequeueWait(tx) // ...so this parks forever
+			return nil
+		})
+	}()
+	<-entered
+	time.Sleep(5 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, stm.ErrCanceled) {
+			t.Fatalf("err = %v, want stm.ErrCanceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancellation did not unblock the consumer")
+	}
+
+	// The canceled enqueue must have been inverted: the queue is empty.
+	if err := s.Atomically(func(tx *stm.Txn) error {
+		if v, ok := q.Peek(tx); ok {
+			t.Errorf("queue holds %d after canceled transaction", v)
+		}
+		if n := q.Size(tx); n != 0 {
+			t.Errorf("size = %d after canceled transaction, want 0", n)
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("check: %v", err)
+	}
+}

@@ -84,6 +84,20 @@ func (q *Queue[V]) Dequeue(tx *stm.Txn) (V, bool) {
 	return res.it.Value, true
 }
 
+// DequeueWait removes and returns the oldest value, blocking (via stm.Retry)
+// while the queue is empty: the transaction parks until some other
+// transaction commits, then re-executes. Combine with Do / DoResult and a
+// context to bound the wait — a canceled or expired context unblocks the
+// parked consumer with stm.ErrCanceled / stm.ErrDeadline, and stm.Close
+// unblocks it with stm.ErrClosed.
+func (q *Queue[V]) DequeueWait(tx *stm.Txn) V {
+	v, ok := q.Dequeue(tx)
+	if !ok {
+		stm.Retry(tx)
+	}
+	return v
+}
+
 type qItemResult[V any] struct {
 	it *conc.QItem[V]
 	ok bool

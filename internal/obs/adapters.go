@@ -124,6 +124,8 @@ type STMCollector struct {
 	stms map[string]*stm.STM
 
 	starts, commits, aborts, samples *CounterVec
+	escalations, serialCommits       *CounterVec
+	abandoned                        *CounterVec
 	quant                            *GaugeVec
 }
 
@@ -146,6 +148,14 @@ func NewSTMCollector(r *Registry) *STMCollector {
 			"Sampled observations underlying the duration quantiles "+
 				"(multiply by sample_every for population estimates).",
 			"backend", "hist", "sample_every"),
+		escalations: r.Counter("proust_stm_escalations_total",
+			"Transactions escalated to serial (irrevocable) mode after the "+
+				"configured conflict-abort threshold.", "backend"),
+		serialCommits: r.Counter("proust_stm_serial_commits_total",
+			"Commits performed in escalated serial mode.", "backend"),
+		abandoned: r.Counter("proust_stm_abandoned_total",
+			"Transactions abandoned without committing, by reason "+
+				"(max_attempts, canceled, deadline, closed).", "backend", "reason"),
 	}
 	r.OnGather(c.collect)
 	return c
@@ -182,6 +192,12 @@ func (c *STMCollector) collect() {
 		for cause, n := range st.AbortsByCause() {
 			c.aborts.With(backend, cause).set(n)
 		}
+		c.escalations.With(backend).set(st.Escalations)
+		c.serialCommits.With(backend).set(st.SerialCommits)
+		c.abandoned.With(backend, "max_attempts").set(st.MaxAttemptsAborts)
+		c.abandoned.With(backend, "canceled").set(st.CanceledTxns)
+		c.abandoned.With(backend, "deadline").set(st.DeadlineTxns)
+		c.abandoned.With(backend, "closed").set(st.ClosedTxns)
 		for name, h := range map[string]stm.DurationHistSnapshot{
 			"validation": st.ValidationTime,
 			"lock_hold":  st.LockHold,

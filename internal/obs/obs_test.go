@@ -270,6 +270,46 @@ func TestRegisterSTMExportsBackendStats(t *testing.T) {
 	}
 }
 
+// TestSTMCollectorExportsRobustnessCounters: the escalation / serial-commit
+// families and the abandonment-reason breakdown reach the scrape output.
+func TestSTMCollectorExportsRobustnessCounters(t *testing.T) {
+	r := NewRegistry()
+	s := stm.New(
+		stm.WithBackend("ccstm"),
+		stm.WithEscalation(2),
+		stm.WithChaos(stm.ChaosConfig{Seed: 5, DoomEvery: 1}),
+	)
+	RegisterSTM(r, s)
+	ref := stm.NewRef(s, 0)
+	for i := 0; i < 5; i++ {
+		if err := s.Atomically(func(tx *stm.Txn) error {
+			ref.Set(tx, ref.Get(tx)+1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	_ = s.Atomically(func(tx *stm.Txn) error { return nil }) // one closed_txns tick
+
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		`proust_stm_escalations_total{backend="chaos-ccstm"} 5`,
+		`proust_stm_serial_commits_total{backend="chaos-ccstm"} 5`,
+		`proust_stm_aborts_total{backend="chaos-ccstm",cause="chaos"} 10`,
+		`proust_stm_abandoned_total{backend="chaos-ccstm",reason="closed"} 1`,
+		`proust_stm_abandoned_total{backend="chaos-ccstm",reason="canceled"} 0`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("missing %q in scrape:\n%s", want, text)
+		}
+	}
+}
+
 func TestTracersCombinator(t *testing.T) {
 	if Tracers() != nil {
 		t.Error("empty Tracers() != nil")

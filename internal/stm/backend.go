@@ -63,6 +63,10 @@ type BackendFactory struct {
 	Policy DetectionPolicy
 	Doc    string
 	New    func() Backend
+	// Fault marks a fault-injecting backend (the chaos-* wrappers). Harnesses
+	// that enumerate the registry for correctness or performance comparisons
+	// should skip Fault backends: they abort and delay on purpose.
+	Fault bool
 }
 
 var (
@@ -116,12 +120,13 @@ func BackendByName(name string) (BackendFactory, bool) {
 }
 
 // backendForPolicy maps a Figure 1 classification to the registered backend
-// implementing it (the WithPolicy compatibility path).
+// implementing it (the WithPolicy compatibility path). Fault-injecting
+// wrappers share their inner backend's policy and are never selected here.
 func backendForPolicy(p DetectionPolicy) (BackendFactory, bool) {
 	backendMu.RLock()
 	defer backendMu.RUnlock()
 	for _, name := range backendOrder {
-		if f := backendRegistry[name]; f.Policy == p {
+		if f := backendRegistry[name]; f.Policy == p && !f.Fault {
 			return f, true
 		}
 	}

@@ -76,7 +76,7 @@ func (tx *Txn) arbitrateReaders(r *baseRef) {
 		if snap&statusMask != statusActive {
 			continue
 		}
-		if tx.s.cm.InvalidatesReader(tx, rd) {
+		if tx.s.cmInvalidatesReader(tx, rd, snap) {
 			doomTxn(rd, snap)
 			continue
 		}

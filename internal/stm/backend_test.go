@@ -2,16 +2,21 @@ package stm
 
 import (
 	"errors"
+	"strings"
 	"sync"
 	"testing"
 )
 
-// forEachBackend runs f once per registered backend, on a fresh STM built
-// through the registry (not through WithPolicy), so the tests cover exactly
-// what the registry exposes.
+// forEachBackend runs f once per registered non-fault backend, on a fresh STM
+// built through the registry (not through WithPolicy), so the tests cover
+// exactly what the registry exposes. Fault (chaos-*) backends abort and delay
+// on purpose and are exercised by their own tests.
 func forEachBackend(t *testing.T, f func(t *testing.T, s *STM)) {
 	t.Helper()
 	for _, bf := range Backends() {
+		if bf.Fault {
+			continue
+		}
 		bf := bf
 		t.Run(bf.Name, func(t *testing.T) {
 			f(t, New(WithBackend(bf.Name)))
@@ -26,9 +31,36 @@ func TestBackendRegistryComplete(t *testing.T) {
 		"eager": EagerEager,
 		"norec": NOrec,
 	}
-	backends := Backends()
-	if len(backends) != len(want) {
-		t.Fatalf("registry has %d backends, want %d: %v", len(backends), len(want), BackendNames())
+	var real, fault []BackendFactory
+	for _, bf := range Backends() {
+		if bf.Fault {
+			fault = append(fault, bf)
+		} else {
+			real = append(real, bf)
+		}
+	}
+	if len(real) != len(want) {
+		t.Fatalf("registry has %d non-fault backends, want %d: %v", len(real), len(want), BackendNames())
+	}
+	// Every real backend has a chaos-wrapped fault variant and nothing else.
+	if len(fault) != len(want) {
+		t.Fatalf("registry has %d fault backends, want %d: %v", len(fault), len(want), BackendNames())
+	}
+	for _, bf := range fault {
+		inner := strings.TrimPrefix(bf.Name, "chaos-")
+		if inner == bf.Name {
+			t.Errorf("fault backend %q is not a chaos-* wrapper", bf.Name)
+			continue
+		}
+		if policy, ok := want[inner]; !ok {
+			t.Errorf("fault backend %q wraps unknown backend %q", bf.Name, inner)
+		} else if bf.Policy != policy {
+			t.Errorf("fault backend %q policy = %v, want %v (inner backend's)", bf.Name, bf.Policy, policy)
+		}
+		b := bf.New()
+		if b.Name() != bf.Name {
+			t.Errorf("fault backend %q instance reports Name() = %q", bf.Name, b.Name())
+		}
 	}
 	for name, policy := range want {
 		bf, ok := BackendByName(name)
@@ -457,7 +489,7 @@ func TestTracerObservesLifecycle(t *testing.T) {
 
 func TestDurationHistQuantile(t *testing.T) {
 	var h DurationHist
-	h.observe(100)  // bucket len(100)=7 → upper 128ns
+	h.observe(100) // bucket len(100)=7 → upper 128ns
 	h.observe(100)
 	h.observe(1000) // bucket 10 → upper 1024ns
 	s := h.snapshot()

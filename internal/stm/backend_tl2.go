@@ -122,7 +122,7 @@ func (tx *Txn) lockForCommit(r *baseRef) bool {
 		}
 		if owner != nil {
 			snap := owner.stateSnapshot()
-			if snap&statusMask == statusActive && tx.s.cm.Wins(tx, owner) {
+			if snap&statusMask == statusActive && tx.s.cmWins(tx, owner, snap) {
 				doomTxn(owner, snap)
 			}
 		}

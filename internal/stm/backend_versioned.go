@@ -32,7 +32,7 @@ func (tx *Txn) readVersioned(r *baseRef) any {
 // resolveRead handles finding r locked by another transaction during a read.
 func (tx *Txn) resolveRead(r *baseRef, owner *Txn, spins int) {
 	snap := owner.stateSnapshot()
-	if snap&statusMask == statusActive && tx.s.cm.Wins(tx, owner) {
+	if snap&statusMask == statusActive && tx.s.cmWins(tx, owner, snap) {
 		doomTxn(owner, snap)
 	}
 	tx.waitOrDie(r, owner, spins)
@@ -97,7 +97,7 @@ func (tx *Txn) acquire(r *baseRef) {
 			continue
 		}
 		snap := owner.stateSnapshot()
-		if snap&statusMask == statusActive && tx.s.cm.Wins(tx, owner) {
+		if snap&statusMask == statusActive && tx.s.cmWins(tx, owner, snap) {
 			doomTxn(owner, snap)
 		}
 		tx.waitOrDie(r, owner, spins)

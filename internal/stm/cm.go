@@ -62,3 +62,41 @@ func (Timestamp) InvalidatesReader(writer, reader *Txn) bool {
 
 // Name implements ContentionManager.
 func (Timestamp) Name() string { return "timestamp" }
+
+// cmWins is the arbitration entry point used by the backends in place of
+// calling the ContentionManager directly. victimSnap is the victim state
+// snapshot the caller will pass to doomTxn. cmWins enforces two invariants
+// the managers need not know about:
+//
+//   - attacker == victim never dooms: the managers' Wins contract does not
+//     constrain the reflexive case, so a hostile or buggy manager answering
+//     Wins(t, t) == true must not let a transaction doom itself on a
+//     re-entrant abstract-lock acquisition (the backends avoid the reflexive
+//     call today; this keeps the property structural rather than incidental);
+//   - a serial (escalated) transaction wins every arbitration and can never
+//     be doomed — contention managers arbitrate among optimistic
+//     transactions only. The victim side reads the stateSerial bit of the
+//     snapshot, so even a stale observation is safe: if the victim escalated
+//     after the snapshot was taken, the state word changed and doomTxn's CAS
+//     fails. See escalate.go.
+func (s *STM) cmWins(attacker, victim *Txn, victimSnap uint64) bool {
+	if attacker == victim || victimSnap&stateSerial != 0 {
+		return false
+	}
+	if attacker.serialMode {
+		return true
+	}
+	return s.cm.Wins(attacker, victim)
+}
+
+// cmInvalidatesReader is cmWins for the visible-reader arbitration of the
+// eager backend, with the same reflexive and serial-transaction guards.
+func (s *STM) cmInvalidatesReader(writer, reader *Txn, readerSnap uint64) bool {
+	if writer == reader || readerSnap&stateSerial != 0 {
+		return false
+	}
+	if writer.serialMode {
+		return true
+	}
+	return s.cm.InvalidatesReader(writer, reader)
+}

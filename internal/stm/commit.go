@@ -12,8 +12,11 @@ func (tx *Txn) commit() bool {
 // transitionCommitted flips the current attempt from active to committed,
 // failing if a contention manager doomed the attempt first.
 func (tx *Txn) transitionCommitted() bool {
-	snap := uint64(tx.attempt)<<2 | statusActive
-	return tx.state.CompareAndSwap(snap, uint64(tx.attempt)<<2|statusCommitted)
+	snap := uint64(tx.attempt)<<3 | statusActive
+	if tx.serialMode {
+		snap |= stateSerial
+	}
+	return tx.state.CompareAndSwap(snap, snap&^statusMask|statusCommitted)
 }
 
 // runCommitLocked applies deferred effects (Proust replay logs) inside the

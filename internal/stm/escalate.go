@@ -1,0 +1,122 @@
+package stm
+
+import "sync"
+
+// Starvation escalation: graceful degradation for transactions the optimistic
+// machinery cannot finish.
+//
+// The paper warns (Section 7) that coupling abstract locks with an STM's
+// contention manager is delicate — under high contention and long
+// transactions the system can livelock. The Timestamp (Greedy) manager is the
+// scheduling remedy; escalation is the structural one: after K conflict
+// aborts a transaction acquires a global escalation token in exclusive mode
+// and re-executes serially (irrevocably). Because every optimistic attempt
+// holds the token in shared mode for exactly the duration of one attempt (and
+// never across a backoff sleep or a Retry wait), the exclusive acquisition
+// quiesces optimistic writers: when it returns, no other attempt is in
+// flight, the serial attempt observes a stable memory, commits on its first
+// try, and the token is released. Long transactions therefore finish instead
+// of livelocking, at the cost of a brief serialization window — exactly the
+// "bounded tail latency over peak throughput" trade.
+//
+// Interaction rules:
+//
+//   - A serial transaction wins every contention-manager arbitration and can
+//     never be doomed (see cmWins / cmInvalidatesReader in cm.go). This is
+//     the escalation integration point with the ContentionManager interface:
+//     managers arbitrate among optimistic transactions only.
+//   - The chaos fault-injection wrapper (chaos.go) injects nothing into a
+//     serial transaction; irrevocability means no spurious aborts.
+//   - Retry in serial mode releases the token before blocking (progress
+//     requires some other transaction to commit) and de-escalates; the
+//     transaction re-escalates on its next conflict streak if needed.
+//   - Escalation is driven by the conflict-abort counter, not by Attempt():
+//     Retry wake-ups neither escalate nor abandon a transaction.
+type escalation struct {
+	// threshold is the number of conflict aborts after which a transaction
+	// escalates (the K of WithEscalation).
+	threshold int
+
+	// mu is the escalation token: optimistic attempts pin it shared for the
+	// attempt's duration; an escalated transaction holds it exclusively.
+	// Go's writer-preferring RWMutex makes exclusive acquisition fair: new
+	// optimistic attempts queue behind a waiting escalated transaction.
+	mu sync.RWMutex
+}
+
+// Txn.escHeld values: which escalation token the transaction currently holds.
+const (
+	escNone   = 0
+	escShared = 1
+	escSerial = 2
+)
+
+type escalationOption int
+
+func (o escalationOption) apply(s *STM) {
+	if o <= 0 {
+		s.esc = nil
+		return
+	}
+	s.esc = &escalation{threshold: int(o)}
+}
+
+// WithEscalation enables starvation escalation: after k conflict aborts a
+// transaction escalates to serial (irrevocable) mode — it acquires a global
+// token that quiesces optimistic writers, re-executes with absolute priority,
+// and commits without further interference. k <= 0 (the default) disables
+// escalation; the disabled path adds a single predictable branch per attempt
+// and no synchronization.
+func WithEscalation(k int) Option { return escalationOption(k) }
+
+// EscalationThreshold returns the configured escalation threshold K, or 0
+// when escalation is disabled.
+func (s *STM) EscalationThreshold() int {
+	if s.esc == nil {
+		return 0
+	}
+	return s.esc.threshold
+}
+
+// pin acquires the escalation token for one attempt: shared for an
+// optimistic attempt, exclusive once the transaction's conflict-abort count
+// reaches the threshold. A transaction that already holds the exclusive
+// token (a serial attempt retrying) keeps it.
+func (e *escalation) pin(tx *Txn, failures int) {
+	if tx.escHeld == escSerial {
+		return
+	}
+	if failures >= e.threshold {
+		e.mu.Lock()
+		tx.escHeld = escSerial
+		tx.serialMode = true
+		tx.s.stats.Escalations.Add(1)
+		return
+	}
+	e.mu.RLock()
+	tx.escHeld = escShared
+}
+
+// unpinShared releases a shared pin at the end of an optimistic attempt. A
+// serial transaction keeps its exclusive token across conflict retries —
+// releasing it mid-streak would forfeit the quiescence it escalated for.
+func (e *escalation) unpinShared(tx *Txn) {
+	if tx.escHeld == escShared {
+		tx.escHeld = escNone
+		e.mu.RUnlock()
+	}
+}
+
+// unpin releases whatever token the transaction holds and de-escalates. It
+// is idempotent, which lets the attempt loop install it as a deferred
+// user-panic guard while also calling it on the ordinary exit paths.
+func (e *escalation) unpin(tx *Txn) {
+	switch tx.escHeld {
+	case escShared:
+		e.mu.RUnlock()
+	case escSerial:
+		tx.serialMode = false
+		e.mu.Unlock()
+	}
+	tx.escHeld = escNone
+}

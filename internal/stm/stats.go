@@ -27,6 +27,9 @@ const (
 	// abandoned (reported once per transaction, after the final attempt's
 	// own abort cause).
 	CauseMaxAttempts
+	// CauseChaos: the attempt was aborted by the fault-injection chaos
+	// backend wrapper (WithChaos), not by a real conflict.
+	CauseChaos
 )
 
 // String returns the cause name used in stats and trace output.
@@ -44,6 +47,8 @@ func (c AbortCause) String() string {
 		return "user"
 	case CauseMaxAttempts:
 		return "max-attempts"
+	case CauseChaos:
+		return "chaos"
 	default:
 		return "unknown"
 	}
@@ -170,6 +175,14 @@ type Stats struct {
 	DoomedAborts      atomic.Uint64 // doomed by a contention manager
 	UserAborts        atomic.Uint64 // fn returned an error
 	MaxAttemptsAborts atomic.Uint64 // transactions abandoned by WithMaxAttempts
+	ChaosAborts       atomic.Uint64 // injected by the chaos wrapper (WithChaos)
+
+	// Robustness-layer counters.
+	Escalations   atomic.Uint64 // transactions escalated to serial mode
+	SerialCommits atomic.Uint64 // commits performed in serial (escalated) mode
+	CanceledTxns  atomic.Uint64 // transactions abandoned via ctx cancellation
+	DeadlineTxns  atomic.Uint64 // transactions abandoned via ctx deadline
+	ClosedTxns    atomic.Uint64 // transactions failed by STM.Close
 
 	// ValidationTime observes the duration of each commit-time read-set
 	// validation pass (version- or value-based).
@@ -191,6 +204,13 @@ type StatsSnapshot struct {
 	DoomedAborts      uint64 `json:"doomed_aborts"`
 	UserAborts        uint64 `json:"user_aborts"`
 	MaxAttemptsAborts uint64 `json:"max_attempts_aborts"`
+	ChaosAborts       uint64 `json:"chaos_aborts"`
+
+	Escalations   uint64 `json:"escalations"`
+	SerialCommits uint64 `json:"serial_commits"`
+	CanceledTxns  uint64 `json:"canceled_txns"`
+	DeadlineTxns  uint64 `json:"deadline_txns"`
+	ClosedTxns    uint64 `json:"closed_txns"`
 
 	ValidationTime DurationHistSnapshot `json:"validation_time"`
 	LockHold       DurationHistSnapshot `json:"lock_hold"`
@@ -204,6 +224,7 @@ func (s StatsSnapshot) AbortsByCause() map[string]uint64 {
 		CauseDoomed.String():       s.DoomedAborts,
 		CauseUser.String():         s.UserAborts,
 		CauseMaxAttempts.String():  s.MaxAttemptsAborts,
+		CauseChaos.String():        s.ChaosAborts,
 	}
 }
 
@@ -217,6 +238,12 @@ func (st *Stats) snapshot() StatsSnapshot {
 		DoomedAborts:      st.DoomedAborts.Load(),
 		UserAborts:        st.UserAborts.Load(),
 		MaxAttemptsAborts: st.MaxAttemptsAborts.Load(),
+		ChaosAborts:       st.ChaosAborts.Load(),
+		Escalations:       st.Escalations.Load(),
+		SerialCommits:     st.SerialCommits.Load(),
+		CanceledTxns:      st.CanceledTxns.Load(),
+		DeadlineTxns:      st.DeadlineTxns.Load(),
+		ClosedTxns:        st.ClosedTxns.Load(),
 		ValidationTime:    st.ValidationTime.snapshot(),
 		LockHold:          st.LockHold.snapshot(),
 	}
@@ -231,6 +258,12 @@ func (st *Stats) reset() {
 	st.DoomedAborts.Store(0)
 	st.UserAborts.Store(0)
 	st.MaxAttemptsAborts.Store(0)
+	st.ChaosAborts.Store(0)
+	st.Escalations.Store(0)
+	st.SerialCommits.Store(0)
+	st.CanceledTxns.Store(0)
+	st.DeadlineTxns.Store(0)
+	st.ClosedTxns.Store(0)
 	st.ValidationTime.reset()
 	st.LockHold.reset()
 }
@@ -247,5 +280,7 @@ func (st *Stats) countAbort(cause AbortCause) {
 		st.DoomedAborts.Add(1)
 	case CauseUser:
 		st.UserAborts.Add(1)
+	case CauseChaos:
+		st.ChaosAborts.Add(1)
 	}
 }

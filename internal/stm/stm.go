@@ -34,6 +34,7 @@
 package stm
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -97,20 +98,37 @@ func (p DetectionPolicy) EagerWriteLocks() bool {
 }
 
 // ErrMaxAttempts is returned by Atomically when a transaction exceeds the
-// configured maximum number of attempts.
+// configured maximum number of attempts. Only conflict aborts (lost
+// arbitration, failed validation, being doomed, injected faults) advance the
+// abandonment counter; Retry wake-ups do not — a transaction legitimately
+// blocked on Retry is never abandoned, no matter how many unrelated commits
+// wake it.
 var ErrMaxAttempts = errors.New("stm: transaction exceeded maximum attempts")
+
+// ErrCanceled is returned by AtomicallyCtx when the context is canceled
+// before the transaction commits.
+var ErrCanceled = errors.New("stm: transaction canceled")
+
+// ErrDeadline is returned by AtomicallyCtx when the context's deadline
+// expires before the transaction commits.
+var ErrDeadline = errors.New("stm: transaction deadline exceeded")
+
+// ErrClosed is returned by Atomically and AtomicallyCtx when the STM
+// instance has been closed: blocked Retry waiters wake and fail with it, and
+// in-flight transactions fail with it at their next attempt boundary.
+var ErrClosed = errors.New("stm: transactional memory closed")
 
 // STM is an instance of the transactional memory: a global version clock, a
 // conflict-detection backend, a contention manager and statistics. All
 // references participating in the same transactions must be created against
 // the same STM.
 type STM struct {
-	clock   atomic.Uint64 // global version clock
-	refIDs  atomic.Uint64 // unique reference ids (commit-time lock order)
-	txnIDs  atomic.Uint64 // unique transaction serials
-	backend Backend
-	cm      ContentionManager
-	tracer  Tracer
+	clock    atomic.Uint64 // global version clock
+	refIDs   atomic.Uint64 // unique reference ids (commit-time lock order)
+	txnIDs   atomic.Uint64 // unique transaction serials
+	backend  Backend
+	cm       ContentionManager
+	tracer   Tracer
 	stampTS  bool         // tracer attached and not TimestampFree
 	now      func() int64 // TraceEvent timestamp clock, nil = wall time
 	maxTries int
@@ -121,6 +139,19 @@ type STM struct {
 	retryMu  sync.Mutex
 	retryCv  *sync.Cond
 	retryGen uint64
+
+	// closed is set (under retryMu, for the Retry wake-up handshake) by
+	// Close; the attempt loop polls it with a single atomic load.
+	closed atomic.Bool
+
+	// esc is the starvation-escalation token; nil (the default) disables
+	// escalation and keeps the attempt loop branch-predictable. See
+	// escalate.go.
+	esc *escalation
+
+	// chaosCfg, when non-nil, wraps the selected backend in the
+	// fault-injection chaos wrapper after option application. See chaos.go.
+	chaosCfg *ChaosConfig
 }
 
 // Option configures an STM instance.
@@ -178,6 +209,9 @@ func New(opts ...Option) *STM {
 		}
 		s.backend = f.New()
 	}
+	if s.chaosCfg != nil {
+		s.backend = newChaosBackend(s.backend, *s.chaosCfg)
+	}
 	s.retryCv = sync.NewCond(&s.retryMu)
 	return s
 }
@@ -216,14 +250,58 @@ func (s *STM) nowNanos() int64 {
 
 // Atomically runs fn as a transaction, retrying on conflicts until it either
 // commits or fn returns a non-nil error (which aborts the transaction and is
-// returned verbatim).
+// returned verbatim). On a closed instance it returns ErrClosed.
 func (s *STM) Atomically(fn func(tx *Txn) error) error {
+	return s.run(nil, fn)
+}
+
+// AtomicallyCtx runs fn as a transaction like Atomically, additionally
+// observing ctx: backoff sleeps and Retry waits wake on ctx.Done(), and the
+// transaction stops retrying between attempts with ErrDeadline (deadline
+// expiry) or ErrCanceled (cancellation). An attempt already executing is
+// never interrupted mid-body — cancellation takes effect at the next attempt
+// boundary, so a transaction that commits concurrently with cancellation
+// stays committed. A nil ctx is exactly Atomically: the fast path performs
+// one nil check per attempt and allocates nothing extra.
+func (s *STM) AtomicallyCtx(ctx context.Context, fn func(tx *Txn) error) error {
+	return s.run(ctx, fn)
+}
+
+// run is the shared attempt loop of Atomically and AtomicallyCtx.
+//
+// The loop keeps two distinct counters: tx.attempt counts body executions
+// (including Retry wake-ups; it feeds the state word, sampling and traces),
+// while the local failures counter counts only conflict aborts. WithMaxAttempts
+// abandonment and starvation escalation are driven by failures — a consumer
+// blocked on Retry is woken by every unrelated commit, and those wake-ups
+// must neither abandon it (the spurious-ErrMaxAttempts bug) nor escalate it.
+func (s *STM) run(ctx context.Context, fn func(tx *Txn) error) error {
 	tx := s.newTxn()
+	esc := s.esc
+	if esc != nil {
+		// A panic out of user code must not leak the escalation token; the
+		// release is idempotent (tx.escHeld guards it), so the explicit
+		// releases on the ordinary paths below stay cheap.
+		defer esc.unpin(tx)
+	}
+	failures := 0
 	for {
-		if s.maxTries > 0 && int(tx.attempt) >= s.maxTries {
+		if s.closed.Load() {
+			s.stats.ClosedTxns.Add(1)
+			return ErrClosed
+		}
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return s.ctxErr(err)
+			}
+		}
+		if s.maxTries > 0 && failures >= s.maxTries {
 			s.stats.MaxAttemptsAborts.Add(1)
 			tx.traceAbort(CauseMaxAttempts)
 			return ErrMaxAttempts
+		}
+		if esc != nil {
+			esc.pin(tx, failures)
 		}
 		tx.beginAttempt()
 		s.stats.Starts.Add(1)
@@ -232,27 +310,84 @@ func (s *STM) Atomically(fn func(tx *Txn) error) error {
 		case sigNone:
 			if err != nil {
 				tx.rollback(CauseUser)
+				if esc != nil {
+					esc.unpin(tx)
+				}
 				return err
 			}
 			if tx.commit() {
+				if tx.serialMode {
+					s.stats.SerialCommits.Add(1)
+				}
+				if esc != nil {
+					esc.unpin(tx)
+				}
 				s.notifyCommit()
 				return nil
 			}
-			tx.backoff()
+			failures++
+			if esc != nil {
+				esc.unpinShared(tx)
+			}
+			tx.backoff(ctx, failures)
 		case sigConflict:
-			tx.backoff()
+			failures++
+			if esc != nil {
+				esc.unpinShared(tx)
+			}
+			tx.backoff(ctx, failures)
 		case sigRetry:
 			gen := s.retryGeneration()
-			s.waitCommit(gen)
+			if esc != nil {
+				// Drop even an exclusive token: a Retry needs some other
+				// transaction to commit, which the token would forbid.
+				esc.unpin(tx)
+			}
+			s.waitCommit(ctx, gen)
 		}
 	}
 }
 
+// ctxErr maps a context error onto the package's typed errors, counting the
+// abandonment.
+func (s *STM) ctxErr(err error) error {
+	if errors.Is(err, context.DeadlineExceeded) {
+		s.stats.DeadlineTxns.Add(1)
+		return ErrDeadline
+	}
+	s.stats.CanceledTxns.Add(1)
+	return ErrCanceled
+}
+
+// Close marks the instance closed: blocked Retry waiters wake and their
+// transactions fail with ErrClosed, and new or conflicted transactions fail
+// with ErrClosed at their next attempt boundary. An attempt already executing
+// is never interrupted — work that commits concurrently with Close stays
+// committed. Close is idempotent and safe to call concurrently with running
+// transactions; after it returns, no goroutine stays blocked inside this
+// instance.
+func (s *STM) Close() {
+	s.retryMu.Lock()
+	s.closed.Store(true)
+	s.retryMu.Unlock()
+	s.retryCv.Broadcast()
+}
+
+// Closed reports whether Close has been called.
+func (s *STM) Closed() bool { return s.closed.Load() }
+
 // AtomicallyResult runs fn as a transaction and returns its result. It is a
 // generic convenience wrapper over (*STM).Atomically.
 func AtomicallyResult[T any](s *STM, fn func(tx *Txn) (T, error)) (T, error) {
+	return AtomicallyCtxResult(nil, s, fn)
+}
+
+// AtomicallyCtxResult runs fn as a context-aware transaction and returns its
+// result. It is the generic convenience wrapper over (*STM).AtomicallyCtx; a
+// nil ctx is exactly AtomicallyResult.
+func AtomicallyCtxResult[T any](ctx context.Context, s *STM, fn func(tx *Txn) (T, error)) (T, error) {
 	var out T
-	err := s.Atomically(func(tx *Txn) error {
+	err := s.run(ctx, func(tx *Txn) error {
 		v, err := fn(tx)
 		if err != nil {
 			return err
@@ -286,10 +421,38 @@ func (s *STM) notifyCommit() {
 	s.retryCv.Broadcast()
 }
 
-func (s *STM) waitCommit(gen uint64) {
+// waitCommit blocks the Retry-ing transaction until a commit advances the
+// retry generation past gen, the instance closes, or (when ctx is non-nil)
+// ctx is done. The caller re-checks closed/ctx at the top of the attempt
+// loop, so waitCommit only needs to wake, not to report why.
+func (s *STM) waitCommit(ctx context.Context, gen uint64) {
+	if ctx == nil {
+		s.retryMu.Lock()
+		defer s.retryMu.Unlock()
+		for s.retryGen == gen && !s.closed.Load() {
+			s.retryCv.Wait()
+		}
+		return
+	}
+	// ctx-aware wait: a watcher goroutine converts ctx.Done into a condvar
+	// broadcast. Broadcasting under retryMu ensures the waiter is either
+	// inside Wait (the broadcast reaches it) or has not yet re-checked the
+	// loop condition (it will observe ctx.Err() != nil), so the wake-up
+	// cannot be lost.
+	stop := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			s.retryMu.Lock()
+			s.retryCv.Broadcast()
+			s.retryMu.Unlock()
+		case <-stop:
+		}
+	}()
+	defer close(stop)
 	s.retryMu.Lock()
 	defer s.retryMu.Unlock()
-	for s.retryGen == gen {
+	for s.retryGen == gen && !s.closed.Load() && ctx.Err() == nil {
 		s.retryCv.Wait()
 	}
 }

@@ -1,20 +1,24 @@
 package stm
 
 import (
+	"context"
 	"sync/atomic"
 	"time"
 )
 
-// Transaction status values, stored in the low two bits of Txn.state. The
-// remaining bits hold the attempt number, so that a contention manager that
-// dooms a transaction based on a stale observation cannot kill a later
-// attempt of the same transaction.
+// Transaction status values, stored in the low two bits of Txn.state. Bit 2
+// marks a serial (escalated) attempt; the remaining bits hold the attempt
+// number, so that a contention manager that dooms a transaction based on a
+// stale observation cannot kill a later attempt of the same transaction —
+// and, because the serial bit changes the word, cannot kill an attempt that
+// escalated after the observation either.
 const (
 	statusActive    = 1
 	statusCommitted = 2
 	statusAborted   = 3
 
-	statusMask = 0x3
+	statusMask  = 0x3
+	stateSerial = 0x4
 )
 
 // signals raised (via panic) inside a transaction body.
@@ -58,7 +62,7 @@ type Txn struct {
 	birth uint64 // serial of the first attempt; contention-manager priority
 	id    uint64 // serial of the current attempt; unique write token
 
-	state atomic.Uint64 // attempt<<2 | status
+	state atomic.Uint64 // attempt<<3 | serial-bit | status
 
 	readVersion uint64 // versioned backends (tl2, ccstm, eager): TL2 read version
 	snapshot    uint64 // norec backend: global sequence-lock snapshot (even)
@@ -82,6 +86,15 @@ type Txn struct {
 
 	attempt int32
 	sampled bool // this attempt feeds the duration histograms
+	// serialMode marks an escalated (serial/irrevocable) transaction: it
+	// holds the instance's exclusive escalation token, wins every
+	// arbitration, and the chaos wrapper injects no faults into it. Owner
+	// goroutine only; contending transactions observe serial-ness through
+	// the stateSerial bit of the state word instead. Padding byte.
+	serialMode bool
+	// escHeld records which escalation token the transaction holds
+	// (escNone/escShared/escSerial); owner-goroutine only. Padding byte.
+	escHeld uint8
 	rng     uint64
 
 	// ADT-level op notes (NoteOp), populated only when traced. The field
@@ -127,7 +140,11 @@ func (tx *Txn) beginAttempt() {
 	tx.onCommit = tx.onCommit[:0]
 	tx.onCommitLocked = tx.onCommitLocked[:0]
 	tx.s.backend.begin(tx)
-	tx.state.Store(uint64(tx.attempt)<<2 | statusActive)
+	w := uint64(tx.attempt)<<3 | statusActive
+	if tx.serialMode {
+		w |= stateSerial
+	}
+	tx.state.Store(w)
 }
 
 // Serial returns a value unique to the current attempt of this transaction.
@@ -136,8 +153,17 @@ func (tx *Txn) beginAttempt() {
 // as long as they are unique (Section 3).
 func (tx *Txn) Serial() uint64 { return tx.id }
 
-// Attempt returns the 1-based attempt number of the transaction.
+// Attempt returns the 1-based attempt number of the transaction: the number
+// of times the body has been executed, including re-executions after Retry
+// wake-ups. It is NOT the abandonment counter — WithMaxAttempts and
+// starvation escalation count only conflict aborts, so a transaction blocked
+// on Retry may observe an arbitrarily large Attempt while never being
+// abandoned.
 func (tx *Txn) Attempt() int { return int(tx.attempt) }
+
+// Serialized reports whether the transaction is running in escalated
+// serial (irrevocable) mode. See WithEscalation.
+func (tx *Txn) Serialized() bool { return tx.serialMode }
 
 // STM returns the instance this transaction runs against.
 func (tx *Txn) STM() *STM { return tx.s }
@@ -280,21 +306,24 @@ func (tx *Txn) observeLockHold() {
 	}
 }
 
-// backoff performs randomized exponential backoff between attempts.
-func (tx *Txn) backoff() {
+// backoff performs randomized exponential backoff between attempts. The
+// window grows with the number of conflict aborts (not body executions, so
+// Retry wake-ups do not inflate it). When ctx is non-nil the sleep branch
+// additionally wakes on ctx.Done(), bounding cancellation latency.
+func (tx *Txn) backoff(ctx context.Context, failures int) {
 	// xorshift64*
 	tx.rng ^= tx.rng >> 12
 	tx.rng ^= tx.rng << 25
 	tx.rng ^= tx.rng >> 27
 	rnd := tx.rng * 0x2545f4914f6cdd1d
 
-	shift := tx.attempt
+	shift := failures
 	if shift > 10 {
 		shift = 10
 	}
 	window := uint64(1) << shift
-	spins := rnd % (window * 64)
-	if tx.attempt < 4 {
+	if failures < 4 {
+		spins := rnd % (window * 64)
 		for i := uint64(0); i < spins; i++ {
 			procYield()
 		}
@@ -304,5 +333,14 @@ func (tx *Txn) backoff() {
 	if d > time.Millisecond {
 		d = time.Millisecond
 	}
-	time.Sleep(d)
+	if ctx == nil {
+		time.Sleep(d)
+		return
+	}
+	t := time.NewTimer(d)
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+		t.Stop()
+	}
 }
