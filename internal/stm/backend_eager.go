@@ -54,17 +54,21 @@ func (eagerBackend) commit(tx *Txn) bool { return tx.commitEncounter(false) }
 
 func (eagerBackend) abort(tx *Txn) { tx.restoreUndoAndRelease() }
 
-// registerReader adds tx to r's visible-reader table.
+// registerReader adds tx to r's visible-reader table. Repeat reads of the
+// same ref are deduplicated without any per-transaction map: the ref carries
+// an attempt-stamped marker (lastReader) that short-circuits re-registration,
+// and because attempt serials are never reused, a marker overwritten by a
+// concurrent reader merely falls through to addReader, whose reader table is
+// the authoritative (idempotent) dedup. Read-mostly eager transactions
+// therefore allocate nothing.
 func (tx *Txn) registerReader(r *baseRef) {
-	if tx.visibleSeen == nil {
-		tx.visibleSeen = make(map[*baseRef]struct{}, 8)
-	}
-	if _, ok := tx.visibleSeen[r]; ok {
+	if r.lastReader.Load() == tx.id {
 		return
 	}
-	r.addReader(tx)
-	tx.visibleSeen[r] = struct{}{}
-	tx.visible = append(tx.visible, r)
+	if r.addReader(tx) {
+		tx.visible = append(tx.visible, r)
+	}
+	r.lastReader.Store(tx.id)
 }
 
 // arbitrateReaders resolves read-write conflicts eagerly: tx holds the write
@@ -87,11 +91,12 @@ func (tx *Txn) arbitrateReaders(r *baseRef) {
 
 // unregisterReaders drops all visible-reader registrations of the attempt.
 // It is called on both commit and abort and is a no-op for the other
-// backends (the registration slices stay empty).
+// backends (the registration slices stay empty). Every ref where addReader
+// inserted tx is in tx.visible exactly once, so a released descriptor is
+// never left behind in any reader table.
 func (tx *Txn) unregisterReaders() {
 	for _, r := range tx.visible {
 		r.removeReader(tx)
 	}
 	tx.visible = tx.visible[:0]
-	tx.visibleSeen = nil
 }

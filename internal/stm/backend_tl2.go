@@ -1,6 +1,6 @@
 package stm
 
-import "sort"
+import "slices"
 
 func init() {
 	RegisterBackend(BackendFactory{
@@ -33,19 +33,28 @@ func (tl2Backend) read(tx *Txn, r *baseRef) any { return tx.readVersioned(r) }
 func (tl2Backend) touch(tx *Txn, r *baseRef) { _ = tx.readVersioned(r) }
 
 func (tl2Backend) write(tx *Txn, r *baseRef, v any) {
-	if we, ok := tx.writes[r]; ok {
-		we.val = v
-		return
-	}
 	tx.recordWrite(r, v)
 }
 
 func (tl2Backend) validate(tx *Txn) bool { return tx.validateReads() }
 
+// refIDCmp orders refs by their global creation id (the commit-time lock
+// order). Non-capturing, so slices.SortFunc stays allocation-free.
+func refIDCmp(a, b *baseRef) int {
+	switch {
+	case a.id < b.id:
+		return -1
+	case a.id > b.id:
+		return 1
+	default:
+		return 0
+	}
+}
+
 // commit implements the TL2-style commit: lock the write set in global
 // reference order, fetch a commit timestamp, validate the read set, publish.
 func (tl2Backend) commit(tx *Txn) bool {
-	if len(tx.writes) == 0 && len(tx.onCommitLocked) == 0 {
+	if tx.wset.len() == 0 && len(tx.onCommitLocked) == 0 {
 		// Read-only fast path: each read was validated against the read
 		// version (with extension), so the transaction is serializable at
 		// its read version without further work.
@@ -57,10 +66,16 @@ func (tl2Backend) commit(tx *Txn) bool {
 		return true
 	}
 
-	sort.Slice(tx.writeOrder, func(i, j int) bool {
-		return tx.writeOrder[i].id < tx.writeOrder[j].id
-	})
-	for _, r := range tx.writeOrder {
+	// Sort a scratch copy of the written refs into global id order (the
+	// redo log itself keeps insertion order for publication and replay).
+	tx.sortBuf = tx.sortBuf[:0]
+	for i := range tx.wset.entries {
+		tx.sortBuf = append(tx.sortBuf, tx.wset.entries[i].r)
+	}
+	if len(tx.sortBuf) > 1 {
+		slices.SortFunc(tx.sortBuf, refIDCmp)
+	}
+	for _, r := range tx.sortBuf {
 		if !tx.lockForCommit(r) {
 			tx.rollback(CauseLockConflict)
 			return false
@@ -82,12 +97,14 @@ func (tl2Backend) commit(tx *Txn) bool {
 	}
 
 	// The commit is now decided: apply deferred effects (Proust replay
-	// logs) while the write set is still locked, then publish.
+	// logs) while the write set is still locked, then publish straight from
+	// the redo-log entries — values ride inline, no second lookup.
 	tx.runCommitLocked()
-	for _, r := range tx.writeOrder {
-		r.value.Store(&box{v: tx.writes[r].val})
-		r.version.Store(wv)
-		r.owner.Store(nil)
+	for i := range tx.wset.entries {
+		e := &tx.wset.entries[i]
+		e.r.value.Store(&box{v: e.val})
+		e.r.version.Store(wv)
+		e.r.owner.Store(nil)
 	}
 	tx.commitLocks = tx.commitLocks[:0]
 	tx.observeLockHold()

@@ -107,11 +107,11 @@ func (tx *Txn) acquire(r *baseRef) {
 // updateOwnedWrite overwrites a ref the transaction already owns (it is in
 // the redo log, so the encounter lock is held). Reports whether r was owned.
 func (tx *Txn) updateOwnedWrite(r *baseRef, v any) bool {
-	we, ok := tx.writes[r]
-	if !ok {
+	i := tx.wset.find(r)
+	if i < 0 {
 		return false
 	}
-	we.val = v
+	tx.wset.entries[i].val = v
 	r.value.Store(&box{v: v})
 	return true
 }

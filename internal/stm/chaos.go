@@ -120,7 +120,7 @@ func (c *chaosBackend) commit(tx *Txn) bool {
 	if !tx.serialMode {
 		// Doom is keyed by birth serial: the same transaction fails on every
 		// optimistic attempt, so only escalation or abandonment ends it.
-		if c.hit(tx.birth, chaosSaltDoom, c.cfg.DoomEvery) {
+		if c.hit(tx.birth.Load(), chaosSaltDoom, c.cfg.DoomEvery) {
 			tx.rollback(CauseChaos)
 			return false
 		}

@@ -50,14 +50,18 @@ type Timestamp struct{}
 
 var _ ContentionManager = Timestamp{}
 
-// Wins reports whether attacker is older than victim.
+// Wins reports whether attacker is older than victim. The victim's birth is
+// read atomically: with pooled descriptors an arbiter may hold a stale
+// pointer to a just-recycled transaction, and the atomic load keeps that
+// observation race-free (the doom CAS that follows is defused by the state
+// word's incarnation bits, so a misjudged arbitration is harmless).
 func (Timestamp) Wins(attacker, victim *Txn) bool {
-	return attacker.birth < victim.birth
+	return attacker.birth.Load() < victim.birth.Load()
 }
 
 // InvalidatesReader reports whether the writer is older than the reader.
 func (Timestamp) InvalidatesReader(writer, reader *Txn) bool {
-	return writer.birth < reader.birth
+	return writer.birth.Load() < reader.birth.Load()
 }
 
 // Name implements ContentionManager.

@@ -12,10 +12,7 @@ func (tx *Txn) commit() bool {
 // transitionCommitted flips the current attempt from active to committed,
 // failing if a contention manager doomed the attempt first.
 func (tx *Txn) transitionCommitted() bool {
-	snap := uint64(tx.attempt)<<3 | statusActive
-	if tx.serialMode {
-		snap |= stateSerial
-	}
+	snap := tx.stateWord(statusActive)
 	return tx.state.CompareAndSwap(snap, snap&^statusMask|statusCommitted)
 }
 

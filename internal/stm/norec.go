@@ -83,10 +83,6 @@ func (b *norecBackend) touch(tx *Txn, r *baseRef) { _ = b.read(tx, r) }
 
 // write buffers v in the redo log (lazy w/w, like tl2).
 func (*norecBackend) write(tx *Txn, r *baseRef, v any) {
-	if we, ok := tx.writes[r]; ok {
-		we.val = v
-		return
-	}
 	tx.recordWrite(r, v)
 }
 
@@ -129,7 +125,7 @@ func (b *norecBackend) validateTimed(tx *Txn) bool {
 // from the transaction's snapshot, revalidating on every miss; then publish
 // the redo log and release.
 func (b *norecBackend) commit(tx *Txn) bool {
-	if len(tx.writes) == 0 && len(tx.onCommitLocked) == 0 {
+	if tx.wset.len() == 0 && len(tx.onCommitLocked) == 0 {
 		// Read-only transactions are always consistent at their snapshot.
 		if !tx.transitionCommitted() {
 			tx.rollback(CauseDoomed)
@@ -153,9 +149,10 @@ func (b *norecBackend) commit(tx *Txn) bool {
 		return false
 	}
 	tx.runCommitLocked()
-	for _, r := range tx.writeOrder {
-		r.value.Store(&box{v: tx.writes[r].val})
-		r.version.Store(tx.snapshot + 2)
+	for i := range tx.wset.entries {
+		e := &tx.wset.entries[i]
+		e.r.value.Store(&box{v: e.val})
+		e.r.version.Store(tx.snapshot + 2)
 	}
 	b.seq.Store(tx.snapshot + 2)
 	tx.observeLockHold()

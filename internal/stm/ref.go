@@ -23,15 +23,27 @@ type baseRef struct {
 	// Visible readers (EagerEager policy only).
 	rmu     sync.Mutex
 	readers map[*Txn]struct{}
+	// lastReader caches the attempt serial of the most recent visible-reader
+	// registration: a transaction whose current attempt serial matches skips
+	// the registration mutex on repeat reads. Attempt serials are globally
+	// unique and never reused, so a stale or torn value can only cause a
+	// harmless re-check under rmu.
+	lastReader atomic.Uint64
 }
 
-func (r *baseRef) addReader(tx *Txn) {
+// addReader inserts tx into r's visible-reader table, reporting whether the
+// registration is new (false when tx was already registered this attempt).
+func (r *baseRef) addReader(tx *Txn) bool {
 	r.rmu.Lock()
 	defer r.rmu.Unlock()
 	if r.readers == nil {
 		r.readers = make(map[*Txn]struct{}, 4)
 	}
+	if _, ok := r.readers[tx]; ok {
+		return false
+	}
 	r.readers[tx] = struct{}{}
+	return true
 }
 
 func (r *baseRef) removeReader(tx *Txn) {

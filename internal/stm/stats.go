@@ -160,14 +160,29 @@ func (s DurationHistSnapshot) Quantile(q float64) time.Duration {
 	return time.Duration(s.BucketUpperNS(len(s.Buckets) - 1))
 }
 
+// paddedUint64 is an atomic counter padded out to a 64-byte cache line, so
+// that counters bumped on every transaction do not false-share with each
+// other or with the neighboring cold fields.
+type paddedUint64 struct {
+	atomic.Uint64
+	_ [56]byte
+}
+
 // Stats holds cumulative counters for an STM instance. Since every STM runs
 // exactly one backend, these are the per-backend statistics of the unified
 // instrumentation layer: throughput counters, the abort-cause breakdown, and
 // commit-path duration histograms.
+//
+// The per-commit counters (Starts, Commits, Aborts) are padded to cache-line
+// boundaries: they are incremented by every transaction on every thread, and
+// unpadded they false-share both with one another and with the global
+// version clock that precedes the stats in the STM struct. The abort-cause
+// breakdown stays unpadded — those counters only move on the (already
+// expensive) abort path.
 type Stats struct {
-	Starts  atomic.Uint64
-	Commits atomic.Uint64
-	Aborts  atomic.Uint64
+	Starts  paddedUint64
+	Commits paddedUint64
+	Aborts  paddedUint64
 
 	// Abort-cause breakdown.
 	ConflictAborts    atomic.Uint64 // lost arbitration / lock acquisition

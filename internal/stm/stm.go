@@ -123,9 +123,16 @@ var ErrClosed = errors.New("stm: transactional memory closed")
 // references participating in the same transactions must be created against
 // the same STM.
 type STM struct {
-	clock    atomic.Uint64 // global version clock
+	// The two hottest atomics get a cache line each: clock is Add-contended
+	// by every committing writer and read by every attempt, txnIDs is bumped
+	// on every attempt. Without the padding they false-share with each other
+	// and with the per-commit stats counters that follow in the struct.
+	clock  atomic.Uint64 // global version clock
+	_      [56]byte
+	txnIDs atomic.Uint64 // unique transaction serials
+	_      [56]byte
+
 	refIDs   atomic.Uint64 // unique reference ids (commit-time lock order)
-	txnIDs   atomic.Uint64 // unique transaction serials
 	backend  Backend
 	cm       ContentionManager
 	tracer   Tracer
@@ -152,6 +159,12 @@ type STM struct {
 	// chaosCfg, when non-nil, wraps the selected backend in the
 	// fault-injection chaos wrapper after option application. See chaos.go.
 	chaosCfg *ChaosConfig
+
+	// txnPool recycles transaction descriptors (with their log arrays and
+	// TxnLocal maps) so the steady-state hot path allocates nothing per
+	// transaction. Descriptors never migrate between instances: Txn.s is
+	// assigned once, on the pool miss that allocates the descriptor.
+	txnPool sync.Pool
 }
 
 // Option configures an STM instance.
@@ -277,6 +290,17 @@ func (s *STM) AtomicallyCtx(ctx context.Context, fn func(tx *Txn) error) error {
 // must neither abandon it (the spurious-ErrMaxAttempts bug) nor escalate it.
 func (s *STM) run(ctx context.Context, fn func(tx *Txn) error) error {
 	tx := s.newTxn()
+	err := s.runTxn(ctx, tx, fn)
+	// Only reached on ordinary returns: a panic out of user code skips the
+	// release and the descriptor falls to the garbage collector, which is
+	// exactly right — a panicking body may have leaked tx-captured state.
+	s.releaseTxn(tx)
+	return err
+}
+
+// runTxn is the attempt loop proper, separated from run so that descriptor
+// release happens strictly after the deferred escalation unpin below.
+func (s *STM) runTxn(ctx context.Context, tx *Txn, fn func(tx *Txn) error) error {
 	esc := s.esc
 	if esc != nil {
 		// A panic out of user code must not leak the escalation token; the

@@ -144,7 +144,7 @@ func (tx *Txn) traceCommit() {
 			Kind:    TraceCommit,
 			Attempt: int(tx.attempt),
 			Reads:   len(tx.reads),
-			Writes:  len(tx.writes),
+			Writes:  tx.wset.len(),
 			Serial:  tx.id,
 			TS:      tx.s.eventTS(),
 			Ops:     tx.traceOps(),
@@ -161,7 +161,7 @@ func (tx *Txn) traceAbort(cause AbortCause) {
 			Cause:   cause,
 			Attempt: int(tx.attempt),
 			Reads:   len(tx.reads),
-			Writes:  len(tx.writes),
+			Writes:  tx.wset.len(),
 			Serial:  tx.id,
 			TS:      tx.s.eventTS(),
 			Ops:     tx.traceOps(),

@@ -7,18 +7,27 @@ import (
 )
 
 // Transaction status values, stored in the low two bits of Txn.state. Bit 2
-// marks a serial (escalated) attempt; the remaining bits hold the attempt
-// number, so that a contention manager that dooms a transaction based on a
-// stale observation cannot kill a later attempt of the same transaction —
-// and, because the serial bit changes the word, cannot kill an attempt that
-// escalated after the observation either.
+// marks a serial (escalated) attempt; bits 3..39 hold the attempt number and
+// bits 40..63 the descriptor's incarnation, so that a contention manager that
+// dooms a transaction based on a stale observation cannot kill a later
+// attempt of the same transaction — and, because the serial bit changes the
+// word, cannot kill an attempt that escalated after the observation either.
+//
+// The incarnation bits make descriptor pooling invisible to contention
+// managers: a doom CAS armed against one incarnation of a pooled descriptor
+// can never land on a later transaction that reuses it, because releaseTxn
+// bumps the incarnation and every state word carries it. (The incarnation
+// wraps at 2^24 reuses; a collision additionally requires identical attempt
+// number and an arbitrarily stale observation, and its worst case is one
+// spurious conflict abort.)
 const (
 	statusActive    = 1
 	statusCommitted = 2
 	statusAborted   = 3
 
-	statusMask  = 0x3
-	stateSerial = 0x4
+	statusMask    = 0x3
+	stateSerial   = 0x4
+	stateIncShift = 40
 )
 
 // signals raised (via panic) inside a transaction body.
@@ -40,10 +49,6 @@ type readEntry struct {
 	box *box // norec backend: value identity instead of version
 }
 
-type writeEntry struct {
-	val any
-}
-
 type undoEntry struct {
 	r      *baseRef
 	oldVal *box
@@ -53,32 +58,41 @@ type undoEntry struct {
 // not be used outside the function it was passed to, nor from other
 // goroutines.
 //
-// The descriptor is shared by all backends: the redo log (writes/writeOrder)
-// and read set are policy-agnostic machinery, while the remaining fields are
-// each owned by the backend family annotated on them and untouched by the
-// others.
+// Descriptors are pooled per STM instance: Atomically draws one from the
+// pool, runs the transaction, and releaseTxn hands it back fully reset, so
+// the steady-state hot path allocates no descriptor, no log arrays and no
+// maps. Fields that other goroutines may read through a stale pointer (a
+// contention manager arbitrating against a just-recycled owner) are atomic:
+// state and birth. Everything else is owner-goroutine only.
+//
+// The descriptor is shared by all backends: the redo log (wset) and read set
+// are policy-agnostic machinery, while the remaining fields are each owned
+// by the backend family annotated on them and untouched by the others.
 type Txn struct {
 	s     *STM
-	birth uint64 // serial of the first attempt; contention-manager priority
-	id    uint64 // serial of the current attempt; unique write token
+	birth atomic.Uint64 // serial of the first attempt; contention-manager priority
+	id    uint64        // serial of the current attempt; unique write token
 
-	state atomic.Uint64 // attempt<<3 | serial-bit | status
+	state atomic.Uint64 // incarnation<<40 | attempt<<3 | serial-bit | status
+
+	// incarnation counts reuses of this descriptor; it is stamped into every
+	// state word so stale doom CASes can never cross a pool reuse.
+	incarnation uint32
 
 	readVersion uint64 // versioned backends (tl2, ccstm, eager): TL2 read version
 	snapshot    uint64 // norec backend: global sequence-lock snapshot (even)
 
 	reads       []readEntry
-	writes      map[*baseRef]*writeEntry
-	writeOrder  []*baseRef
+	wset        writeSet    // redo log: inline entries, insertion-ordered
+	sortBuf     []*baseRef  // commit-time lock-order scratch (tl2 backend)
 	undo        []undoEntry // encounter-time backends, in acquisition order
 	owned       []*baseRef  // refs whose owner == tx (encounter-time backends)
 	commitLocks []*baseRef  // refs locked during a lazy commit (tl2 backend)
 	visible     []*baseRef  // refs where tx is a visible reader (eager backend)
-	visibleSeen map[*baseRef]struct{}
 
 	lockStart int64 // first write-lock acquisition, ns since s.epoch (LockHold histogram)
 
-	locals map[any]any
+	locals map[any]any // TxnLocal storage; retained across reuse, cleared per attempt
 
 	onAbort        []func() // run LIFO on abort (inverse operations)
 	onCommit       []func() // run FIFO after the commit completes
@@ -97,34 +111,109 @@ type Txn struct {
 	escHeld uint8
 	rng     uint64
 
-	// ADT-level op notes (NoteOp), populated only when traced. The field
-	// rides in the 24 bytes reclaimed by the compact lockStart stamp and the
-	// int32 attempt, so adding observability did not grow the descriptor's
-	// allocation size class.
+	// ADT-level op notes (NoteOp), populated only when traced.
 	ops []OpRecord
 }
 
+// newTxn draws a descriptor from the instance pool (allocating only when the
+// pool is empty) and assigns the transaction's birth serial. A pooled
+// descriptor was fully reset by releaseTxn; only the identity fields need
+// stamping here.
 func (s *STM) newTxn() *Txn {
 	id := s.txnIDs.Add(1)
-	tx := &Txn{
-		s:     s,
-		birth: id,
-		rng:   id*0x9e3779b97f4a7c15 | 1,
+	tx, _ := s.txnPool.Get().(*Txn)
+	if tx == nil {
+		tx = &Txn{s: s}
 	}
+	tx.birth.Store(id)
+	tx.rng = id*0x9e3779b97f4a7c15 | 1
 	return tx
+}
+
+// releaseTxn resets a quiesced descriptor and returns it to the instance
+// pool. The caller guarantees no live reference to tx remains: every ref
+// lock released, every visible-reader registration dropped, the escalation
+// token returned. (Stale pointers held by concurrent arbiters are defused by
+// the incarnation bits of the state word.)
+func (s *STM) releaseTxn(tx *Txn) {
+	tx.reset()
+	s.txnPool.Put(tx)
+}
+
+// maxRetainedCap bounds the per-array capacity a pooled descriptor keeps:
+// one gigantic transaction must not pin its logs in the pool forever.
+const maxRetainedCap = 4096
+
+// reset clears every descriptor field for pool residency, so reuse is
+// indistinguishable from a fresh allocation. Slices are cleared through
+// their full capacity: an earlier attempt may have appended past the final
+// attempt's length, and those elements would otherwise pin boxes, refs and
+// callback closures while the descriptor sits in the pool.
+func (tx *Txn) reset() {
+	clearCap(tx.reads)
+	tx.reads = tx.reads[:0]
+	tx.wset.release()
+	clearCap(tx.sortBuf)
+	tx.sortBuf = tx.sortBuf[:0]
+	clearCap(tx.undo)
+	tx.undo = tx.undo[:0]
+	clearCap(tx.owned)
+	tx.owned = tx.owned[:0]
+	clearCap(tx.commitLocks)
+	tx.commitLocks = tx.commitLocks[:0]
+	clearCap(tx.visible)
+	tx.visible = tx.visible[:0]
+	clearCap(tx.onAbort)
+	tx.onAbort = tx.onAbort[:0]
+	clearCap(tx.onCommit)
+	tx.onCommit = tx.onCommit[:0]
+	clearCap(tx.onCommitLocked)
+	tx.onCommitLocked = tx.onCommitLocked[:0]
+	clearCap(tx.ops)
+	tx.ops = tx.ops[:0]
+	clear(tx.locals)
+	if cap(tx.reads) > maxRetainedCap {
+		tx.reads = nil
+	}
+	tx.id = 0
+	tx.readVersion = 0
+	tx.snapshot = 0
+	tx.lockStart = 0
+	tx.attempt = 0
+	tx.sampled = false
+	tx.serialMode = false
+	tx.escHeld = escNone
+	tx.incarnation++
+	// Park the state word with no status bits: a doom CAS armed against any
+	// incarnation of this descriptor cannot match it.
+	tx.state.Store(uint64(tx.incarnation) << stateIncShift)
+}
+
+// clearCap zeroes a slice through its full capacity (clear() alone stops at
+// the length).
+func clearCap[T any](s []T) {
+	clear(s[:cap(s)])
+}
+
+// stateWord composes the descriptor's state word for the current attempt
+// with the given status bits.
+func (tx *Txn) stateWord(status uint64) uint64 {
+	w := uint64(tx.incarnation)<<stateIncShift | uint64(uint32(tx.attempt))<<3 | status
+	if tx.serialMode {
+		w |= stateSerial
+	}
+	return w
 }
 
 func (tx *Txn) beginAttempt() {
 	tx.attempt++
 	tx.id = tx.s.txnIDs.Add(1)
 	tx.reads = tx.reads[:0]
-	tx.writes = nil
-	tx.writeOrder = tx.writeOrder[:0]
+	tx.wset.reset()
 	tx.undo = tx.undo[:0]
 	tx.owned = tx.owned[:0]
 	tx.commitLocks = tx.commitLocks[:0]
 	tx.visible = tx.visible[:0]
-	tx.visibleSeen = nil
 	tx.lockStart = 0
 	if tx.ops != nil { // nil until the first NoteOp; skip the barrier-ed store
 		tx.ops = tx.ops[:0]
@@ -135,16 +224,12 @@ func (tx *Txn) beginAttempt() {
 	tx.rng ^= tx.rng << 25
 	tx.rng ^= tx.rng >> 27
 	tx.sampled = (tx.rng*0x2545f4914f6cdd1d)>>(64-3) == 0 // 3 = log2(histSampleEvery)
-	tx.locals = nil
+	clear(tx.locals) // the map is retained, its per-attempt contents are not
 	tx.onAbort = tx.onAbort[:0]
 	tx.onCommit = tx.onCommit[:0]
 	tx.onCommitLocked = tx.onCommitLocked[:0]
 	tx.s.backend.begin(tx)
-	w := uint64(tx.attempt)<<3 | statusActive
-	if tx.serialMode {
-		w |= stateSerial
-	}
-	tx.state.Store(w)
+	tx.state.Store(tx.stateWord(statusActive))
 }
 
 // Serial returns a value unique to the current attempt of this transaction.
@@ -258,8 +343,8 @@ func (tx *Txn) runBody(fn func(*Txn) error) (err error, sig txnSignal) {
 // backend's consistent read.
 func (tx *Txn) read(r *baseRef) any {
 	tx.checkAlive()
-	if we, ok := tx.writes[r]; ok {
-		return we.val
+	if v, ok := tx.wset.get(r); ok {
+		return v
 	}
 	return tx.s.backend.read(tx, r)
 }
@@ -280,13 +365,9 @@ func (tx *Txn) write(r *baseRef, v any) {
 	tx.s.backend.write(tx, r, v)
 }
 
-// recordWrite enters r into the redo log.
+// recordWrite enters r into the redo log (insert-or-update, no allocation).
 func (tx *Txn) recordWrite(r *baseRef, v any) {
-	if tx.writes == nil {
-		tx.writes = make(map[*baseRef]*writeEntry, 8)
-	}
-	tx.writes[r] = &writeEntry{val: v}
-	tx.writeOrder = append(tx.writeOrder, r)
+	tx.wset.put(r, v)
 }
 
 // markLocked stamps the start of the write-lock hold window (first lock

@@ -1,0 +1,136 @@
+package stm
+
+import (
+	"fmt"
+	"testing"
+)
+
+// wsTestRefs builds n distinct baseRefs with ascending ids (no STM needed:
+// the write set only touches identity and id).
+func wsTestRefs(n int) []*baseRef {
+	refs := make([]*baseRef, n)
+	for i := range refs {
+		refs[i] = &baseRef{id: uint64(i + 1)}
+	}
+	return refs
+}
+
+func TestWriteSetPutGetUpdate(t *testing.T) {
+	// Cross the linear-scan threshold to exercise both lookup regimes.
+	for _, n := range []int{1, wsLinearScan, wsLinearScan + 1, 100} {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			refs := wsTestRefs(n)
+			var ws writeSet
+			for i, r := range refs {
+				if !ws.put(r, i) {
+					t.Fatalf("put(%d) reported existing entry", i)
+				}
+			}
+			if ws.len() != n {
+				t.Fatalf("len = %d, want %d", ws.len(), n)
+			}
+			for i, r := range refs {
+				v, ok := ws.get(r)
+				if !ok || v.(int) != i {
+					t.Fatalf("get(%d) = %v, %v; want %d, true", i, v, ok, i)
+				}
+			}
+			// Update in place: no new entries, values replaced.
+			for i, r := range refs {
+				if ws.put(r, i*10) {
+					t.Fatalf("put update(%d) reported new entry", i)
+				}
+			}
+			if ws.len() != n {
+				t.Fatalf("len after update = %d, want %d", ws.len(), n)
+			}
+			for i, r := range refs {
+				if v, _ := ws.get(r); v.(int) != i*10 {
+					t.Fatalf("get after update(%d) = %v, want %d", i, v, i*10)
+				}
+			}
+			// Misses.
+			if _, ok := ws.get(&baseRef{id: 1 << 40}); ok {
+				t.Fatal("get of unwritten ref reported a hit")
+			}
+		})
+	}
+}
+
+func TestWriteSetInsertionOrder(t *testing.T) {
+	refs := wsTestRefs(64)
+	var ws writeSet
+	// Insert in a scrambled order; entries must keep it.
+	perm := make([]*baseRef, 0, len(refs))
+	for i := range refs {
+		perm = append(perm, refs[(i*37)%len(refs)])
+	}
+	for i, r := range perm {
+		ws.put(r, i)
+	}
+	for i := range ws.entries {
+		if ws.entries[i].r != perm[i] {
+			t.Fatalf("entry %d out of insertion order", i)
+		}
+	}
+}
+
+func TestWriteSetResetAndReuse(t *testing.T) {
+	refs := wsTestRefs(100)
+	var ws writeSet
+	for round := 0; round < 5; round++ {
+		// Alternate big (indexed) and small (linear) rounds to catch stale
+		// probe-table entries surviving a reset.
+		n := len(refs)
+		if round%2 == 1 {
+			n = 3
+		}
+		for i := 0; i < n; i++ {
+			ws.put(refs[i], round*1000+i)
+		}
+		if ws.len() != n {
+			t.Fatalf("round %d: len = %d, want %d", round, ws.len(), n)
+		}
+		for i := 0; i < n; i++ {
+			if v, ok := ws.get(refs[i]); !ok || v.(int) != round*1000+i {
+				t.Fatalf("round %d: get(%d) = %v, %v", round, i, v, ok)
+			}
+		}
+		// Refs not written this round must miss, even if written last round.
+		for i := n; i < len(refs); i++ {
+			if _, ok := ws.get(refs[i]); ok {
+				t.Fatalf("round %d: stale hit for ref %d", round, i)
+			}
+		}
+		ws.reset()
+		if ws.len() != 0 {
+			t.Fatalf("round %d: len after reset = %d", round, ws.len())
+		}
+	}
+}
+
+func TestWriteSetReleaseClearsAndSheds(t *testing.T) {
+	refs := wsTestRefs(32)
+	var ws writeSet
+	for i, r := range refs {
+		ws.put(r, i)
+	}
+	ws.release()
+	if ws.len() != 0 {
+		t.Fatalf("len after release = %d", ws.len())
+	}
+	for _, e := range ws.entries[:cap(ws.entries)] {
+		if e.r != nil || e.val != nil {
+			t.Fatal("release left a pinned entry in spare capacity")
+		}
+	}
+	// Oversized backing arrays are shed entirely.
+	big := wsTestRefs(maxRetainedCap + 1)
+	for i, r := range big {
+		ws.put(r, i)
+	}
+	ws.release()
+	if ws.entries != nil || ws.idx != nil {
+		t.Fatalf("release retained oversized arrays (cap=%d)", cap(ws.entries))
+	}
+}
