@@ -6,14 +6,17 @@ import (
 
 // AbstractLock brackets base-object operations with conflict-abstraction
 // accesses according to the design-space point (LAP × update strategy). It
-// is the Go rendering of ScalaProust's AbstractLock (paper Listing 1):
+// is the Go rendering of ScalaProust's AbstractLock (paper Listing 1).
+//
+// The wrappers use the closure-free bracket: begin1/begin2 acquire (or
+// announce) the fixed-arity intents, the wrapper runs the base operation
+// inline with typed arguments and results, records a typed undo record if
+// eager, and done1/done2 perform the strategy's trailing accesses
+// (Validate for eager — Theorem 5.2 — or the trailing reads of Theorem 5.3
+// for lazy/optimistic). Apply/ApplyOp remain for operations whose intent
+// sets are computed dynamically (range queries, state-dependent widening):
 //
 //	ret := al.Apply(tx, intents, op, inverse)
-//
-// acquires (or announces) the intents, runs op, and — under the eager
-// strategy — registers inverse as a rollback handler. Under the lazy
-// strategy with an optimistic LAP it additionally performs the trailing
-// reads of Theorem 5.3 after op.
 type AbstractLock[K comparable] struct {
 	lap   LockAllocatorPolicy[K]
 	strat UpdateStrategy
@@ -22,7 +25,7 @@ type AbstractLock[K comparable] struct {
 	name    string
 	sink    Sink
 	hash    func(K) uint64
-	pending *stm.TxnLocal[*opTally]
+	pending *stm.Pooled[opTally]
 }
 
 // opTally counts per-operation executions of one attempt. An ADT wrapper has
@@ -33,6 +36,10 @@ type opTally struct {
 	counts [4]uint64
 	n      int
 	spill  map[string]uint64 // only for wrappers with >4 distinct ops
+	// Flush hooks, created once per instance and re-registered per
+	// transaction (they capture only the tally and its abstract lock).
+	flushCommit func()
+	flushAbort  func()
 }
 
 func (t *opTally) bump(op string) {
@@ -63,6 +70,15 @@ func (t *opTally) flush(sink Sink, structure string, committed bool) {
 	}
 }
 
+// reset prepares a tally for pool residency (names dropped so pooled tallies
+// pin no strings; the spill map keeps its buckets).
+func (t *opTally) reset() {
+	clear(t.names[:])
+	clear(t.counts[:])
+	t.n = 0
+	clear(t.spill)
+}
+
 // NewAbstractLock creates an abstract lock for a design-space point.
 func NewAbstractLock[K comparable](lap LockAllocatorPolicy[K], strat UpdateStrategy) *AbstractLock[K] {
 	return &AbstractLock[K]{lap: lap, strat: strat}
@@ -70,20 +86,30 @@ func NewAbstractLock[K comparable](lap LockAllocatorPolicy[K], strat UpdateStrat
 
 // Instrument attaches ADT-level observability: per-operation commit/abort
 // counts flow to sink under the structure name, and — when the transaction's
-// STM is traced — each ApplyOp notes an (op, key-hash) record on the attempt
-// via Txn.NoteOp (hash may be nil, zeroing key hashes). Call before the
-// structure sees concurrent traffic; nil sink detaches the counters.
+// STM is traced — each operation notes an (op, key-hash) record on the
+// attempt via Txn.NoteOp (hash may be nil, zeroing key hashes). Call before
+// the structure sees concurrent traffic; nil sink detaches the counters.
 func (l *AbstractLock[K]) Instrument(name string, hash func(K) uint64, sink Sink) {
 	l.name, l.hash, l.sink = name, hash, sink
 	if sink == nil {
 		l.pending = nil
 		return
 	}
-	l.pending = stm.NewTxnLocal(func(tx *stm.Txn) *opTally {
-		t := &opTally{}
-		tx.OnCommit(func() { t.flush(l.sink, l.name, true) })
-		tx.OnAbort(func() { t.flush(l.sink, l.name, false) })
-		return t
+	l.pending = stm.NewPooled(func(tx *stm.Txn, t *opTally) {
+		if t.flushCommit == nil {
+			t.flushCommit = func() {
+				t.flush(l.sink, l.name, true)
+				t.reset()
+				l.pending.Release(t)
+			}
+			t.flushAbort = func() {
+				t.flush(l.sink, l.name, false)
+				t.reset()
+				l.pending.Release(t)
+			}
+		}
+		tx.OnCommit(t.flushCommit)
+		tx.OnAbort(t.flushAbort)
 	})
 }
 
@@ -93,6 +119,65 @@ func (l *AbstractLock[K]) Strategy() UpdateStrategy { return l.strat }
 // Optimistic reports whether the LAP delegates conflicts to the STM.
 func (l *AbstractLock[K]) Optimistic() bool { return l.lap.Optimistic() }
 
+// note attaches the operation label to the attempt's observability streams:
+// the flight-recorder op notes when the STM is traced, and the per-op
+// outcome tally when the structure is instrumented. With neither attached it
+// costs two predictable branches.
+func (l *AbstractLock[K]) note(tx *stm.Txn, opName string, firstKey K) {
+	if opName == "" {
+		return
+	}
+	if tx.Traced() {
+		var kh uint64
+		if l.hash != nil {
+			kh = l.hash(firstKey)
+		}
+		tx.NoteOp(opName, kh)
+	}
+	if l.pending != nil {
+		l.pending.Get(tx).bump(opName)
+	}
+}
+
+// begin1 opens a single-intent operation: observability note plus the LAP's
+// leading access. The intent is passed by value, so the wrapper's fast path
+// builds no slice.
+func (l *AbstractLock[K]) begin1(tx *stm.Txn, opName string, in Intent[K]) {
+	l.note(tx, opName, in.Key)
+	l.lap.PreOp1(tx, in)
+}
+
+// begin2 opens a two-intent operation (priority-queue inserts and removes).
+func (l *AbstractLock[K]) begin2(tx *stm.Txn, opName string, a, b Intent[K]) {
+	l.note(tx, opName, a.Key)
+	l.lap.PreOp1(tx, a)
+	l.lap.PreOp1(tx, b)
+}
+
+// done1 closes a single-intent operation after the base access (and, for
+// eager wrappers, after its undo record is logged): Validate for the eager
+// strategy, the trailing read of Theorem 5.3 for lazy/optimistic.
+func (l *AbstractLock[K]) done1(tx *stm.Txn, in Intent[K]) {
+	switch {
+	case l.strat == Eager:
+		l.lap.Validate1(tx, in)
+	case l.lap.Optimistic():
+		l.lap.PostOp1(tx, in)
+	}
+}
+
+// done2 closes a two-intent operation; see done1.
+func (l *AbstractLock[K]) done2(tx *stm.Txn, a, b Intent[K]) {
+	switch {
+	case l.strat == Eager:
+		l.lap.Validate1(tx, a)
+		l.lap.Validate1(tx, b)
+	case l.lap.Optimistic():
+		l.lap.PostOp1(tx, a)
+		l.lap.PostOp1(tx, b)
+	}
+}
+
 // Apply runs op under the conflict abstraction described by intents.
 // inverse, if non-nil and the strategy is eager, is registered to undo op's
 // effect when the transaction aborts; it receives op's return value.
@@ -101,24 +186,16 @@ func (l *AbstractLock[K]) Apply(tx *stm.Txn, intents []Intent[K], op func() any,
 	return l.ApplyOp(tx, "", intents, op, inverse)
 }
 
-// ApplyOp is Apply with an ADT operation label for observability: when the
-// abstract lock is instrumented the attempt's per-op outcome counters are
-// bumped, and when the STM is traced an OpRecord (label plus first intent's
-// key hash) is attached to the attempt for flight-recorder/estimator
-// consumers. With no instrumentation and no tracer the label costs two
-// predictable branches.
+// ApplyOp is Apply with an ADT operation label for observability. It is the
+// dynamic-intent path; wrappers with fixed-arity intents use the
+// begin/done bracket instead, which allocates neither the intent slice nor
+// the op and inverse closures.
 func (l *AbstractLock[K]) ApplyOp(tx *stm.Txn, opName string, intents []Intent[K], op func() any, inverse func(any)) any {
-	if opName != "" {
-		if tx.Traced() {
-			var kh uint64
-			if l.hash != nil && len(intents) > 0 {
-				kh = l.hash(intents[0].Key)
-			}
-			tx.NoteOp(opName, kh)
-		}
-		if l.pending != nil {
-			l.pending.Get(tx).bump(opName)
-		}
+	if len(intents) > 0 {
+		l.note(tx, opName, intents[0].Key)
+	} else {
+		var zero K
+		l.note(tx, opName, zero)
 	}
 	l.lap.PreOp(tx, intents)
 	ret := op()

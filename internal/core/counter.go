@@ -6,6 +6,16 @@ import (
 	"proust/internal/stm"
 )
 
+// ctrDelta accumulates a transaction's net effect on an NNCounter; a single
+// pooled record per (transaction, counter) replaces the per-operation
+// OnAbort closures the counter used to register. Hook closures are created
+// once per instance and re-registered per transaction.
+type ctrDelta struct {
+	delta    int64
+	onAbort  func()
+	onCommit func()
+}
+
 // NNCounter is the non-negative counter of paper Section 3 — the canonical
 // conflict-abstraction example. The base object is a linearizable atomic
 // counter; the conflict abstraction uses a single STM location l0 and the
@@ -20,22 +30,41 @@ import (
 // (one of them must report the underflow error) and their writes to l0
 // collide, so the STM serializes them.
 //
-// Updates are eager with registered inverses. Written locations are also
-// Touch-ed so that write-write collisions surface as validation conflicts
-// under lazily-detecting STMs too (Theorem 5.2 otherwise requires
-// stm.EagerEager for opacity).
+// Updates are eager with a pooled per-transaction net delta as the inverse:
+// increments and decrements on the same counter commute with each other, so
+// rolling back their sum is equivalent to rolling them back individually.
+// Written locations are also Touch-ed so that write-write collisions surface
+// as validation conflicts under lazily-detecting STMs too (Theorem 5.2
+// otherwise requires stm.EagerEager for opacity).
 type NNCounter struct {
 	val       atomic.Int64
 	loc       *stm.Ref[uint64]
 	threshold int64
+	pending   *stm.Pooled[ctrDelta]
 }
 
 // NewNNCounter creates a non-negative counter starting at zero.
 func NewNNCounter(s *stm.STM) *NNCounter {
-	return &NNCounter{
+	c := &NNCounter{
 		loc:       stm.NewRef(s, uint64(0)),
 		threshold: 2,
 	}
+	c.pending = stm.NewPooled(func(tx *stm.Txn, d *ctrDelta) {
+		if d.onAbort == nil {
+			d.onAbort = func() {
+				c.val.Add(-d.delta)
+				d.delta = 0
+				c.pending.Release(d)
+			}
+			d.onCommit = func() {
+				d.delta = 0
+				c.pending.Release(d)
+			}
+		}
+		tx.OnAbort(d.onAbort)
+		tx.OnCommit(d.onCommit)
+	})
+	return c
 }
 
 // Incr increments the counter.
@@ -44,14 +73,14 @@ func (c *NNCounter) Incr(tx *stm.Txn) {
 		_ = c.loc.Get(tx)
 	}
 	c.val.Add(1)
-	tx.OnAbort(func() { c.val.Add(-1) })
+	c.pending.Get(tx).delta++
 }
 
 // Decr decrements the counter; it reports false (and leaves the counter
 // unchanged) on an attempt to go below zero.
 func (c *NNCounter) Decr(tx *stm.Txn) bool {
 	if c.val.Load() < c.threshold {
-		c.loc.Set(tx, tx.Serial())
+		stm.SetSerialToken(tx, c.loc)
 		c.loc.Touch(tx)
 	}
 	for {
@@ -60,7 +89,7 @@ func (c *NNCounter) Decr(tx *stm.Txn) bool {
 			return false
 		}
 		if c.val.CompareAndSwap(cur, cur-1) {
-			tx.OnAbort(func() { c.val.Add(1) })
+			c.pending.Get(tx).delta--
 			return true
 		}
 	}

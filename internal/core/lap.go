@@ -18,15 +18,25 @@ import (
 // under the lazy update strategy with an optimistic LAP (the trailing reads
 // of Theorem 5.3). Both abort the transaction (unwinding to Atomically for
 // a retry) rather than returning errors.
+//
+// Each hook comes in two arities: the slice form for operations whose
+// intent set is computed dynamically (range queries, state-dependent
+// widening), and a single-intent form used by the fixed-arity wrapper fast
+// paths — almost every ADT operation issues exactly one or two intents, and
+// the `[]Intent[K]{...}` literal the slice form forces on callers escapes to
+// the heap through the interface boundary.
 type LockAllocatorPolicy[K comparable] interface {
 	PreOp(tx *stm.Txn, intents []Intent[K])
+	PreOp1(tx *stm.Txn, in Intent[K])
 	PostOp(tx *stm.Txn, intents []Intent[K])
+	PostOp1(tx *stm.Txn, in Intent[K])
 	// Validate re-checks every intent after an eager operation so that a
 	// value observed from a base structure mutated by a concurrent
 	// (doomed or still-active) transaction can never escape the wrapper.
 	// Pessimistic locks make this a no-op: the lock itself excludes the
 	// window.
 	Validate(tx *stm.Txn, intents []Intent[K])
+	Validate1(tx *stm.Txn, in Intent[K])
 	// Optimistic reports whether conflicts are delegated to the STM.
 	Optimistic() bool
 }
@@ -73,8 +83,8 @@ func (l *OptimisticLAP[K]) loc(k K) *stm.Ref[uint64] {
 	return l.mem[l.hash(k)&uint64(len(l.mem)-1)]
 }
 
-// PreOp announces the operation: reads for read intents, unique-token
-// writes for write intents. Write intents additionally Touch the location,
+// PreOp1 announces a single intent: a read for a read intent, a unique-token
+// write for a write intent. Write intents additionally Touch the location,
 // recording a *leading* read-set entry: any transaction that later commits a
 // conflicting operation invalidates this one at validation time, even if no
 // subsequent read of the location would otherwise notice (a buffered write
@@ -82,20 +92,25 @@ func (l *OptimisticLAP[K]) loc(k K) *stm.Ref[uint64] {
 // conflicting commit landing between this announcement and the base-object
 // access could slip past read-version extension and let a stale shadow-copy
 // result escape.
-func (l *OptimisticLAP[K]) PreOp(tx *stm.Txn, intents []Intent[K]) {
-	for _, in := range intents {
-		loc := l.loc(in.Key)
-		if in.Mode == ModeWrite {
-			loc.Set(tx, tx.Serial())
-			loc.Touch(tx)
-		} else {
-			_ = loc.Get(tx)
-		}
+func (l *OptimisticLAP[K]) PreOp1(tx *stm.Txn, in Intent[K]) {
+	loc := l.loc(in.Key)
+	if in.Mode == ModeWrite {
+		stm.SetSerialToken(tx, loc)
+		loc.Touch(tx)
+	} else {
+		_ = loc.Get(tx)
 	}
 }
 
-// PostOp performs the trailing reads of Theorem 5.3: after the operation,
-// every conflict-abstraction location is Touch-ed — registered in the read
+// PreOp announces every intent; see PreOp1.
+func (l *OptimisticLAP[K]) PreOp(tx *stm.Txn, intents []Intent[K]) {
+	for _, in := range intents {
+		l.PreOp1(tx, in)
+	}
+}
+
+// PostOp1 performs the trailing read of Theorem 5.3: after the operation,
+// the conflict-abstraction location is Touch-ed — registered in the read
 // set and revalidated. This is what makes Lazy/Optimistic Proust opaque on
 // a fully lazy STM: if a conflicting transaction committed (and replayed its
 // log onto the base structure) between this operation's announcement and its
@@ -103,18 +118,28 @@ func (l *OptimisticLAP[K]) PreOp(tx *stm.Txn, intents []Intent[K]) {
 // extension fails, and the transaction aborts before the poisoned return
 // value escapes. Write intents need the touch additionally because a
 // buffered STM write alone does not conflict with another buffered write.
+func (l *OptimisticLAP[K]) PostOp1(tx *stm.Txn, in Intent[K]) {
+	l.loc(in.Key).Touch(tx)
+}
+
+// PostOp performs the trailing reads of Theorem 5.3 for every intent.
 func (l *OptimisticLAP[K]) PostOp(tx *stm.Txn, intents []Intent[K]) {
 	for _, in := range intents {
 		l.loc(in.Key).Touch(tx)
 	}
 }
 
-// Validate touches every intent's location after an eager operation: if a
-// conflicting transaction acquired or committed one of the locations in the
+// Validate1 touches the intent's location after an eager operation: if a
+// conflicting transaction acquired or committed the location in the
 // meantime, this transaction aborts here, before the (potentially
 // inconsistent) result of the base operation can escape. Together with
 // eager conflict detection this is what makes Eager/Optimistic Proust
 // opaque (Theorem 5.2).
+func (l *OptimisticLAP[K]) Validate1(tx *stm.Txn, in Intent[K]) {
+	l.loc(in.Key).Touch(tx)
+}
+
+// Validate touches every intent's location; see Validate1.
 func (l *OptimisticLAP[K]) Validate(tx *stm.Txn, intents []Intent[K]) {
 	for _, in := range intents {
 		l.loc(in.Key).Touch(tx)
@@ -138,13 +163,63 @@ type PessimisticLAP[K comparable] struct {
 	hash    func(K) uint64
 	locks   *lock.Striped
 	timeout time.Duration
-	held    *stm.TxnLocal[*heldStripes]
+	held    *stm.Pooled[heldStripes]
 }
 
+// heldStripesInline is the number of distinct stripes tracked without
+// spilling to a map. A transaction rarely touches more (the Figure-4
+// workloads stay well under it), and the linear scan over a small array
+// beats per-operation map hashing — the same regime split as the STM's
+// inline write set (writeset.go).
+const heldStripesInline = 8
+
 // heldStripes tracks the stripes a transaction acquired, so release touches
-// only those instead of sweeping the whole table.
+// only those instead of sweeping the whole table. It is an inline
+// small-array set with map spill, pooled across transactions: the
+// map-per-transaction the old representation allocated was one of the
+// residual ADT-level allocations on the Figure-4 pessimistic series.
 type heldStripes struct {
-	stripes map[*lock.ReentrantRW]struct{}
+	arr   [heldStripesInline]*lock.ReentrantRW
+	n     int
+	spill map[*lock.ReentrantRW]struct{} // nil until arr overflows; retained across reuse
+	// tx is the transaction currently attached to this set; rel is the
+	// release hook, created once per instance (it reads hs.tx so the same
+	// closure serves every transaction that reuses the set).
+	tx  *stm.Txn
+	rel func()
+}
+
+// add records a stripe (idempotently).
+func (hs *heldStripes) add(s *lock.ReentrantRW) {
+	for i := 0; i < hs.n; i++ {
+		if hs.arr[i] == s {
+			return
+		}
+	}
+	if hs.n < len(hs.arr) {
+		hs.arr[hs.n] = s
+		hs.n++
+		return
+	}
+	if hs.spill == nil {
+		hs.spill = make(map[*lock.ReentrantRW]struct{}, 2*heldStripesInline)
+	}
+	hs.spill[s] = struct{}{}
+}
+
+// releaseAll releases every tracked stripe on behalf of tx and resets the
+// set for pool residency (array slots nilled so pooled sets pin no stripes;
+// the spill map keeps its buckets, cleared).
+func (hs *heldStripes) releaseAll(tx *stm.Txn) {
+	for i := 0; i < hs.n; i++ {
+		hs.arr[i].ReleaseAll(tx)
+		hs.arr[i] = nil
+	}
+	hs.n = 0
+	for s := range hs.spill {
+		s.ReleaseAll(tx)
+	}
+	clear(hs.spill)
 }
 
 var _ LockAllocatorPolicy[int] = (*PessimisticLAP[int])(nil)
@@ -164,16 +239,17 @@ func NewPessimisticLAP[K comparable](hash func(K) uint64, n int, timeout time.Du
 		locks:   lock.NewStriped(n),
 		timeout: timeout,
 	}
-	l.held = stm.NewTxnLocal(func(tx *stm.Txn) *heldStripes {
-		hs := &heldStripes{stripes: make(map[*lock.ReentrantRW]struct{}, 4)}
-		release := func() {
-			for s := range hs.stripes {
-				s.ReleaseAll(tx)
+	l.held = stm.NewPooled(func(tx *stm.Txn, hs *heldStripes) {
+		hs.tx = tx
+		if hs.rel == nil {
+			hs.rel = func() {
+				hs.releaseAll(hs.tx)
+				hs.tx = nil
+				l.held.Release(hs)
 			}
 		}
-		tx.OnCommit(release)
-		tx.OnAbort(release)
-		return hs
+		tx.OnCommit(hs.rel)
+		tx.OnAbort(hs.rel)
 	})
 	return l
 }
@@ -186,39 +262,49 @@ func (l *PessimisticLAP[K]) SetObserver(o lock.Observer) { l.locks.SetObserver(o
 // Locks exposes the stripe table for diagnostics.
 func (l *PessimisticLAP[K]) Locks() *lock.Striped { return l.locks }
 
-// PreOp acquires the stripes for all intents on behalf of the transaction.
+// PreOp1 acquires the stripe for one intent on behalf of the transaction.
 // Locks are released by OnCommit/OnAbort hooks (strict two-phase locking:
 // "released implicitly on commit or abort", Section 3).
-func (l *PessimisticLAP[K]) PreOp(tx *stm.Txn, intents []Intent[K]) {
+func (l *PessimisticLAP[K]) PreOp1(tx *stm.Txn, in Intent[K]) {
 	hs := l.held.Get(tx)
-	for _, in := range intents {
-		h := l.hash(in.Key)
-		stripe := l.locks.Stripe(h)
-		hs.stripes[stripe] = struct{}{}
-		mode := lock.Read
-		if in.Mode == ModeWrite {
-			mode = lock.Write
+	h := l.hash(in.Key)
+	hs.add(l.locks.Stripe(h))
+	mode := lock.Read
+	if in.Mode == ModeWrite {
+		mode = lock.Write
+	}
+	// Acquire through the stripe table so an attached lock.Observer
+	// sees the wait.
+	err := l.locks.Acquire(tx, h, mode, l.timeout)
+	if err != nil {
+		// Timeout or upgrade contention: deadlock avoidance by abort
+		// plus backoff; the OnAbort hook releases everything
+		// acquired so far.
+		if !errors.Is(err, lock.ErrTimeout) && !errors.Is(err, lock.ErrUpgradeDeadlock) {
+			panic(err) // impossible by the lock package contract
 		}
-		// Acquire through the stripe table so an attached lock.Observer
-		// sees the wait.
-		err := l.locks.Acquire(tx, h, mode, l.timeout)
-		if err != nil {
-			// Timeout or upgrade contention: deadlock avoidance by abort
-			// plus backoff; the OnAbort hook releases everything
-			// acquired so far.
-			if !errors.Is(err, lock.ErrTimeout) && !errors.Is(err, lock.ErrUpgradeDeadlock) {
-				panic(err) // impossible by the lock package contract
-			}
-			stm.AbortAndRetry(tx)
-		}
+		stm.AbortAndRetry(tx)
 	}
 }
+
+// PreOp acquires the stripes for all intents; see PreOp1.
+func (l *PessimisticLAP[K]) PreOp(tx *stm.Txn, intents []Intent[K]) {
+	for _, in := range intents {
+		l.PreOp1(tx, in)
+	}
+}
+
+// PostOp1 is a no-op for pessimistic locks.
+func (l *PessimisticLAP[K]) PostOp1(*stm.Txn, Intent[K]) {}
 
 // PostOp is a no-op for pessimistic locks.
 func (l *PessimisticLAP[K]) PostOp(*stm.Txn, []Intent[K]) {}
 
-// Validate is a no-op: the held stripes exclude conflicting operations for
+// Validate1 is a no-op: the held stripes exclude conflicting operations for
 // the whole transaction.
+func (l *PessimisticLAP[K]) Validate1(*stm.Txn, Intent[K]) {}
+
+// Validate is a no-op; see Validate1.
 func (l *PessimisticLAP[K]) Validate(*stm.Txn, []Intent[K]) {}
 
 // Optimistic reports false.

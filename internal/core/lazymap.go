@@ -5,6 +5,23 @@ import (
 	"proust/internal/stm"
 )
 
+// mapOp is one logged map mutation for the snapshot replay log: a put of
+// (key, val) or, with put=false, a remove of key.
+type mapOp[K comparable, V any] struct {
+	key K
+	val V
+	put bool
+}
+
+// applyMapOp replays one record onto a trie (shadow or shared base).
+func applyMapOp[K comparable, V any](ct *conc.Ctrie[K, V], op mapOp[K, V]) {
+	if op.put {
+		ct.Put(op.key, op.val)
+	} else {
+		ct.Remove(op.key)
+	}
+}
+
 // LazySnapshotMap is the lazy Proustian map with snapshot shadow copies
 // (the paper's LazyTrieMap, Figure 2b): the base structure is a concurrent
 // hash trie with constant-time snapshots; each transaction's first mutation
@@ -13,7 +30,7 @@ import (
 // critical section.
 type LazySnapshotMap[K comparable, V any] struct {
 	al   *AbstractLock[K]
-	log  *SnapshotLog[*conc.Ctrie[K, V]]
+	log  *SnapshotLog[*conc.Ctrie[K, V], mapOp[K, V]]
 	size *stm.Ref[int]
 	hash conc.Hasher[K]
 }
@@ -25,7 +42,7 @@ func NewLazySnapshotMap[K comparable, V any](s *stm.STM, lap LockAllocatorPolicy
 	base := conc.NewCtrie[K, V](hash)
 	return &LazySnapshotMap[K, V]{
 		al:   NewAbstractLock(lap, Lazy),
-		log:  NewSnapshotLog(base, func(ct *conc.Ctrie[K, V]) *conc.Ctrie[K, V] { return ct.Snapshot() }),
+		log:  NewSnapshotLog(base, (*conc.Ctrie[K, V]).Snapshot, applyMapOp[K, V]),
 		size: stm.NewRef(s, 0),
 		hash: hash,
 	}
@@ -40,56 +57,49 @@ func (m *LazySnapshotMap[K, V]) Instrument(name string, sink Sink) {
 
 // Put stores v under k, returning the previous value if any.
 func (m *LazySnapshotMap[K, V]) Put(tx *stm.Txn, k K, v V) (V, bool) {
-	ret := m.al.ApplyOp(tx, "put", []Intent[K]{W(k)}, func() any {
-		r := m.log.Mutate(tx, func(ct *conc.Ctrie[K, V]) any {
-			old, had := ct.Put(k, v)
-			return prev[V]{val: old, had: had}
-		})
-		pr := r.(prev[V])
-		if !pr.had {
-			m.size.Modify(tx, func(n int) int { return n + 1 })
-		}
-		return pr
-	}, nil)
-	pr := ret.(prev[V])
-	return pr.val, pr.had
+	in := W(k)
+	m.al.begin1(tx, "put", in)
+	old, had := m.log.Shadow(tx).Put(k, v)
+	m.log.Append(tx, mapOp[K, V]{key: k, val: v, put: true})
+	if !had {
+		m.size.Modify(tx, incr)
+	}
+	m.al.done1(tx, in)
+	return old, had
 }
 
 // Get returns the value stored under k, consulting the transaction's shadow
 // copy when one exists (the readOnly optimization otherwise reads the
 // unmodified base directly).
 func (m *LazySnapshotMap[K, V]) Get(tx *stm.Txn, k K) (V, bool) {
-	ret := m.al.ApplyOp(tx, "get", []Intent[K]{R(k)}, func() any {
-		return m.log.Read(tx, func(ct *conc.Ctrie[K, V]) any {
-			v, ok := ct.Get(k)
-			return prev[V]{val: v, had: ok}
-		})
-	}, nil)
-	pr := ret.(prev[V])
-	return pr.val, pr.had
+	in := R(k)
+	m.al.begin1(tx, "get", in)
+	v, ok := m.log.ReadView(tx).Get(k)
+	m.al.done1(tx, in)
+	return v, ok
 }
 
-// Contains reports whether k is present.
+// Contains reports whether k is present, without copying the value.
 func (m *LazySnapshotMap[K, V]) Contains(tx *stm.Txn, k K) bool {
-	_, ok := m.Get(tx, k)
+	in := R(k)
+	m.al.begin1(tx, "contains", in)
+	ok := m.log.ReadView(tx).Contains(k)
+	m.al.done1(tx, in)
 	return ok
 }
 
-// Remove deletes k, returning the previous value if any.
+// Remove deletes k, returning the previous value if any. A remove of an
+// absent key mutates nothing and queues no record.
 func (m *LazySnapshotMap[K, V]) Remove(tx *stm.Txn, k K) (V, bool) {
-	ret := m.al.ApplyOp(tx, "remove", []Intent[K]{W(k)}, func() any {
-		r := m.log.Mutate(tx, func(ct *conc.Ctrie[K, V]) any {
-			old, had := ct.Remove(k)
-			return prev[V]{val: old, had: had}
-		})
-		pr := r.(prev[V])
-		if pr.had {
-			m.size.Modify(tx, func(n int) int { return n - 1 })
-		}
-		return pr
-	}, nil)
-	pr := ret.(prev[V])
-	return pr.val, pr.had
+	in := W(k)
+	m.al.begin1(tx, "remove", in)
+	old, had := m.log.Shadow(tx).Remove(k)
+	if had {
+		m.log.Append(tx, mapOp[K, V]{key: k})
+		m.size.Modify(tx, decr)
+	}
+	m.al.done1(tx, in)
+	return old, had
 }
 
 // Size returns the committed size.
@@ -132,44 +142,46 @@ func (m *LazyMemoMap[K, V]) Instrument(name string, sink Sink) {
 
 // Put stores v under k, returning the previous value if any.
 func (m *LazyMemoMap[K, V]) Put(tx *stm.Txn, k K, v V) (V, bool) {
-	ret := m.al.ApplyOp(tx, "put", []Intent[K]{W(k)}, func() any {
-		old, had := m.log.Put(tx, k, v)
-		if !had {
-			m.size.Modify(tx, func(n int) int { return n + 1 })
-		}
-		return prev[V]{val: old, had: had}
-	}, nil)
-	pr := ret.(prev[V])
-	return pr.val, pr.had
+	in := W(k)
+	m.al.begin1(tx, "put", in)
+	old, had := m.log.Put(tx, k, v)
+	if !had {
+		m.size.Modify(tx, incr)
+	}
+	m.al.done1(tx, in)
+	return old, had
 }
 
 // Get returns the value stored under k.
 func (m *LazyMemoMap[K, V]) Get(tx *stm.Txn, k K) (V, bool) {
-	ret := m.al.ApplyOp(tx, "get", []Intent[K]{R(k)}, func() any {
-		v, ok := m.log.Get(tx, k)
-		return prev[V]{val: v, had: ok}
-	}, nil)
-	pr := ret.(prev[V])
-	return pr.val, pr.had
+	in := R(k)
+	m.al.begin1(tx, "get", in)
+	v, ok := m.log.Get(tx, k)
+	m.al.done1(tx, in)
+	return v, ok
 }
 
-// Contains reports whether k is present.
+// Contains reports whether k is present; presence is answered from the
+// overlay's presence bit or the base's containment check, never copying the
+// value.
 func (m *LazyMemoMap[K, V]) Contains(tx *stm.Txn, k K) bool {
-	_, ok := m.Get(tx, k)
+	in := R(k)
+	m.al.begin1(tx, "contains", in)
+	ok := m.log.Contains(tx, k)
+	m.al.done1(tx, in)
 	return ok
 }
 
 // Remove deletes k, returning the previous value if any.
 func (m *LazyMemoMap[K, V]) Remove(tx *stm.Txn, k K) (V, bool) {
-	ret := m.al.ApplyOp(tx, "remove", []Intent[K]{W(k)}, func() any {
-		old, had := m.log.Remove(tx, k)
-		if had {
-			m.size.Modify(tx, func(n int) int { return n - 1 })
-		}
-		return prev[V]{val: old, had: had}
-	}, nil)
-	pr := ret.(prev[V])
-	return pr.val, pr.had
+	in := W(k)
+	m.al.begin1(tx, "remove", in)
+	old, had := m.log.Remove(tx, k)
+	if had {
+		m.size.Modify(tx, decr)
+	}
+	m.al.done1(tx, in)
+	return old, had
 }
 
 // Size returns the committed size.

@@ -19,32 +19,49 @@ type TxMap[K comparable, V any] interface {
 }
 
 // prev carries an operation's previous-value result through the untyped
-// AbstractLock.Apply boundary.
+// AbstractLock.Apply boundary (the dynamic-intent path still used by Queue,
+// Deque and OrderedMap).
 type prev[V any] struct {
 	val V
 	had bool
 }
 
+// incr and decr are the committedSize modifiers; package-level funcs so the
+// Modify call sites pass a static function value instead of a closure.
+func incr(n int) int { return n + 1 }
+func decr(n int) int { return n - 1 }
+
 // Map is the eager Proustian map (paper Figure 2a): a concurrent hash trie
 // wrapped with per-key conflict abstraction; operations mutate the trie
-// immediately and register inverses as rollback handlers.
+// immediately and log typed undo records replayed as rollback handlers.
 type Map[K comparable, V any] struct {
 	al   *AbstractLock[K]
 	base *conc.Ctrie[K, V]
 	size *stm.Ref[int]
 	hash conc.Hasher[K]
+	undo *txnUndo[K, V]
 }
 
 var _ TxMap[int, int] = (*Map[int, int])(nil)
 
 // NewMap creates an eager Proustian map over a fresh Ctrie.
 func NewMap[K comparable, V any](s *stm.STM, lap LockAllocatorPolicy[K], hash conc.Hasher[K]) *Map[K, V] {
-	return &Map[K, V]{
+	m := &Map[K, V]{
 		al:   NewAbstractLock(lap, Eager),
 		base: conc.NewCtrie[K, V](hash),
 		size: stm.NewRef(s, 0),
 		hash: hash,
 	}
+	// Restore-previous-binding inverse: each record snapshots the key's
+	// binding before the mutation.
+	m.undo = newTxnUndo(func(r undoRec[K, V]) {
+		if r.had {
+			m.base.Put(r.key, r.val)
+		} else {
+			m.base.Remove(r.key)
+		}
+	})
+	return m
 }
 
 // Instrument attaches ADT-level observability (see AbstractLock.Instrument).
@@ -54,56 +71,47 @@ func (m *Map[K, V]) Instrument(name string, sink Sink) {
 
 // Put stores v under k, returning the previous value if any.
 func (m *Map[K, V]) Put(tx *stm.Txn, k K, v V) (V, bool) {
-	ret := m.al.ApplyOp(tx, "put", []Intent[K]{W(k)}, func() any {
-		old, had := m.base.Put(k, v)
-		if !had {
-			m.size.Modify(tx, func(n int) int { return n + 1 })
-		}
-		return prev[V]{val: old, had: had}
-	}, func(r any) {
-		pr := r.(prev[V])
-		if pr.had {
-			m.base.Put(k, pr.val)
-		} else {
-			m.base.Remove(k)
-		}
-	})
-	pr := ret.(prev[V])
-	return pr.val, pr.had
+	in := W(k)
+	m.al.begin1(tx, "put", in)
+	old, had := m.base.Put(k, v)
+	m.undo.record(tx, undoRec[K, V]{key: k, val: old, had: had})
+	if !had {
+		m.size.Modify(tx, incr)
+	}
+	m.al.done1(tx, in)
+	return old, had
 }
 
 // Get returns the value stored under k.
 func (m *Map[K, V]) Get(tx *stm.Txn, k K) (V, bool) {
-	ret := m.al.ApplyOp(tx, "get", []Intent[K]{R(k)}, func() any {
-		v, ok := m.base.Get(k)
-		return prev[V]{val: v, had: ok}
-	}, nil)
-	pr := ret.(prev[V])
-	return pr.val, pr.had
+	in := R(k)
+	m.al.begin1(tx, "get", in)
+	v, ok := m.base.Get(k)
+	m.al.done1(tx, in)
+	return v, ok
 }
 
-// Contains reports whether k is present.
+// Contains reports whether k is present, without copying the value out of
+// the trie the way Get must.
 func (m *Map[K, V]) Contains(tx *stm.Txn, k K) bool {
-	_, ok := m.Get(tx, k)
+	in := R(k)
+	m.al.begin1(tx, "contains", in)
+	ok := m.base.Contains(k)
+	m.al.done1(tx, in)
 	return ok
 }
 
 // Remove deletes k, returning the previous value if any.
 func (m *Map[K, V]) Remove(tx *stm.Txn, k K) (V, bool) {
-	ret := m.al.ApplyOp(tx, "remove", []Intent[K]{W(k)}, func() any {
-		old, had := m.base.Remove(k)
-		if had {
-			m.size.Modify(tx, func(n int) int { return n - 1 })
-		}
-		return prev[V]{val: old, had: had}
-	}, func(r any) {
-		pr := r.(prev[V])
-		if pr.had {
-			m.base.Put(k, pr.val)
-		}
-	})
-	pr := ret.(prev[V])
-	return pr.val, pr.had
+	in := W(k)
+	m.al.begin1(tx, "remove", in)
+	old, had := m.base.Remove(k)
+	if had {
+		m.undo.record(tx, undoRec[K, V]{key: k, val: old, had: true})
+		m.size.Modify(tx, decr)
+	}
+	m.al.done1(tx, in)
+	return old, had
 }
 
 // Size returns the committed size.

@@ -298,6 +298,17 @@ func TestMapDisjointKeysNoFalseConflict(t *testing.T) {
 	s := stm.New(stm.WithPolicy(stm.MixedEagerWWLazyRW), stm.WithMaxAttempts(3))
 	lap := NewOptimisticLAP(s, func(k int) uint64 { return conc.IntHasher(k) }, 256)
 	m := NewMap[int, int](s, lap, conc.IntHasher)
+	// Prepopulate both keys so the puts below are pure replacements: an
+	// insert additionally writes the shared committedSize ref, which is a
+	// genuine (if coarse) conflict between any two size-changing
+	// transactions, not the per-key disjointness this test demonstrates.
+	if err := s.Atomically(func(tx *stm.Txn) error {
+		m.Put(tx, 1, 1)
+		m.Put(tx, 2, 2)
+		return nil
+	}); err != nil {
+		t.Fatalf("prepopulate: %v", err)
+	}
 
 	holding := make(chan struct{})
 	release := make(chan struct{})

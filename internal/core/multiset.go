@@ -5,6 +5,18 @@ import (
 	"proust/internal/stm"
 )
 
+// Multiset undo-record kinds: relative inverses. Concurrent adds/removes of
+// the same element commute far from zero, so an aborting transaction must
+// not restore an absolute count snapshot — it re-applies the opposite
+// relative update.
+const (
+	msUndoDecr uint8 = iota // undo an add: decrement
+	msUndoIncr              // undo a remove: increment
+)
+
+func msDec(c int, _ bool) (int, bool) { return c - 1, c > 1 }
+func msInc(c int, _ bool) (int, bool) { return c + 1, true }
+
 // Multiset is an eager Proustian multiset (bag) whose conflict abstraction
 // generalizes the paper's Section 3 counter to one abstract counter per
 // element:
@@ -23,15 +35,24 @@ type Multiset[K comparable] struct {
 	al   *AbstractLock[K]
 	base *conc.HashMap[K, int]
 	size *stm.Ref[int]
+	undo *txnUndo[K, struct{}]
 }
 
 // NewMultiset creates an eager Proustian multiset.
 func NewMultiset[K comparable](s *stm.STM, lap LockAllocatorPolicy[K], hash conc.Hasher[K]) *Multiset[K] {
-	return &Multiset[K]{
+	ms := &Multiset[K]{
 		al:   NewAbstractLock(lap, Eager),
 		base: conc.NewHashMap[K, int](hash),
 		size: stm.NewRef(s, 0),
 	}
+	ms.undo = newTxnUndo(func(r undoRec[K, struct{}]) {
+		if r.kind == msUndoDecr {
+			ms.base.Update(r.key, msDec)
+		} else {
+			ms.base.Update(r.key, msInc)
+		}
+	})
+	return ms
 }
 
 func (ms *Multiset[K]) countOf(k K) int {
@@ -41,60 +62,56 @@ func (ms *Multiset[K]) countOf(k K) int {
 
 // Add inserts one occurrence of k.
 func (ms *Multiset[K]) Add(tx *stm.Txn, k K) {
-	intent := R(k)
+	in := R(k)
 	if ms.countOf(k) == 0 {
-		intent = W(k)
+		in = W(k)
 	}
-	ms.al.Apply(tx, []Intent[K]{intent}, func() any {
-		ms.base.Update(k, func(c int, _ bool) (int, bool) { return c + 1, true })
-		ms.size.Modify(tx, func(n int) int { return n + 1 })
-		return nil
-	}, func(any) {
-		ms.base.Update(k, func(c int, _ bool) (int, bool) { return c - 1, c > 1 })
-	})
+	ms.al.begin1(tx, "add", in)
+	ms.base.Update(k, msInc)
+	ms.undo.record(tx, undoRec[K, struct{}]{key: k, kind: msUndoDecr})
+	ms.size.Modify(tx, incr)
+	ms.al.done1(tx, in)
 }
 
 // Remove deletes one occurrence of k, reporting whether one existed.
 func (ms *Multiset[K]) Remove(tx *stm.Txn, k K) bool {
-	intent := R(k)
+	in := R(k)
 	if ms.countOf(k) <= 1 {
-		intent = W(k)
+		in = W(k)
 	}
-	ret := ms.al.Apply(tx, []Intent[K]{intent}, func() any {
-		removed := false
-		ms.base.Update(k, func(c int, had bool) (int, bool) {
-			if !had || c == 0 {
-				return 0, false
-			}
-			removed = true
-			return c - 1, c > 1
-		})
-		if removed {
-			ms.size.Modify(tx, func(n int) int { return n - 1 })
+	ms.al.begin1(tx, "remove", in)
+	removed := false
+	ms.base.Update(k, func(c int, had bool) (int, bool) {
+		if !had || c == 0 {
+			return 0, false
 		}
-		return removed
-	}, func(r any) {
-		if r.(bool) {
-			ms.base.Update(k, func(c int, _ bool) (int, bool) { return c + 1, true })
-		}
+		removed = true
+		return c - 1, c > 1
 	})
-	return ret.(bool)
+	if removed {
+		ms.undo.record(tx, undoRec[K, struct{}]{key: k, kind: msUndoIncr})
+		ms.size.Modify(tx, decr)
+	}
+	ms.al.done1(tx, in)
+	return removed
 }
 
 // Contains reports whether at least one occurrence of k exists.
 func (ms *Multiset[K]) Contains(tx *stm.Txn, k K) bool {
-	ret := ms.al.Apply(tx, []Intent[K]{R(k)}, func() any {
-		return ms.countOf(k) > 0
-	}, nil)
-	return ret.(bool)
+	in := R(k)
+	ms.al.begin1(tx, "contains", in)
+	ok := ms.countOf(k) > 0
+	ms.al.done1(tx, in)
+	return ok
 }
 
 // Count returns the number of occurrences of k.
 func (ms *Multiset[K]) Count(tx *stm.Txn, k K) int {
-	ret := ms.al.Apply(tx, []Intent[K]{W(k)}, func() any {
-		return ms.countOf(k)
-	}, nil)
-	return ret.(int)
+	in := W(k)
+	ms.al.begin1(tx, "count", in)
+	c := ms.countOf(k)
+	ms.al.done1(tx, in)
+	return c
 }
 
 // Size returns the committed total number of occurrences.

@@ -1,0 +1,307 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"proust/internal/stm"
+)
+
+// errInjected is the user-level abort injected by the pool-poisoning tests:
+// returning it from a transaction body rolls the transaction back without a
+// retry, which is exactly the path that recycles pooled undo and replay logs
+// after an abort.
+var errInjected = errors.New("injected abort")
+
+// TestRecycledLogsMatchModel is the pool-poisoning suite: a long deterministic
+// stream of transactions — roughly a third of which abort after mutating —
+// must leave every map variant indistinguishable from a model map, at every
+// opaque design point. A pooled undo or replay log that survives recycling
+// with stale records (a poisoned pool) corrupts either the rollback of the
+// aborting transaction or the effects of the fresh transaction that inherits
+// its storage; both diverge from the model.
+func TestRecycledLogsMatchModel(t *testing.T) {
+	const (
+		keyRange = 64
+		txns     = 400
+		opsPer   = 8
+	)
+	forEachMapCombo(t, true, func(t *testing.T, s *stm.STM, m TxMap[int, int]) {
+		rng := rand.New(rand.NewSource(7))
+		model := make(map[int]int)
+		for i := 0; i < txns; i++ {
+			abort := rng.Intn(3) == 0
+			staged := make(map[int]int, len(model)+opsPer)
+			for k, v := range model {
+				staged[k] = v
+			}
+			kind := make([]int, opsPer)
+			keys := make([]int, opsPer)
+			vals := make([]int, opsPer)
+			for j := 0; j < opsPer; j++ {
+				kind[j], keys[j], vals[j] = rng.Intn(3), rng.Intn(keyRange), rng.Int()
+			}
+			err := s.Atomically(func(tx *stm.Txn) error {
+				// Rebuild the staged view per attempt so retries replay
+				// identically.
+				clear(staged)
+				for k, v := range model {
+					staged[k] = v
+				}
+				for j := 0; j < opsPer; j++ {
+					switch kind[j] {
+					case 0:
+						m.Put(tx, keys[j], vals[j])
+						staged[keys[j]] = vals[j]
+					case 1:
+						got, ok := m.Get(tx, keys[j])
+						want, wok := staged[keys[j]]
+						if ok != wok || (ok && got != want) {
+							return fmt.Errorf("txn %d op %d: Get(%d) = (%d,%v), model (%d,%v)",
+								i, j, keys[j], got, ok, want, wok)
+						}
+					case 2:
+						m.Remove(tx, keys[j])
+						delete(staged, keys[j])
+					}
+				}
+				if got := m.Size(tx); got != len(staged) {
+					return fmt.Errorf("txn %d: Size = %d, staged model has %d", i, got, len(staged))
+				}
+				if abort {
+					return errInjected
+				}
+				return nil
+			})
+			switch {
+			case abort && !errors.Is(err, errInjected):
+				t.Fatalf("txn %d: expected injected abort, got %v", i, err)
+			case !abort && err != nil:
+				t.Fatalf("txn %d: %v", i, err)
+			case !abort:
+				model, staged = staged, nil
+			}
+		}
+		// Quiescent audit: the structure must agree with the model exactly —
+		// membership, values, and the reified size.
+		if err := s.Atomically(func(tx *stm.Txn) error {
+			for k := 0; k < keyRange; k++ {
+				got, ok := m.Get(tx, k)
+				want, wok := model[k]
+				if ok != wok || (ok && got != want) {
+					return fmt.Errorf("final Get(%d) = (%d,%v), model (%d,%v)", k, got, ok, want, wok)
+				}
+				if m.Contains(tx, k) != wok {
+					return fmt.Errorf("final Contains(%d) = %v, model %v", k, !wok, wok)
+				}
+			}
+			if got := m.Size(tx); got != len(model) {
+				return fmt.Errorf("final Size = %d, model has %d", got, len(model))
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestRecycledLogsUnderChaos runs the bank-conservation invariant with both
+// chaos-injected backend aborts and user-level aborts: every rollback path —
+// conflict, spurious chaos conflict, user error — recycles the pooled logs
+// while concurrent transactions are drawing fresh ones from the same pools,
+// and an aborted transfer must never move money. Run with -race this is the
+// concurrent half of the pool-poisoning suite.
+func TestRecycledLogsUnderChaos(t *testing.T) {
+	const (
+		accounts = 8
+		initial  = 100
+		total    = accounts * initial
+		workers  = 4
+		perW     = 150
+	)
+	for _, v := range mapVariants() {
+		for _, p := range opaquePoints(v.strat) {
+			v, p := v, p
+			t.Run(fmt.Sprintf("%s/%s", v.name, p), func(t *testing.T) {
+				s := stm.New(stm.WithPolicy(p.policy), stm.WithChaos(stm.ChaosConfig{
+					Seed:        3,
+					AbortEvery:  32,
+					DelayEvery:  64,
+					CommitDelay: 5 * time.Microsecond,
+				}))
+				m := v.build(s, newIntLAP(s, p))
+				if err := s.Atomically(func(tx *stm.Txn) error {
+					for a := 0; a < accounts; a++ {
+						m.Put(tx, a, initial)
+					}
+					return nil
+				}); err != nil {
+					t.Fatalf("setup: %v", err)
+				}
+				var wg sync.WaitGroup
+				for w := 0; w < workers; w++ {
+					wg.Add(1)
+					go func(seed int64) {
+						defer wg.Done()
+						rng := rand.New(rand.NewSource(seed))
+						for i := 0; i < perW; i++ {
+							from, to := rng.Intn(accounts), rng.Intn(accounts)
+							if from == to {
+								continue
+							}
+							amt := rng.Intn(20) + 1
+							abort := rng.Intn(4) == 0
+							err := s.Atomically(func(tx *stm.Txn) error {
+								fv, _ := m.Get(tx, from)
+								tv, _ := m.Get(tx, to)
+								m.Put(tx, from, fv-amt)
+								m.Put(tx, to, tv+amt)
+								if abort {
+									return errInjected
+								}
+								return nil
+							})
+							if err != nil && !errors.Is(err, errInjected) {
+								t.Errorf("transfer: %v", err)
+								return
+							}
+						}
+					}(int64(w))
+				}
+				wg.Wait()
+				if err := s.Atomically(func(tx *stm.Txn) error {
+					sum := 0
+					for a := 0; a < accounts; a++ {
+						bal, ok := m.Get(tx, a)
+						if !ok {
+							return fmt.Errorf("account %d missing", a)
+						}
+						sum += bal
+					}
+					if sum != total {
+						return fmt.Errorf("conservation violated: total %d, want %d", sum, total)
+					}
+					return nil
+				}); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// TestSnapshotLogShadowReuse pins the incremental-shadow contract of the
+// replay log (lazy wrappers): within a transaction the shadow replays the
+// pending log from the applied watermark, so every read observes the
+// transaction's own earlier operations, in order — a double-applied suffix
+// would resurrect removed keys; and across transactions a recycled pooled
+// state must re-derive its shadow whenever a commit has replayed onto the
+// base since the cached snapshot was taken (stale-shadow regression).
+func TestSnapshotLogShadowReuse(t *testing.T) {
+	for _, v := range mapVariants() {
+		if v.strat != Lazy {
+			continue
+		}
+		v := v
+		t.Run(v.name+"/own-ops-in-order", func(t *testing.T) {
+			p := designPoint{policy: stm.MixedEagerWWLazyRW, optimistic: true}
+			s := stm.New(stm.WithPolicy(p.policy))
+			m := v.build(s, newIntLAP(s, p))
+			if err := s.Atomically(func(tx *stm.Txn) error {
+				m.Put(tx, 1, 10)
+				if got, ok := m.Get(tx, 1); !ok || got != 10 {
+					return fmt.Errorf("after Put: Get(1) = (%d,%v), want (10,true)", got, ok)
+				}
+				m.Put(tx, 1, 11)
+				if got, ok := m.Get(tx, 1); !ok || got != 11 {
+					return fmt.Errorf("after overwrite: Get(1) = (%d,%v), want (11,true)", got, ok)
+				}
+				m.Remove(tx, 1)
+				if _, ok := m.Get(tx, 1); ok {
+					return errors.New("after Remove: Get(1) still present (replayed suffix out of order)")
+				}
+				m.Put(tx, 2, 20)
+				m.Put(tx, 3, 30)
+				if got := m.Size(tx); got != 2 {
+					return fmt.Errorf("Size = %d, want 2", got)
+				}
+				if _, ok := m.Get(tx, 1); ok {
+					return errors.New("Get(1) resurrected by a later shadow sync (watermark bug)")
+				}
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+		})
+		t.Run(v.name+"/rederive-after-commit", func(t *testing.T) {
+			p := designPoint{policy: stm.MixedEagerWWLazyRW, optimistic: true}
+			s := stm.New(stm.WithPolicy(p.policy))
+			m := v.build(s, newIntLAP(s, p))
+			// txn 1 populates the pooled state's shadow and commits (the
+			// commit replay bumps the log generation).
+			if err := s.Atomically(func(tx *stm.Txn) error {
+				m.Put(tx, 10, 1)
+				_, _ = m.Get(tx, 10)
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			// A commit from another goroutine moves the base again.
+			done := make(chan error, 1)
+			go func() {
+				done <- s.Atomically(func(tx *stm.Txn) error {
+					m.Put(tx, 11, 2)
+					return nil
+				})
+			}()
+			if err := <-done; err != nil {
+				t.Fatal(err)
+			}
+			// txn 2 on the original goroutine draws the recycled state; its
+			// shadow must be re-derived from the current base, not reused.
+			if err := s.Atomically(func(tx *stm.Txn) error {
+				m.Put(tx, 12, 3) // force the shadow path (pending log non-empty)
+				for k, want := range map[int]int{10: 1, 11: 2, 12: 3} {
+					got, ok := m.Get(tx, k)
+					if !ok || got != want {
+						return fmt.Errorf("Get(%d) = (%d,%v), want (%d,true): stale recycled shadow", k, got, ok, want)
+					}
+				}
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+		})
+		t.Run(v.name+"/abort-discards-pending", func(t *testing.T) {
+			p := designPoint{policy: stm.MixedEagerWWLazyRW, optimistic: true}
+			s := stm.New(stm.WithPolicy(p.policy))
+			m := v.build(s, newIntLAP(s, p))
+			err := s.Atomically(func(tx *stm.Txn) error {
+				m.Put(tx, 1, 1)
+				m.Put(tx, 2, 2)
+				return errInjected
+			})
+			if !errors.Is(err, errInjected) {
+				t.Fatalf("expected injected abort, got %v", err)
+			}
+			// The recycled pending log must not leak the aborted ops into the
+			// next transaction's replay.
+			if err := s.Atomically(func(tx *stm.Txn) error {
+				if m.Contains(tx, 1) || m.Contains(tx, 2) {
+					return errors.New("aborted pending ops replayed by recycled log")
+				}
+				m.Put(tx, 3, 3)
+				if got := m.Size(tx); got != 1 {
+					return fmt.Errorf("Size = %d, want 1", got)
+				}
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

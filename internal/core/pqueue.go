@@ -34,6 +34,13 @@ type TxPQueue[V any] interface {
 	Size(tx *stm.Txn) int
 }
 
+// PQueue undo-record kinds: insert's inverse is a constant-time logical
+// delete of the inserted item; removeMin's inverse re-links the removed item.
+const (
+	pqUndoInsert uint8 = iota
+	pqUndoRemoveMin
+)
+
 // PQueue is the eager Proustian priority queue (paper Figure 3): a
 // lock-based binary heap (the PriorityBlockingQueue stand-in) wrapped with
 // the PQMin/PQMultiSet conflict abstraction, using lazy-deletion wrappers so
@@ -44,19 +51,29 @@ type PQueue[V any] struct {
 	less conc.Less[V]
 	eq   func(a, b V) bool
 	size *stm.Ref[int]
+	undo *txnUndo[PQState, *conc.Item[V]]
 }
 
 var _ TxPQueue[int] = (*PQueue[int])(nil)
 
 // NewPQueue creates an eager Proustian priority queue.
 func NewPQueue[V any](s *stm.STM, lap LockAllocatorPolicy[PQState], less conc.Less[V], eq func(a, b V) bool) *PQueue[V] {
-	return &PQueue[V]{
+	q := &PQueue[V]{
 		al:   NewAbstractLock(lap, Eager),
 		base: conc.NewPQueue(less),
 		less: less,
 		eq:   eq,
 		size: stm.NewRef(s, 0),
 	}
+	q.undo = newTxnUndo(func(r undoRec[PQState, *conc.Item[V]]) {
+		if r.kind == pqUndoInsert {
+			r.val.Delete()
+			q.base.NoteDeleted()
+		} else {
+			q.base.AddItem(r.val)
+		}
+	})
+	return q
 }
 
 // minIntent computes the PQMin intent for inserting v: a write intent when v
@@ -77,60 +94,46 @@ func minIntentForInsert[V any](tx *stm.Txn, q TxPQueue[V], less conc.Less[V], v 
 // Insert adds v to the queue.
 func (q *PQueue[V]) Insert(tx *stm.Txn, v V) {
 	mi := minIntentForInsert[V](tx, q, q.less, v)
-	q.al.Apply(tx, []Intent[PQState]{W(PQMultiSet), mi}, func() any {
-		it := q.base.Add(v)
-		q.size.Modify(tx, func(n int) int { return n + 1 })
-		return it
-	}, func(r any) {
-		it := r.(*conc.Item[V])
-		it.Delete()
-		q.base.NoteDeleted()
-	})
+	q.al.begin2(tx, "insert", W(PQMultiSet), mi)
+	it := q.base.Add(v)
+	q.undo.record(tx, undoRec[PQState, *conc.Item[V]]{val: it, kind: pqUndoInsert})
+	q.size.Modify(tx, incr)
+	q.al.done2(tx, W(PQMultiSet), mi)
 }
 
 // Min returns the smallest value without removing it.
 func (q *PQueue[V]) Min(tx *stm.Txn) (V, bool) {
-	ret := q.al.Apply(tx, []Intent[PQState]{R(PQMin)}, func() any {
-		v, ok := q.base.Min()
-		return prev[V]{val: v, had: ok}
-	}, nil)
-	pr := ret.(prev[V])
-	return pr.val, pr.had
+	in := R(PQMin)
+	q.al.begin1(tx, "min", in)
+	v, ok := q.base.Min()
+	q.al.done1(tx, in)
+	return v, ok
 }
 
 // RemoveMin removes and returns the smallest value.
 func (q *PQueue[V]) RemoveMin(tx *stm.Txn) (V, bool) {
-	ret := q.al.Apply(tx, []Intent[PQState]{W(PQMin), W(PQMultiSet)}, func() any {
-		it, ok := q.base.RemoveMin()
-		if ok {
-			q.size.Modify(tx, func(n int) int { return n - 1 })
-		}
-		return itemResult[V]{it: it, ok: ok}
-	}, func(r any) {
-		res := r.(itemResult[V])
-		if res.ok {
-			q.base.AddItem(res.it)
-		}
-	})
-	res := ret.(itemResult[V])
-	if !res.ok {
+	a, b := W(PQMin), W(PQMultiSet)
+	q.al.begin2(tx, "removeMin", a, b)
+	it, ok := q.base.RemoveMin()
+	if ok {
+		q.undo.record(tx, undoRec[PQState, *conc.Item[V]]{val: it, kind: pqUndoRemoveMin})
+		q.size.Modify(tx, decr)
+	}
+	q.al.done2(tx, a, b)
+	if !ok {
 		var zero V
 		return zero, false
 	}
-	return res.it.Value, true
-}
-
-type itemResult[V any] struct {
-	it *conc.Item[V]
-	ok bool
+	return it.Value, true
 }
 
 // Contains reports whether v is queued.
 func (q *PQueue[V]) Contains(tx *stm.Txn, v V) bool {
-	ret := q.al.Apply(tx, []Intent[PQState]{R(PQMultiSet)}, func() any {
-		return q.base.Contains(v, q.eq)
-	}, nil)
-	return ret.(bool)
+	in := R(PQMultiSet)
+	q.al.begin1(tx, "contains", in)
+	ok := q.base.Contains(v, q.eq)
+	q.al.done1(tx, in)
+	return ok
 }
 
 // Size returns the committed size.
@@ -148,6 +151,21 @@ type pqBase[V any] interface {
 	Len() int
 }
 
+// pqOp is one logged priority-queue mutation for the snapshot replay log:
+// an insert of v, or (insert=false) a removeMin.
+type pqOp[V any] struct {
+	v      V
+	insert bool
+}
+
+func applyPQOp[V any](b pqBase[V], op pqOp[V]) {
+	if op.insert {
+		b.Insert(op.v)
+	} else {
+		b.RemoveMin()
+	}
+}
+
 // LazyPQueue is the lazy Proustian priority queue (the paper's
 // LazyPriorityQueue): a copy-on-write heap provides O(1) snapshots, pending
 // operations run against the transaction's snapshot and replay at commit.
@@ -155,7 +173,7 @@ type pqBase[V any] interface {
 // priority-queue operations lack efficient inverses in general.
 type LazyPQueue[V any] struct {
 	al   *AbstractLock[PQState]
-	log  *SnapshotLog[pqBase[V]]
+	log  *SnapshotLog[pqBase[V], pqOp[V]]
 	less conc.Less[V]
 	eq   func(a, b V) bool
 	size *stm.Ref[int]
@@ -169,7 +187,7 @@ func NewLazyPQueue[V any](s *stm.STM, lap LockAllocatorPolicy[PQState], less con
 	heap := conc.NewCOWHeap(less)
 	return &LazyPQueue[V]{
 		al:   NewAbstractLock(lap, Lazy),
-		log:  NewSnapshotLog[pqBase[V]](heap, func(pqBase[V]) pqBase[V] { return heap.Snapshot() }),
+		log:  NewSnapshotLog[pqBase[V]](heap, func(pqBase[V]) pqBase[V] { return heap.Snapshot() }, applyPQOp[V]),
 		less: less,
 		eq:   eq,
 		size: stm.NewRef(s, 0),
@@ -179,53 +197,43 @@ func NewLazyPQueue[V any](s *stm.STM, lap LockAllocatorPolicy[PQState], less con
 // Insert adds v to the queue.
 func (q *LazyPQueue[V]) Insert(tx *stm.Txn, v V) {
 	mi := minIntentForInsert[V](tx, q, q.less, v)
-	q.al.Apply(tx, []Intent[PQState]{W(PQMultiSet), mi}, func() any {
-		q.log.Mutate(tx, func(b pqBase[V]) any {
-			b.Insert(v)
-			return nil
-		})
-		q.size.Modify(tx, func(n int) int { return n + 1 })
-		return nil
-	}, nil)
+	q.al.begin2(tx, "insert", W(PQMultiSet), mi)
+	q.log.Shadow(tx).Insert(v)
+	q.log.Append(tx, pqOp[V]{v: v, insert: true})
+	q.size.Modify(tx, incr)
+	q.al.done2(tx, W(PQMultiSet), mi)
 }
 
 // Min returns the smallest value without removing it.
 func (q *LazyPQueue[V]) Min(tx *stm.Txn) (V, bool) {
-	ret := q.al.Apply(tx, []Intent[PQState]{R(PQMin)}, func() any {
-		return q.log.Read(tx, func(b pqBase[V]) any {
-			v, ok := b.Min()
-			return prev[V]{val: v, had: ok}
-		})
-	}, nil)
-	pr := ret.(prev[V])
-	return pr.val, pr.had
+	in := R(PQMin)
+	q.al.begin1(tx, "min", in)
+	v, ok := q.log.ReadView(tx).Min()
+	q.al.done1(tx, in)
+	return v, ok
 }
 
-// RemoveMin removes and returns the smallest value.
+// RemoveMin removes and returns the smallest value. A removeMin of an empty
+// queue mutates nothing and queues no record.
 func (q *LazyPQueue[V]) RemoveMin(tx *stm.Txn) (V, bool) {
-	ret := q.al.Apply(tx, []Intent[PQState]{W(PQMin), W(PQMultiSet)}, func() any {
-		r := q.log.Mutate(tx, func(b pqBase[V]) any {
-			v, ok := b.RemoveMin()
-			return prev[V]{val: v, had: ok}
-		})
-		pr := r.(prev[V])
-		if pr.had {
-			q.size.Modify(tx, func(n int) int { return n - 1 })
-		}
-		return pr
-	}, nil)
-	pr := ret.(prev[V])
-	return pr.val, pr.had
+	a, b := W(PQMin), W(PQMultiSet)
+	q.al.begin2(tx, "removeMin", a, b)
+	v, ok := q.log.Shadow(tx).RemoveMin()
+	if ok {
+		q.log.Append(tx, pqOp[V]{})
+		q.size.Modify(tx, decr)
+	}
+	q.al.done2(tx, a, b)
+	return v, ok
 }
 
 // Contains reports whether v is queued.
 func (q *LazyPQueue[V]) Contains(tx *stm.Txn, v V) bool {
-	ret := q.al.Apply(tx, []Intent[PQState]{R(PQMultiSet)}, func() any {
-		return q.log.Read(tx, func(b pqBase[V]) any {
-			return b.Contains(v, q.eq)
-		})
-	}, nil)
-	return ret.(bool)
+	in := R(PQMultiSet)
+	q.al.begin1(tx, "contains", in)
+	ok := q.log.ReadView(tx).Contains(v, q.eq)
+	q.al.done1(tx, in)
+	return ok
 }
 
 // Size returns the committed size.

@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector is compiled in; allocation
+// gates skip under -race (the detector's shadow allocations would fail them
+// spuriously).
+const raceEnabled = true

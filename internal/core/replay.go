@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"proust/internal/stm"
 )
@@ -10,16 +11,54 @@ import (
 // Section 4, "Snapshots"): the first time a transaction mutates the wrapped
 // object, a fast snapshot of the base structure is taken; all further
 // operations of that transaction run against the snapshot (producing return
-// values), and are queued. If the transaction commits, the queued operations
-// are replayed onto the shared base inside the commit critical section —
-// "behind the STM's native locking mechanisms"; if it aborts, the log is
-// simply dropped.
+// values), and are queued as typed records. If the transaction commits, the
+// queued records are replayed onto the shared base inside the commit
+// critical section — "behind the STM's native locking mechanisms"; if it
+// aborts, the log is simply dropped.
 //
 // D is the (interface or pointer) type shared by the base structure and its
-// snapshots, e.g. *conc.Ctrie[K,V].
-type SnapshotLog[D any] struct {
+// snapshots, e.g. *conc.Ctrie[K,V]; O is the wrapper's operation record
+// (mapOp, pqOp, ...), applied by the static apply function given at
+// construction. Records replace the `func(D)` closures the log used to
+// queue: a closure per mutation was one heap allocation per operation, and
+// an opaque log cannot be replayed incrementally.
+//
+// The wrapper protocol per operation is
+//
+//	sh := log.Shadow(tx)        // private shadow, synced to current base
+//	ret := <apply op to sh>     // typed result, no boxing
+//	log.Append(tx, rec)         // queue the record for commit replay
+//
+// and reads use ReadView, which serves the unmodified base until the
+// transaction's first mutation (the readOnly optimization of the paper's
+// Figure 2b).
+//
+// # Incremental shadows
+//
+// The original implementation re-derived the shadow on *every* operation:
+// fresh snapshot, then replay of the whole pending log — O(n²) base
+// operations for an n-op transaction. The shadow is now cached with an
+// applied-record watermark plus a base generation: gen counts committed
+// replay batches applied to the base, and a cached shadow remembers the
+// generation its snapshot captured. An operation re-derives the shadow only
+// when the generation moved (some transaction committed a replay since) and
+// otherwise just applies its pending suffix — O(n) total per transaction.
+//
+// Correctness (the Theorem 5.3 argument, DESIGN.md §10): when the
+// generation is unchanged, no replay batch has completed since the
+// snapshot, so snapshot+pending and cached-shadow+suffix denote the same
+// abstract state — the reuse is exact, not approximate. When a replay is
+// concurrently in flight (generation observed before its bump), the cached
+// shadow reflects the pre-replay base; that is the same state a leading
+// conflict-abstraction read has already announced, so a non-commuting
+// committer invalidates this transaction at validation via the
+// leading/trailing reads, and a commuting one is safe to linearize after.
+// The generation read that matters — deciding a fresh snapshot is current —
+// happens under the cut lock's write side, where no replay is in flight.
+type SnapshotLog[D any, O any] struct {
 	base     D
 	snapshot func(D) D
+	apply    func(D, O)
 	// cut excludes snapshot-taking from in-flight replays: a replay holds
 	// the read side (replays of non-conflicting transactions may overlap —
 	// their base operations commute), while taking a snapshot holds the
@@ -27,8 +66,12 @@ type SnapshotLog[D any] struct {
 	// batch. Without this a transaction could snapshot the base between
 	// two base operations of another transaction's commit replay and leak
 	// a non-atomic cut.
-	cut   sync.RWMutex
-	local *stm.TxnLocal[*snapLogState[D]]
+	cut sync.RWMutex
+	// gen counts replay batches applied to the base; bumped under the read
+	// side of cut by each committing replay, decisively read under the
+	// write side when a fresh snapshot is taken.
+	gen   atomic.Uint64
+	local *stm.Pooled[snapLogState[D, O]]
 
 	name string
 	sink Sink // nil when uninstrumented
@@ -36,77 +79,121 @@ type SnapshotLog[D any] struct {
 
 // Instrument attaches a Sink: each committing transaction reports its replay
 // depth (pending operation count) from inside the commit critical section.
-func (l *SnapshotLog[D]) Instrument(name string, sink Sink) {
+func (l *SnapshotLog[D, O]) Instrument(name string, sink Sink) {
 	l.name, l.sink = name, sink
 }
 
-type snapLogState[D any] struct {
-	pending []func(D)
+// snapLogState is one transaction's shadow + pending log, pooled across
+// transactions (reset like the STM's writeSet). The hook closures are
+// created once per state instance and re-registered per transaction.
+type snapLogState[D any, O any] struct {
+	pending []O
+	shadow  D
+	// applied is the watermark: pending[:applied] is already reflected in
+	// shadow.
+	applied int
+	// baseGen is the l.gen value the shadow's snapshot captured.
+	baseGen        uint64
+	hasShadow      bool
+	onCommitLocked func()
+	onAbort        func()
 }
 
 // NewSnapshotLog creates a replay log over base; snapshot must return a fast
-// snapshot of base that the transaction may mutate privately.
-func NewSnapshotLog[D any](base D, snapshot func(D) D) *SnapshotLog[D] {
-	l := &SnapshotLog[D]{base: base, snapshot: snapshot}
-	l.local = stm.NewTxnLocal(func(tx *stm.Txn) *snapLogState[D] {
-		st := &snapLogState[D]{}
-		tx.OnCommitLocked(func() {
-			if l.sink != nil {
-				l.sink.ReplayDepth(l.name, len(st.pending))
+// snapshot of base that the transaction may mutate privately, and apply must
+// apply one operation record to a snapshot or to the base.
+func NewSnapshotLog[D any, O any](base D, snapshot func(D) D, apply func(D, O)) *SnapshotLog[D, O] {
+	l := &SnapshotLog[D, O]{base: base, snapshot: snapshot, apply: apply}
+	l.local = stm.NewPooled(func(tx *stm.Txn, st *snapLogState[D, O]) {
+		if st.onCommitLocked == nil {
+			st.onCommitLocked = func() {
+				if l.sink != nil {
+					l.sink.ReplayDepth(l.name, len(st.pending))
+				}
+				l.cut.RLock()
+				l.gen.Add(1)
+				for i := range st.pending {
+					l.apply(l.base, st.pending[i])
+				}
+				l.cut.RUnlock()
+				l.release(st)
 			}
-			l.cut.RLock()
-			defer l.cut.RUnlock()
-			for _, f := range st.pending {
-				f(base)
-			}
-		})
-		return st
+			st.onAbort = func() { l.release(st) }
+		}
+		tx.OnCommitLocked(st.onCommitLocked)
+		tx.OnAbort(st.onAbort)
 	})
 	return l
 }
 
-// freshShadow takes a snapshot of the current base and replays the
-// transaction's pending operations onto it. Re-deriving the shadow at every
-// operation (rather than pinning one snapshot for the whole transaction)
-// keeps return values correct for multi-operation transactions: an
-// operation's result may depend only on abstract state its own conflict
-// abstraction covers, so commits that landed since the previous operation
-// either commute with this one (and are safe to observe) or will abort this
-// transaction at validation via the leading/trailing conflict-abstraction
-// reads.
-func (l *SnapshotLog[D]) freshShadow(st *snapLogState[D]) D {
-	l.cut.Lock()
-	shadow := l.snapshot(l.base)
-	l.cut.Unlock()
-	for _, f := range st.pending {
-		f(shadow)
+// release resets a state for pool residency: records cleared through
+// capacity (pooled logs must pin no keys or values), the shadow reference
+// dropped, oversized backing arrays shed.
+func (l *SnapshotLog[D, O]) release(st *snapLogState[D, O]) {
+	clearCapRecs(st.pending)
+	st.pending = st.pending[:0]
+	if cap(st.pending) > adtMaxRetainedCap {
+		st.pending = nil
 	}
-	return shadow
+	var zero D
+	st.shadow = zero
+	st.applied = 0
+	st.baseGen = 0
+	st.hasShadow = false
+	l.local.Release(st)
 }
 
-// Mutate runs f against the transaction's shadow copy now (for its return
-// value) and queues it for replay against the base at commit.
-func (l *SnapshotLog[D]) Mutate(tx *stm.Txn, f func(D) any) any {
+// sync brings st.shadow up to date: re-derived from a fresh snapshot when
+// the base generation moved (or no shadow exists yet), then advanced by the
+// pending suffix past the watermark.
+func (l *SnapshotLog[D, O]) sync(st *snapLogState[D, O]) {
+	if !st.hasShadow || st.baseGen != l.gen.Load() {
+		l.cut.Lock()
+		g := l.gen.Load() // stable: every replay holds the read side
+		st.shadow = l.snapshot(l.base)
+		l.cut.Unlock()
+		st.baseGen = g
+		st.applied = 0
+		st.hasShadow = true
+	}
+	for ; st.applied < len(st.pending); st.applied++ {
+		l.apply(st.shadow, st.pending[st.applied])
+	}
+}
+
+// Shadow returns the transaction's private shadow, synced to the current
+// base and the full pending log. The caller applies its operation directly
+// to the returned value and then queues the matching record with Append.
+func (l *SnapshotLog[D, O]) Shadow(tx *stm.Txn) D {
 	st := l.local.Get(tx)
-	ret := f(l.freshShadow(st))
-	st.pending = append(st.pending, func(d D) { f(d) })
-	return ret
+	l.sync(st)
+	return st.shadow
 }
 
-// Read runs f against the transaction's shadow copy if it has pending
-// operations, and directly against the base otherwise — the readOnly
-// optimization of the paper's Figure 2b, which avoids allocating a snapshot
-// until a replay is actually necessary.
-func (l *SnapshotLog[D]) Read(tx *stm.Txn, f func(D) any) any {
+// Append queues one operation record for commit replay. The caller must
+// already have applied the operation to the Shadow it obtained for this
+// operation, so the watermark advances with the append.
+func (l *SnapshotLog[D, O]) Append(tx *stm.Txn, rec O) {
+	st := l.local.Get(tx)
+	st.pending = append(st.pending, rec)
+	st.applied = len(st.pending)
+}
+
+// ReadView returns the structure as this transaction observes it: its
+// synced shadow once it has pending operations, and the unmodified shared
+// base otherwise — the readOnly optimization of the paper's Figure 2b,
+// which avoids allocating a snapshot until a replay is actually necessary.
+func (l *SnapshotLog[D, O]) ReadView(tx *stm.Txn) D {
 	if st, ok := l.local.Peek(tx); ok && len(st.pending) > 0 {
-		return f(l.freshShadow(st))
+		l.sync(st)
+		return st.shadow
 	}
-	return f(l.base)
+	return l.base
 }
 
 // Logged reports whether the transaction has begun mutating (and thus holds
 // a shadow copy).
-func (l *SnapshotLog[D]) Logged(tx *stm.Txn) bool {
+func (l *SnapshotLog[D, O]) Logged(tx *stm.Txn) bool {
 	_, ok := l.local.Peek(tx)
 	return ok
 }
@@ -115,8 +202,18 @@ func (l *SnapshotLog[D]) Logged(tx *stm.Txn) bool {
 // that memoizing shadow copies need.
 type MapBase[K comparable, V any] interface {
 	Get(K) (V, bool)
+	Contains(K) bool
 	Put(K, V) (V, bool)
 	Remove(K) (V, bool)
+}
+
+// memoOp is one logged map mutation (put bool distinguishes put from
+// remove) — the typed record that replaced the queued `func(MapBase)`
+// closures.
+type memoOp[K comparable, V any] struct {
+	key K
+	val V
+	put bool
 }
 
 // MemoLog implements lazy updates with memoizing shadow copies (paper
@@ -131,7 +228,7 @@ type MapBase[K comparable, V any] interface {
 type MemoLog[K comparable, V any] struct {
 	base    MapBase[K, V]
 	combine bool
-	local   *stm.TxnLocal[*memoState[K, V]]
+	local   *stm.Pooled[memoState[K, V]]
 
 	name string
 	sink Sink // nil when uninstrumented
@@ -144,10 +241,16 @@ func (l *MemoLog[K, V]) Instrument(name string, sink Sink) {
 	l.name, l.sink = name, sink
 }
 
+// memoState is one transaction's overlay + op log, pooled across
+// transactions. The overlay map and order slice are retained across reuse
+// (cleared, buckets kept), so a steady-state transaction performs no map
+// allocation.
 type memoState[K comparable, V any] struct {
-	overlay map[K]memoEntry[V]
-	order   []K // touched keys in first-touch order (combined replay)
-	ops     []func(MapBase[K, V])
+	overlay        map[K]memoEntry[V]
+	order          []K // touched keys in first-touch order (combined replay)
+	ops            []memoOp[K, V]
+	onCommitLocked func()
+	onAbort        func()
 }
 
 type memoEntry[V any] struct {
@@ -158,12 +261,35 @@ type memoEntry[V any] struct {
 // NewMemoLog creates a memoizing replay log over base.
 func NewMemoLog[K comparable, V any](base MapBase[K, V], combine bool) *MemoLog[K, V] {
 	l := &MemoLog[K, V]{base: base, combine: combine}
-	l.local = stm.NewTxnLocal(func(tx *stm.Txn) *memoState[K, V] {
-		st := &memoState[K, V]{overlay: make(map[K]memoEntry[V], 8)}
-		tx.OnCommitLocked(func() { l.replay(st) })
-		return st
+	l.local = stm.NewPooled(func(tx *stm.Txn, st *memoState[K, V]) {
+		if st.overlay == nil {
+			st.overlay = make(map[K]memoEntry[V], 8)
+			st.onCommitLocked = func() {
+				l.replay(st)
+				l.release(st)
+			}
+			st.onAbort = func() { l.release(st) }
+		}
+		tx.OnCommitLocked(st.onCommitLocked)
+		tx.OnAbort(st.onAbort)
 	})
 	return l
+}
+
+// release resets a state for pool residency.
+func (l *MemoLog[K, V]) release(st *memoState[K, V]) {
+	clear(st.overlay)
+	clearCapRecs(st.order)
+	st.order = st.order[:0]
+	clearCapRecs(st.ops)
+	st.ops = st.ops[:0]
+	if cap(st.order) > adtMaxRetainedCap {
+		st.order = nil
+	}
+	if cap(st.ops) > adtMaxRetainedCap {
+		st.ops = nil
+	}
+	l.local.Release(st)
 }
 
 // Combining reports whether log combining is enabled.
@@ -178,8 +304,13 @@ func (l *MemoLog[K, V]) replay(st *memoState[K, V]) {
 		}
 	}
 	if !l.combine {
-		for _, op := range st.ops {
-			op(l.base)
+		for i := range st.ops {
+			op := &st.ops[i]
+			if op.put {
+				l.base.Put(op.key, op.val)
+			} else {
+				l.base.Remove(op.key)
+			}
 		}
 		return
 	}
@@ -208,13 +339,25 @@ func (l *MemoLog[K, V]) Get(tx *stm.Txn, k K) (V, bool) {
 	return l.base.Get(k)
 }
 
+// Contains reports whether k is present as seen by the transaction. Unlike
+// Get it never copies the value: presence is answered from the overlay
+// entry's bit or the base's own containment check.
+func (l *MemoLog[K, V]) Contains(tx *stm.Txn, k K) bool {
+	if st, ok := l.local.Peek(tx); ok {
+		if e, hit := st.overlay[k]; hit {
+			return e.present
+		}
+	}
+	return l.base.Contains(k)
+}
+
 // Put records a pending put and returns the logical previous value.
 func (l *MemoLog[K, V]) Put(tx *stm.Txn, k K, v V) (V, bool) {
 	st := l.local.Get(tx)
 	old, had := l.lookup(st, k)
 	l.record(st, k, memoEntry[V]{present: true, val: v})
 	if !l.combine {
-		st.ops = append(st.ops, func(b MapBase[K, V]) { b.Put(k, v) })
+		st.ops = append(st.ops, memoOp[K, V]{key: k, val: v, put: true})
 	}
 	return old, had
 }
@@ -225,7 +368,7 @@ func (l *MemoLog[K, V]) Remove(tx *stm.Txn, k K) (V, bool) {
 	old, had := l.lookup(st, k)
 	l.record(st, k, memoEntry[V]{})
 	if !l.combine {
-		st.ops = append(st.ops, func(b MapBase[K, V]) { b.Remove(k) })
+		st.ops = append(st.ops, memoOp[K, V]{key: k})
 	}
 	return old, had
 }

@@ -102,7 +102,7 @@ func (tl2Backend) commit(tx *Txn) bool {
 	tx.runCommitLocked()
 	for i := range tx.wset.entries {
 		e := &tx.wset.entries[i]
-		e.r.value.Store(&box{v: e.val})
+		e.r.value.Store(tx.newBox(e.val))
 		e.r.version.Store(wv)
 		e.r.owner.Store(nil)
 	}

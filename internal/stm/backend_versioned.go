@@ -106,13 +106,26 @@ func (tx *Txn) acquire(r *baseRef) {
 
 // updateOwnedWrite overwrites a ref the transaction already owns (it is in
 // the redo log, so the encounter lock is held). Reports whether r was owned.
+//
+// The box currently installed is this transaction's own tentative box (put
+// there by logUndoAndWrite); every other transaction checks the owner word
+// after loading the value and discards anything read while the encounter
+// lock is held, and the lock is only released after commit publication or
+// after the abort path restores the previous box. The tentative box can
+// therefore be updated in place instead of allocating a fresh one per
+// repeat write — except when the installed box is the shared token box,
+// which other refs may alias (see newBox).
 func (tx *Txn) updateOwnedWrite(r *baseRef, v any) bool {
 	i := tx.wset.find(r)
 	if i < 0 {
 		return false
 	}
 	tx.wset.entries[i].val = v
-	r.value.Store(&box{v: v})
+	if b := r.value.Load(); b != tx.tokenBox {
+		b.v = v
+	} else {
+		r.value.Store(tx.newBox(v))
+	}
 	return true
 }
 
@@ -122,7 +135,7 @@ func (tx *Txn) logUndoAndWrite(r *baseRef, v any) {
 	tx.undo = append(tx.undo, undoEntry{r: r, oldVal: r.value.Load()})
 	tx.owned = append(tx.owned, r)
 	tx.recordWrite(r, v)
-	r.value.Store(&box{v: v})
+	r.value.Store(tx.newBox(v))
 }
 
 // restoreUndoAndRelease rolls back encounter-time writes: tentative values

@@ -151,7 +151,7 @@ func (b *norecBackend) commit(tx *Txn) bool {
 	tx.runCommitLocked()
 	for i := range tx.wset.entries {
 		e := &tx.wset.entries[i]
-		e.r.value.Store(&box{v: e.val})
+		e.r.value.Store(tx.newBox(e.val))
 		e.r.version.Store(tx.snapshot + 2)
 	}
 	b.seq.Store(tx.snapshot + 2)

@@ -92,8 +92,8 @@ func NewRef[T any](s *STM, init T) *Ref[T] {
 func (r *Ref[T]) Get(tx *Txn) T {
 	v, ok := tx.read(&r.b).(T)
 	if !ok {
-		// Only possible if T's zero value was stored as a nil interface;
-		// normalize to the zero value.
+		// A zero value stored as a nil interface, or a conflict-abstraction
+		// token (SetSerialToken); normalize to the zero value.
 		var zero T
 		return zero
 	}
@@ -110,6 +110,17 @@ func (r *Ref[T]) Set(tx *Txn, v T) {
 // Txn-internal touch for why Proust's lazy/optimistic wrappers need this.
 func (r *Ref[T]) Touch(tx *Txn) {
 	tx.touch(&r.b)
+}
+
+// SetSerialToken writes a token unique to the transaction's current attempt
+// into r. Semantically it stands in for r.Set(tx, tx.Serial()): the paper
+// only requires conflict-abstraction writes to carry unique values, and
+// Proust never reads them back (a Get of a token-holding location returns
+// the zero value). The token is allocated once per attempt no matter how
+// many locations an operation writes — attempt-serial boxing was two heap
+// allocations per write intent on the ADT hot path.
+func SetSerialToken(tx *Txn, r *Ref[uint64]) {
+	tx.write(&r.b, tx.serialToken())
 }
 
 // Modify applies f to the current value inside tx and stores the result.

@@ -98,6 +98,16 @@ type Txn struct {
 	onCommit       []func() // run FIFO after the commit completes
 	onCommitLocked []func() // run FIFO inside the commit critical section
 
+	// token caches the attempt's conflict-abstraction write token (the
+	// self-referential token box as an interface value); tokenFor is the
+	// attempt serial it was created for. Proust's optimistic LAP writes the
+	// same unique token into every conflict-abstraction location an attempt
+	// touches, so creating it once per attempt (instead of once per
+	// location) removes one allocation per write intent. See SetSerialToken.
+	token    any
+	tokenBox *box
+	tokenFor uint64
+
 	attempt int32
 	sampled bool // this attempt feeds the duration histograms
 	// serialMode marks an escalated (serial/irrevocable) transaction: it
@@ -178,6 +188,9 @@ func (tx *Txn) reset() {
 	tx.id = 0
 	tx.readVersion = 0
 	tx.snapshot = 0
+	tx.token = nil
+	tx.tokenBox = nil
+	tx.tokenFor = 0
 	tx.lockStart = 0
 	tx.attempt = 0
 	tx.sampled = false
@@ -237,6 +250,40 @@ func (tx *Txn) beginAttempt() {
 // abstraction locations: the paper notes the written values are irrelevant
 // as long as they are unique (Section 3).
 func (tx *Txn) Serial() uint64 { return tx.id }
+
+// serialToken returns the attempt's conflict-abstraction write token. The
+// paper notes the values written into CA locations are irrelevant as long
+// as they are unique (Section 3), and nothing ever reads them back, so the
+// token is the box's own pointer identity — self-referential, created at
+// most once per attempt no matter how many locations it is written to (the
+// alternative, boxing the attempt serial, costs a second allocation for the
+// uint64-to-interface conversion). Uniqueness holds because a box stays
+// reachable from every location it was published to, so its address cannot
+// be recycled while any reader could still compare against it.
+func (tx *Txn) serialToken() any {
+	if tx.tokenFor != tx.id {
+		b := &box{}
+		b.v = b
+		tx.token = b.v
+		tx.tokenBox = b
+		tx.tokenFor = tx.id
+	}
+	return tx.token
+}
+
+// newBox wraps v for publication into a ref's value slot. When v is the
+// attempt's serial token the cached token box is reused: a Proust operation
+// writes the same token into every conflict-abstraction location it
+// touches, and token boxes are immutable after publication, so all those
+// locations can share one. (box is unexported, so a *box value can only be
+// the token; the type assertion keeps the comparison from panicking on refs
+// holding non-comparable types.)
+func (tx *Txn) newBox(v any) *box {
+	if bp, ok := v.(*box); ok && tx.tokenFor == tx.id && bp == tx.tokenBox {
+		return tx.tokenBox
+	}
+	return &box{v: v}
+}
 
 // Attempt returns the 1-based attempt number of the transaction: the number
 // of times the body has been executed, including re-executions after Retry
