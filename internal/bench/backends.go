@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -28,6 +29,19 @@ type BackendBenchConfig struct {
 	Seed          uint64  `json:"seed"`
 	Warmups       int     `json:"warmups"`
 	Reps          int     `json:"reps"`
+	// Shards is the STM timebase shard count (stm.WithShards): 0 =
+	// automatic, 1 = the classic single-clock control.
+	Shards int `json:"shards"`
+	// ZipfS, when > 1, draws keys Zipf-skewed with this exponent instead of
+	// uniformly (see Workload.ZipfS).
+	ZipfS float64 `json:"zipf_s,omitempty"`
+	// Interleave yields the processor after every operation inside a
+	// transaction (see Workload.Interleave).
+	Interleave bool `json:"interleave,omitempty"`
+	// GroupCommit disables the per-shard commit doors when explicitly set
+	// to false via NoGroupCommit (kept inverted so the zero value keeps the
+	// default-enabled behavior).
+	NoGroupCommit bool `json:"no_group_commit,omitempty"`
 }
 
 // DefaultBackendBench is the configuration used for the recorded baseline:
@@ -110,6 +124,7 @@ type TraceSummary struct {
 type BackendResult struct {
 	Backend   string  `json:"backend"`
 	Threads   int     `json:"threads"`
+	Shards    int     `json:"shards"`
 	OpsPerSec float64 `json:"ops_per_sec"`
 	AbortRate float64 `json:"abort_rate"`
 	// ValidationP50NS and LockHoldP50NS are upper-bound estimates of the
@@ -127,7 +142,14 @@ func RunBackendBench(backendName string, threads int, cfg BackendBenchConfig) (B
 		return BackendResult{}, fmt.Errorf("bench: unknown backend %q (valid: %v)", backendName, stm.BackendNames())
 	}
 	tracer := &CauseTracer{}
-	s := stm.New(stm.WithBackend(backendName), stm.WithTracer(tracer))
+	opts := []stm.Option{stm.WithBackend(backendName), stm.WithTracer(tracer)}
+	if cfg.Shards != 0 {
+		opts = append(opts, stm.WithShards(cfg.Shards))
+	}
+	if cfg.NoGroupCommit {
+		opts = append(opts, stm.WithGroupCommit(false))
+	}
+	s := stm.New(opts...)
 	refs := make([]*stm.Ref[int], cfg.KeyRange)
 	for i := range refs {
 		refs[i] = stm.NewRef(s, i)
@@ -145,15 +167,20 @@ func RunBackendBench(backendName string, threads int, cfg BackendBenchConfig) (B
 		go func(id int) {
 			defer wg.Done()
 			r := newRNG(cfg.Seed + uint64(id)*0x1000193)
-			w := Workload{KeyRange: cfg.KeyRange, WriteFraction: cfg.WriteFraction}
+			w := Workload{KeyRange: cfg.KeyRange, WriteFraction: cfg.WriteFraction,
+				Seed: cfg.Seed, ZipfS: cfg.ZipfS}
+			zk := w.zipfFor(id)
 			for i := 0; i < perThread; i++ {
 				_ = s.Atomically(func(tx *stm.Txn) error {
 					for j := 0; j < cfg.OpsPerTxn; j++ {
-						op := genOp(r, w)
+						op := genOpKey(r, w, zk)
 						if op.Kind == OpGet || op.Kind == OpRemove {
 							_ = refs[op.Key].Get(tx)
 						} else {
 							refs[op.Key].Set(tx, op.Val)
+						}
+						if cfg.Interleave {
+							runtime.Gosched()
 						}
 					}
 					return nil
@@ -172,6 +199,7 @@ func RunBackendBench(backendName string, threads int, cfg BackendBenchConfig) (B
 	return BackendResult{
 		Backend:         backendName,
 		Threads:         threads,
+		Shards:          s.Shards(),
 		OpsPerSec:       total / elapsed.Seconds(),
 		AbortRate:       rate,
 		ValidationP50NS: int64(st.ValidationTime.Quantile(0.5)),

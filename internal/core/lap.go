@@ -235,8 +235,11 @@ func NewPessimisticLAP[K comparable](hash func(K) uint64, n int, timeout time.Du
 		timeout = DefaultLockTimeout
 	}
 	l := &PessimisticLAP[K]{
-		hash:    hash,
-		locks:   lock.NewStriped(n),
+		hash: hash,
+		// Stripes are grouped into shards matching the STM's automatic
+		// timebase shard count, so per-shard lock contention (HotShards)
+		// reads against the same partitioning as the per-shard commit clocks.
+		locks:   lock.NewStripedSharded(n, stm.AutoShardCount()),
 		timeout: timeout,
 	}
 	l.held = stm.NewPooled(func(tx *stm.Txn, hs *heldStripes) {

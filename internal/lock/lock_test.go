@@ -280,6 +280,33 @@ func TestStripedSameHashMapsToSameStripe(t *testing.T) {
 	}
 }
 
+func TestStripedSharding(t *testing.T) {
+	// 32 stripes over 4 shards: contiguous runs of 8 stripes per shard.
+	s := NewStripedSharded(32, 4)
+	if s.Len() != 32 || s.ShardCount() != 4 {
+		t.Fatalf("Len=%d ShardCount=%d, want 32/4", s.Len(), s.ShardCount())
+	}
+	for i := 0; i < s.Len(); i++ {
+		if got, want := s.ShardOf(i), i/8; got != want {
+			t.Fatalf("ShardOf(%d) = %d, want %d (contiguous runs)", i, got, want)
+		}
+	}
+	// Both counts round up to powers of two; shards clamp to the stripe count.
+	s = NewStripedSharded(10, 3)
+	if s.Len() != 16 || s.ShardCount() != 4 {
+		t.Fatalf("rounding: Len=%d ShardCount=%d, want 16/4", s.Len(), s.ShardCount())
+	}
+	s = NewStripedSharded(2, 64)
+	if s.ShardCount() != 2 || s.ShardOf(1) != 1 {
+		t.Fatalf("clamping: ShardCount=%d ShardOf(1)=%d, want 2/1", s.ShardCount(), s.ShardOf(1))
+	}
+	// Plain NewStriped keeps everything in one shard.
+	s = NewStriped(8)
+	if s.ShardCount() != 1 || s.ShardOf(7) != 0 {
+		t.Fatalf("unsharded: ShardCount=%d ShardOf(7)=%d", s.ShardCount(), s.ShardOf(7))
+	}
+}
+
 func TestModeString(t *testing.T) {
 	if Read.String() != "read" || Write.String() != "write" {
 		t.Fatal("Mode.String mismatch")

@@ -74,21 +74,49 @@ type Observer interface {
 type Striped struct {
 	stripes []*ReentrantRW
 	obs     Observer
+	// shardShift groups stripes into contiguous shard runs: stripe i belongs
+	// to shard i >> shardShift. Shards mirror the STM's sharded timebase
+	// partitioning, so per-shard lock contention can be read against the
+	// per-shard commit clocks (co-located keys hash to neighboring stripes
+	// the same way co-allocated refs share a timebase shard block).
+	shardShift uint
+	shards     int
 }
 
 // NewStriped creates a table with n stripes (n is rounded up to a power of
-// two, minimum 1).
-func NewStriped(n int) *Striped {
+// two, minimum 1) and a single shard.
+func NewStriped(n int) *Striped { return NewStripedSharded(n, 1) }
+
+// NewStripedSharded creates a table with n stripes grouped into the given
+// number of contiguous shards. Both counts are rounded up to powers of two;
+// shards is clamped to [1, stripes] so every shard owns at least one stripe.
+func NewStripedSharded(n, shards int) *Striped {
 	size := 1
 	for size < n {
 		size <<= 1
 	}
-	st := &Striped{stripes: make([]*ReentrantRW, size)}
+	sh := 1
+	for sh < shards {
+		sh <<= 1
+	}
+	if sh > size {
+		sh = size
+	}
+	st := &Striped{stripes: make([]*ReentrantRW, size), shards: sh}
+	for per := size / sh; per > 1; per >>= 1 {
+		st.shardShift++
+	}
 	for i := range st.stripes {
 		st.stripes[i] = NewReentrantRW()
 	}
 	return st
 }
+
+// ShardCount returns the number of stripe shards.
+func (s *Striped) ShardCount() int { return s.shards }
+
+// ShardOf returns the shard owning stripe index i.
+func (s *Striped) ShardOf(i int) int { return i >> s.shardShift }
 
 // SetObserver attaches an acquisition observer. Call before the table sees
 // concurrent traffic; passing nil detaches (restoring the zero-cost path).

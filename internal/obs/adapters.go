@@ -77,6 +77,43 @@ func (o *LockObserver) HotStripes(n int) []StripeContention {
 	return out
 }
 
+// ShardContention is one entry of the per-shard contention report.
+type ShardContention struct {
+	Shard int    `json:"shard"`
+	Count uint64 `json:"count"`
+}
+
+// HotShards aggregates the per-stripe contention table by the table's stripe
+// shards (lock.Striped.ShardOf) and returns the n most contended shards,
+// most contended first; zero-contention shards are omitted. Because the LAP
+// stripes are sharded to match the STM's timebase shards, this report reads
+// directly against proust_stm_shard_clock_skew: a hot lock shard and a
+// fast-moving commit clock point at the same key partition.
+func (o *LockObserver) HotShards(n int, table *lock.Striped) []ShardContention {
+	counts := make([]uint64, table.ShardCount())
+	for i := range o.contended {
+		if c := o.contended[i].Load(); c > 0 && i < table.Len() {
+			counts[table.ShardOf(i)] += c
+		}
+	}
+	var out []ShardContention
+	for sh, c := range counts {
+		if c > 0 {
+			out = append(out, ShardContention{Shard: sh, Count: c})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Shard < out[j].Shard
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
 // CoreSink bridges core.Sink onto a Registry: per-structure, per-operation
 // commit/abort counters and lazy-replay depth histograms.
 type CoreSink struct {
@@ -126,6 +163,8 @@ type STMCollector struct {
 	starts, commits, aborts, samples *CounterVec
 	escalations, serialCommits       *CounterVec
 	abandoned                        *CounterVec
+	groupCommits, crossShard         *CounterVec
+	shardSkew, epoch                 *GaugeVec
 	quant                            *GaugeVec
 }
 
@@ -156,6 +195,17 @@ func NewSTMCollector(r *Registry) *STMCollector {
 		abandoned: r.Counter("proust_stm_abandoned_total",
 			"Transactions abandoned without committing, by reason "+
 				"(max_attempts, canceled, deadline, closed).", "backend", "reason"),
+		groupCommits: r.Counter("proust_stm_group_commits_total",
+			"Commits merged into an already-open group-commit door batch "+
+				"(they shared the batch leader's clock bump).", "backend"),
+		crossShard: r.Counter("proust_stm_cross_shard_commits_total",
+			"Commits whose write set spanned timebase shards (each bumps the "+
+				"global epoch fence).", "backend"),
+		shardSkew: r.Gauge("proust_stm_shard_clock_skew",
+			"Spread (max minus min) of the per-shard commit clocks — how "+
+				"unevenly commit traffic lands across the sharded timebase.", "backend"),
+		epoch: r.Gauge("proust_stm_epoch",
+			"Global epoch-fence value (cross-shard commits since start).", "backend"),
 	}
 	r.OnGather(c.collect)
 	return c
@@ -186,7 +236,14 @@ func (c *STMCollector) Snapshots() map[string]stm.StatsSnapshot {
 }
 
 func (c *STMCollector) collect() {
-	for backend, st := range c.Snapshots() {
+	c.mu.Lock()
+	stms := make(map[string]*stm.STM, len(c.stms))
+	for name, s := range c.stms {
+		stms[name] = s
+	}
+	c.mu.Unlock()
+	for backend, s := range stms {
+		st := s.Stats()
 		c.starts.With(backend).set(st.Starts)
 		c.commits.With(backend).set(st.Commits)
 		for cause, n := range st.AbortsByCause() {
@@ -198,6 +255,10 @@ func (c *STMCollector) collect() {
 		c.abandoned.With(backend, "canceled").set(st.CanceledTxns)
 		c.abandoned.With(backend, "deadline").set(st.DeadlineTxns)
 		c.abandoned.With(backend, "closed").set(st.ClosedTxns)
+		c.groupCommits.With(backend).set(st.GroupCommits)
+		c.crossShard.With(backend).set(st.CrossShardCommits)
+		c.shardSkew.With(backend).Set(int64(s.ShardClockSkew()))
+		c.epoch.With(backend).Set(int64(s.Epoch()))
 		for name, h := range map[string]stm.DurationHistSnapshot{
 			"validation": st.ValidationTime,
 			"lock_hold":  st.LockHold,

@@ -244,6 +244,24 @@ func TestLockObserverAndHotStripes(t *testing.T) {
 	}
 }
 
+// TestLockObserverHotShards: per-stripe contention aggregates along the
+// stripe table's shard grouping.
+func TestLockObserverHotShards(t *testing.T) {
+	table := lock.NewStripedSharded(8, 4) // 2 stripes per shard
+	o := NewLockObserver(nil, table.Len())
+	o.ObserveAcquire(0, lock.Write, 0, lock.Contended) // shard 0
+	o.ObserveAcquire(1, lock.Write, 0, lock.Contended) // shard 0
+	o.ObserveAcquire(6, lock.Write, 0, lock.TimedOut)  // shard 3
+	hot := o.HotShards(4, table)
+	if len(hot) != 2 || hot[0] != (ShardContention{Shard: 0, Count: 2}) ||
+		hot[1] != (ShardContention{Shard: 3, Count: 1}) {
+		t.Errorf("hot shards = %+v", hot)
+	}
+	if top := o.HotShards(1, table); len(top) != 1 || top[0].Shard != 0 {
+		t.Errorf("HotShards(1) = %+v", top)
+	}
+}
+
 func TestRegisterSTMExportsBackendStats(t *testing.T) {
 	r := NewRegistry()
 	s := stm.New(stm.WithBackend("tl2"))
@@ -303,6 +321,48 @@ func TestSTMCollectorExportsRobustnessCounters(t *testing.T) {
 		`proust_stm_aborts_total{backend="chaos-ccstm",cause="chaos"} 10`,
 		`proust_stm_abandoned_total{backend="chaos-ccstm",reason="closed"} 1`,
 		`proust_stm_abandoned_total{backend="chaos-ccstm",reason="canceled"} 0`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("missing %q in scrape:\n%s", want, text)
+		}
+	}
+}
+
+// TestSTMCollectorExportsShardMetrics: the sharded-timebase families (group
+// commits, cross-shard commits, clock skew, epoch) reach the scrape output.
+func TestSTMCollectorExportsShardMetrics(t *testing.T) {
+	r := NewRegistry()
+	s := stm.New(stm.WithBackend("tl2"), stm.WithShards(8))
+	RegisterSTM(r, s)
+	// Ref ids are sequential and map to shards in blocks of 64, so two refs
+	// allocated 64 ids apart land in adjacent shards; writing both in one
+	// transaction forces a cross-shard (epoch-bumping) commit.
+	a := stm.NewRef(s, 0)
+	b := a
+	for i := 0; i < 64; i++ {
+		b = stm.NewRef(s, 0)
+	}
+	if err := s.Atomically(func(tx *stm.Txn) error {
+		a.Set(tx, 1)
+		b.Set(tx, 1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Atomically(func(tx *stm.Txn) error { a.Set(tx, 2); return nil }); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		`proust_stm_cross_shard_commits_total{backend="tl2"} 1`,
+		`proust_stm_epoch{backend="tl2"} 1`,
+		`proust_stm_shard_clock_skew{backend="tl2"} 2`,
+		`proust_stm_group_commits_total{backend="tl2"} 0`,
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("missing %q in scrape:\n%s", want, text)

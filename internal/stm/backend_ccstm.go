@@ -25,7 +25,8 @@ func (ccstmBackend) Name() string { return "ccstm" }
 func (ccstmBackend) Policy() DetectionPolicy { return MixedEagerWWLazyRW }
 
 func (ccstmBackend) begin(tx *Txn) {
-	tx.readVersion = tx.s.clock.Load()
+	// Nothing to sample: the shard-clock vector is captured lazily, one
+	// shard at a time, at each shard's first read (Txn.rvFor).
 }
 
 func (ccstmBackend) read(tx *Txn, r *baseRef) any { return tx.readVersioned(r) }

@@ -25,7 +25,8 @@ func (eagerBackend) Name() string { return "eager" }
 func (eagerBackend) Policy() DetectionPolicy { return EagerEager }
 
 func (eagerBackend) begin(tx *Txn) {
-	tx.readVersion = tx.s.clock.Load()
+	// Nothing to sample: the shard-clock vector is captured lazily, one
+	// shard at a time, at each shard's first read (Txn.rvFor).
 }
 
 func (eagerBackend) read(tx *Txn, r *baseRef) any {

@@ -25,7 +25,8 @@ func (tl2Backend) Name() string { return "tl2" }
 func (tl2Backend) Policy() DetectionPolicy { return LazyLazy }
 
 func (tl2Backend) begin(tx *Txn) {
-	tx.readVersion = tx.s.clock.Load()
+	// Nothing to sample: the shard-clock vector is captured lazily, one
+	// shard at a time, at each shard's first read (Txn.rvFor).
 }
 
 func (tl2Backend) read(tx *Txn, r *baseRef) any { return tx.readVersioned(r) }
@@ -84,27 +85,39 @@ func (tl2Backend) commit(tx *Txn) bool {
 		tx.commitLocks = append(tx.commitLocks, r)
 	}
 
-	wv := tx.s.clock.Add(1)
-	// TL2 optimization: if no transaction committed since we started, the
-	// read set cannot have changed.
-	if wv != tx.readVersion+1 && !tx.validateReadsTimed() {
+	// Stamp the write shards (entering the shard door or bumping per-shard
+	// clocks); validateCommit applies the per-shard generalization of the
+	// TL2 wv == rv+1 optimization — quiet shards are skipped, and a solo
+	// fresh bump skips the transaction's own shard too.
+	var p pubStamp
+	tx.stampWrites(&p, tx.wset.shardMask())
+	if !tx.validateCommit(&p) {
+		tx.releaseStamp(&p)
 		tx.rollback(CauseValidation)
 		return false
 	}
 	if !tx.transitionCommitted() {
+		tx.releaseStamp(&p)
 		tx.rollback(CauseDoomed)
 		return false
 	}
 
 	// The commit is now decided: apply deferred effects (Proust replay
 	// logs) while the write set is still locked, then publish straight from
-	// the redo-log entries — values ride inline, no second lookup.
+	// the redo-log entries — values ride inline, no second lookup. Values
+	// and versions are published before the door batch is left
+	// (releaseStamp) and the batch is left before any lock is released:
+	// group-commit joiners are only guaranteed write-disjoint from us while
+	// we still hold every lock.
 	tx.runCommitLocked()
 	for i := range tx.wset.entries {
 		e := &tx.wset.entries[i]
 		e.r.value.Store(tx.newBox(e.val))
-		e.r.version.Store(wv)
-		e.r.owner.Store(nil)
+		e.r.version.Store(p.ver(e.r))
+	}
+	tx.releaseStamp(&p)
+	for i := range tx.wset.entries {
+		tx.wset.entries[i].r.owner.Store(nil)
 	}
 	tx.commitLocks = tx.commitLocks[:0]
 	tx.observeLockHold()

@@ -1,14 +1,19 @@
 package stm
 
 // Shared machinery of the versioned (TL2-lineage) backends: tl2, ccstm and
-// eager all stamp refs with the global version clock, keep an invisible or
-// visible read set validated against the transaction's read version, and
-// lock refs through the owner word. The norec backend uses none of this.
+// eager all stamp refs against the sharded timebase (per-shard commit
+// clocks, see shard.go), keep an invisible or visible read set validated
+// against the transaction's shard-clock vector, and lock refs through the
+// owner word. The norec backend uses only the per-shard write counters.
 
 // readVersioned performs an opaque versioned read of r's committed (or, if
 // tx itself holds the encounter-time lock, tentative) value and records a
-// read-set entry.
+// read-set entry. The read version it checks against is the clock of r's
+// shard, captured lazily at the shard's first touch (rvFor), so commits in
+// other shards — or in this shard before its first touch — never force an
+// extension.
 func (tx *Txn) readVersioned(r *baseRef) any {
+	rv := tx.rvFor(r)
 	for spins := 0; ; spins++ {
 		v1 := r.version.Load()
 		owner := r.owner.Load()
@@ -21,10 +26,18 @@ func (tx *Txn) readVersioned(r *baseRef) any {
 		if (o2 != nil && o2 != tx) || r.version.Load() != v1 {
 			continue
 		}
-		if v1 > tx.readVersion && !tx.extend() {
-			tx.conflict(CauseValidation)
+		if v1 > rv {
+			if !tx.extend() {
+				tx.conflict(CauseValidation)
+			}
+			// The extension validated the prior reads at the new vector, but
+			// this ref may have moved again in the meantime: loop and
+			// re-read it under the extended read version rather than
+			// returning a value sampled before the extension.
+			rv = tx.rvVec[r.shard]
+			continue
 		}
-		tx.reads = append(tx.reads, readEntry{r: r, ver: v1})
+		tx.logRead(r, v1, nil)
 		return b.v
 	}
 }
@@ -53,19 +66,8 @@ func (tx *Txn) waitOrDie(r *baseRef, owner *Txn, spins int) {
 	}
 }
 
-// extend revalidates the read set against the current clock and, on success,
-// advances the transaction's read version (TinySTM-style timestamp
-// extension). This keeps long transactions opaque without spurious aborts.
-func (tx *Txn) extend() bool {
-	now := tx.s.clock.Load()
-	if !tx.validateReads() {
-		return false
-	}
-	tx.readVersion = now
-	return true
-}
-
-// validateReads checks every read-set entry's version and ownership.
+// validateReads checks every read-set entry's version and ownership (the
+// full, unpartitioned pass; Backend.validate API and chaos wrapper).
 func (tx *Txn) validateReads() bool {
 	for i := range tx.reads {
 		re := &tx.reads[i]
@@ -167,10 +169,12 @@ func (tx *Txn) commitEncounter(validate bool) bool {
 		return true
 	}
 
-	wv := tx.s.clock.Add(1)
+	var p pubStamp
+	tx.stampWrites(&p, shardMaskOf(tx.owned))
 	if validate {
 		// Invisible readers: read-write conflicts are detected here.
-		if wv != tx.readVersion+1 && !tx.validateReadsTimed() {
+		if !tx.validateCommit(&p) {
+			tx.releaseStamp(&p)
 			tx.rollback(CauseValidation)
 			return false
 		}
@@ -180,13 +184,21 @@ func (tx *Txn) commitEncounter(validate bool) bool {
 	// registered as a reader before reading), so either it aborted or we
 	// are already doomed and the transition below fails.
 	if !tx.transitionCommitted() {
+		tx.releaseStamp(&p)
 		tx.rollback(CauseDoomed)
 		return false
 	}
 
 	tx.runCommitLocked()
+	// Publish all versions first, then leave the door batch, then release
+	// the locks: the batch must close before any member's locks free up
+	// (releaseStamp) so late arrivals can never share the version with a
+	// write set that overlaps ours.
 	for _, r := range tx.owned {
-		r.version.Store(wv)
+		r.version.Store(p.ver(r))
+	}
+	tx.releaseStamp(&p)
+	for _, r := range tx.owned {
 		r.owner.Store(nil)
 	}
 	tx.owned = tx.owned[:0]
@@ -194,4 +206,13 @@ func (tx *Txn) commitEncounter(validate bool) bool {
 	tx.observeLockHold()
 	tx.finishCommit()
 	return true
+}
+
+// shardMaskOf returns the bitmask of shards covered by a set of refs.
+func shardMaskOf(refs []*baseRef) uint64 {
+	var m uint64
+	for _, r := range refs {
+		m |= 1 << r.shard
+	}
+	return m
 }

@@ -1,7 +1,5 @@
 package stm
 
-import "time"
-
 // commit attempts to commit the transaction through the backend's protocol.
 // It returns false (after rolling back) if the transaction must be retried.
 // commit never panics.
@@ -36,17 +34,9 @@ func (tx *Txn) finishCommit() {
 	tx.traceCommit()
 }
 
-// validateReadsTimed performs a commit-time read-set validation pass and, on
-// sampled attempts, records its duration in the ValidationTime histogram.
-func (tx *Txn) validateReadsTimed() bool {
-	if !tx.sampled {
-		return tx.validateReads()
-	}
-	t0 := time.Now()
-	ok := tx.validateReads()
-	tx.s.stats.ValidationTime.observe(time.Since(t0))
-	return ok
-}
+// Commit-time read-set validation lives in shard.go (validateCommit /
+// validateReadsPartialTimed): the sharded timebase partitions the pass by
+// shard, so the backends no longer run a monolithic validateReads at commit.
 
 // rollback undoes all transaction effects: the backend releases its locks
 // and restores encounter-time writes, OnAbort handlers run in LIFO order

@@ -53,6 +53,23 @@ func assertFresh(t *testing.T, s *STM, poisonLocal *TxnLocal[int], refs []*Ref[i
 		if st := tx.state.Load(); st&stateSerial != 0 {
 			t.Errorf("fresh txn state word has serial bit: %#x", st)
 		}
+		if tx.shardSeen != 0 || tx.epochSeen != 0 {
+			t.Errorf("fresh txn has captured shard state: seen=%#x epoch=%d", tx.shardSeen, tx.epochSeen)
+		}
+		if len(tx.rvVec) != s.nShards {
+			t.Errorf("fresh txn rvVec sized %d, want %d", len(tx.rvVec), s.nShards)
+		}
+		// norec legitimately snapshots its write counters into rvVec at
+		// begin; for the versioned backends the vector must be untouched
+		// until the body's first read.
+		if s.backend.Policy() != NOrec {
+			for i, v := range tx.rvVec {
+				if v != 0 {
+					t.Errorf("fresh txn rvVec[%d] = %d before first read", i, v)
+					break
+				}
+			}
+		}
 		for i, r := range refs {
 			if got := r.Get(tx); got != want[i] {
 				t.Errorf("ref %d = %d, want %d", i, got, want[i])

@@ -14,8 +14,12 @@ type box struct {
 
 // baseRef is the untyped core of a transactional reference.
 type baseRef struct {
-	s       *STM
-	id      uint64
+	s  *STM
+	id uint64
+	// shard is the timebase shard this ref stamps against, derived from id
+	// in blocks of 2^shardBlockBits consecutive ids (see STM.shardOf).
+	// Immutable after NewRef.
+	shard   uint32
 	version atomic.Uint64
 	owner   atomic.Pointer[Txn]
 	value   atomic.Pointer[box]
@@ -84,9 +88,16 @@ func NewRef[T any](s *STM, init T) *Ref[T] {
 	r := &Ref[T]{}
 	r.b.s = s
 	r.b.id = s.refIDs.Add(1)
+	r.b.shard = s.shardOf(r.b.id)
 	r.b.value.Store(&box{v: init})
 	return r
 }
+
+// Shard returns the timebase shard this reference stamps against (see
+// WithShards). Layers that co-partition their own structures with the
+// timebase — or benchmarks that want shard-aligned key partitions — use it to
+// group references by shard.
+func (r *Ref[T]) Shard() int { return int(r.b.shard) }
 
 // Get reads the reference inside tx.
 func (r *Ref[T]) Get(tx *Txn) T {

@@ -1,0 +1,563 @@
+package stm
+
+import (
+	"math/bits"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The sharded timebase. The single global version clock of classic TL2 is
+// the one commit point every writing transaction funnels through; this file
+// partitions it. Every baseRef is assigned a shard from its creation id (in
+// blocks, so references allocated together — one structure, one partition —
+// share a shard), each shard carries its own cache-line-padded commit clock
+// plus a commit "door" (group commit), and transactions read-version against
+// a compact per-shard clock vector captured lazily, per shard, at first
+// touch. Cross-shard writers announce themselves through a global epoch
+// counter that readers use as a fence. See DESIGN.md §11 for the full
+// protocol and its opacity argument.
+
+const (
+	// MaxShards bounds the shard count so per-transaction shard state fits
+	// in a single uint64 bitmask (Txn.shardSeen).
+	MaxShards = 64
+	// shardBlockBits is the default id-block size of the ref→shard mapping:
+	// 2^6 = 64 consecutive reference ids map to the same shard (adjustable
+	// per instance via WithShardBlockBits). Block mapping (rather
+	// than round-robin) keeps refs allocated together — one structure, one
+	// key partition — on one shard, so partition-local transactions stay
+	// single-shard and skewed key distributions concentrate their churn on
+	// few shards while the rest stay quiet.
+	shardBlockBits = 6
+)
+
+// stmShard is one partition of the timebase: a commit clock on its own cache
+// line plus the shard's commit door.
+type stmShard struct {
+	clock atomic.Uint64 // per-shard commit clock
+	_     [56]byte
+	door  commitDoor
+	_     [24]byte
+}
+
+// commitDoor implements group commit for one shard. A single-shard committer
+// that bumps the shard clock opens a batch; committers arriving while the
+// batch is open (no member has finished publication yet) share its write
+// version instead of bumping again.
+//
+// Sharing must preserve two invariants, one per side of the protocol:
+//
+//   - Writer-writer: no two members publish the same ref under the shared
+//     version. Holds because every member holds its per-ref write locks for
+//     the whole membership, so members are pairwise write-disjoint.
+//
+//   - Reader: a transaction that adopts read version rv for this shard must
+//     be able to assume that any committer publishing at a version ≤ rv
+//     already held all its write locks when rv was captured (then every read
+//     either observes the lock — a conflict — or the final published value;
+//     this is what lets version ≤ rv reads pass with no validation). A late
+//     joiner breaks this for the raw clock value: it can enter an open batch
+//     and publish at the batch's wv entirely after a reader sampled
+//     clock == wv. Captures therefore go through captureShardClock, which
+//     samples under this mutex and caps the result at wv-1 while a batch at
+//     wv is still open to joiners — enters serialize with captures, so any
+//     member that can still publish at ≤ rv provably entered (locks held)
+//     before the capture.
+type commitDoor struct {
+	mu   sync.Mutex
+	gen  uint64 // batch generation; 0 = no batch yet
+	wv   uint64 // write version shared by the current batch
+	open bool   // current batch accepts joiners
+}
+
+// enter assigns a write version to a single-shard committer, joining the
+// open batch when possible (group commit). wantSolo starts a batch closed to
+// joiners: the caller intends to skip read validation against its own shard,
+// which is unsound if another writer shares its version (the joiner's locked
+// writes would be invisible to the skipped check).
+func (d *commitDoor) enter(clock *atomic.Uint64, wantSolo bool) (wv, gen uint64, joined bool) {
+	d.mu.Lock()
+	if d.open && !wantSolo {
+		wv, gen = d.wv, d.gen
+		d.mu.Unlock()
+		return wv, gen, true
+	}
+	d.gen++
+	gen = d.gen
+	wv = clock.Add(1)
+	d.wv = wv
+	d.open = !wantSolo
+	d.mu.Unlock()
+	return wv, gen, false
+}
+
+// exit ends the caller's membership in batch gen. The first member to exit
+// closes the batch: it is about to release its per-ref locks, after which a
+// new arrival could overlap its write set and must not share the version.
+// Exit MUST therefore be called after publication but before any lock
+// release (see the backend commit paths).
+func (d *commitDoor) exit(gen uint64) {
+	d.mu.Lock()
+	if d.gen == gen {
+		d.open = false
+	}
+	d.mu.Unlock()
+}
+
+// shardsOption configures the shard count; 0 selects the automatic size.
+type shardsOption int
+
+func (o shardsOption) apply(s *STM) { s.reqShards = int(o) }
+
+// WithShards sets the number of timebase shards (rounded up to a power of
+// two, capped at MaxShards). Zero — the default — selects the automatic
+// size: a power of two ≥ max(8, GOMAXPROCS). The floor of 8 is deliberate:
+// besides spreading clock cache-line traffic across cores, sharding pays off
+// through partitioned validation (quiet shards are skipped), which helps
+// even on few cores, so low-core boxes still get a partitioned timebase.
+// WithShards(1) degenerates to the classic single-clock TL2 behavior.
+func WithShards(n int) Option { return shardsOption(n) }
+
+type shardBlockOption int
+
+func (o shardBlockOption) apply(s *STM) {
+	n := int(o)
+	if n < 0 {
+		n = 0
+	}
+	if n > 20 {
+		n = 20
+	}
+	s.shardShift = uint32(n)
+}
+
+// WithShardBlockBits sets the size of the ref-id blocks of the ref→shard
+// mapping to 2^n consecutive ids (default 6, i.e. blocks of 64). Structures
+// or key partitions that allocate their references together stay on one
+// timebase shard as long as they fit in a block, so deployments whose
+// partitions are larger than 64 refs can widen the blocks to keep
+// partition-local transactions single-shard (the regime where partitioned
+// validation and the commit doors pay off). Clamped to [0, 20].
+func WithShardBlockBits(n int) Option { return shardBlockOption(n) }
+
+type groupCommitOption bool
+
+func (o groupCommitOption) apply(s *STM) { s.groupCommit = bool(o) }
+
+// WithGroupCommit enables or disables the per-shard commit doors (enabled by
+// default). With doors disabled every single-shard commit bumps its shard
+// clock individually, which is the pre-group-commit behavior; the sharded
+// validation paths are unaffected.
+func WithGroupCommit(enabled bool) Option { return groupCommitOption(enabled) }
+
+// AutoShardCount returns the shard count WithShards(0) selects: a power of
+// two covering max(8, GOMAXPROCS), capped at MaxShards. Exported so layers
+// that partition parallel structures alongside the timebase (the pessimistic
+// LAP's stripe table, the bench harness) can align with it without holding an
+// STM instance.
+func AutoShardCount() int { return autoShardCount() }
+
+// autoShardCount computes the default shard count: a power of two covering
+// max(8, GOMAXPROCS), capped at MaxShards.
+func autoShardCount() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 8 {
+		n = 8
+	}
+	return ceilShardPow2(n)
+}
+
+// ceilShardPow2 rounds n up to a power of two within [1, MaxShards].
+func ceilShardPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	if n >= MaxShards {
+		return MaxShards
+	}
+	return 1 << bits.Len(uint(n-1))
+}
+
+// shardOf maps a reference id to its shard.
+func (s *STM) shardOf(id uint64) uint32 {
+	return uint32((id >> s.shardShift) & s.shardMask)
+}
+
+// Shards returns the number of timebase shards of this instance.
+func (s *STM) Shards() int { return s.nShards }
+
+// Epoch returns the cross-shard commit epoch: the number of multi-shard
+// write commits (plus serial-mode cross-shard commits). Transactions whose
+// reads span shards use it as a fence; see Txn.captureShard and Txn.extend.
+func (s *STM) Epoch() uint64 { return s.epochClk.Load() }
+
+// ShardClocks appends the current per-shard commit clock values to dst and
+// returns the result. Exported for observability adapters and tests.
+func (s *STM) ShardClocks(dst []uint64) []uint64 {
+	for i := range s.shards {
+		dst = append(dst, s.shards[i].clock.Load())
+	}
+	return dst
+}
+
+// ShardClockSkew returns the spread (max − min) of the per-shard commit
+// clocks: 0 means perfectly balanced commit traffic, a large value means a
+// few hot shards absorb most commits (the regime partitioned validation is
+// designed for).
+func (s *STM) ShardClockSkew() uint64 {
+	if len(s.shards) == 0 {
+		return 0
+	}
+	lo := s.shards[0].clock.Load()
+	hi := lo
+	for i := 1; i < len(s.shards); i++ {
+		v := s.shards[i].clock.Load()
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return hi - lo
+}
+
+// lockAllDoors takes every shard's door mutex in ascending shard order.
+// Serial (escalated) transactions hold all doors across their commit so the
+// per-shard clock bumps of one serial commit form a single atomic step of
+// the timebase. The escalation token already quiesces optimistic attempts;
+// the fixed order makes the sweep trivially deadlock-free regardless.
+func (s *STM) lockAllDoors() {
+	for i := range s.shards {
+		s.shards[i].door.mu.Lock()
+	}
+}
+
+// unlockAllDoors releases the door mutexes taken by lockAllDoors.
+func (s *STM) unlockAllDoors() {
+	for i := range s.shards {
+		s.shards[i].door.mu.Unlock()
+	}
+}
+
+// rvFor returns the transaction's read version for r's shard, capturing the
+// shard's clock on first touch.
+func (tx *Txn) rvFor(r *baseRef) uint64 {
+	sh := r.shard
+	if tx.shardSeen>>sh&1 == 0 {
+		tx.captureShard(sh)
+	}
+	return tx.rvVec[sh]
+}
+
+// captureShardClock samples shard sh's commit clock for use as a read
+// version. With group commit enabled the sample is taken under the shard's
+// door mutex and capped one below the write version of a batch still open to
+// joiners: a joiner can enter an open batch — and so gain the right to
+// publish at its wv — after a raw sample of clock == wv, which would hand a
+// reader a read version covering writes whose locks were not yet held at
+// capture time (see the commitDoor reader invariant). Because enters
+// serialize with this mutex, the capped value v guarantees every committer
+// that can ever publish at a version ≤ v already held its locks when the
+// capture returned. With doors disabled no batch is ever open and every
+// committer bumps the clock itself (after taking its locks), so the raw
+// clock carries the same guarantee.
+func (s *STM) captureShardClock(sh uint32) uint64 {
+	shard := &s.shards[sh]
+	if !s.groupCommit {
+		return shard.clock.Load()
+	}
+	d := &shard.door
+	d.mu.Lock()
+	v := shard.clock.Load()
+	if d.open {
+		// wv came from this clock, so wv <= v: the cap only lowers v.
+		v = d.wv - 1
+	}
+	d.mu.Unlock()
+	return v
+}
+
+// sampleShardClock is the transaction-level clock capture: door-aware via
+// captureShardClock, except in serial mode. A serial transaction holds the
+// instance's exclusive escalation token, which quiesces every optimistic
+// attempt — no batch can be open and nothing publishes concurrently — so the
+// raw clock is safe; and its commit sweep holds every door mutex
+// (lockAllDoors), so re-taking one here (e.g. from an OnCommitLocked hook
+// reading a fresh shard) would self-deadlock.
+func (tx *Txn) sampleShardClock(sh uint32) uint64 {
+	if tx.serialMode {
+		return tx.s.shards[sh].clock.Load()
+	}
+	return tx.s.captureShardClock(sh)
+}
+
+// captureShard samples shard sh's commit clock (door-aware, see
+// captureShardClock) as the transaction's read version for that shard. The
+// vector is captured lazily — each shard at its first touch, not all at
+// begin — so commits that land in a shard between begin and first touch
+// never cost an extension. The first capture pins the global epoch; every
+// later capture re-checks it, and if a cross-shard commit moved it the whole
+// read set is revalidated first (via extend, whose epoch branch checks every
+// entry exactly). Without that fence a vector assembled across captures
+// could straddle a cross-shard commit: "after" it in a shard captured late,
+// "before" it in one captured early.
+//
+// Ordering matters: the epoch is loaded AFTER the shard clock. Cross-shard
+// committers bump the epoch before any shard clock, so a clock sample that
+// includes such a commit's bump cannot be paired with a pre-commit epoch —
+// the later epoch load is guaranteed to see the bump and trip the fence.
+// (The reverse order is unsound: an epoch loaded early can be stale-but-
+// equal to epochSeen while the clock sample already includes the committer's
+// bump, silently admitting a straddling vector.)
+func (tx *Txn) captureShard(sh uint32) {
+	s := tx.s
+	for {
+		v := tx.sampleShardClock(sh)
+		ep := s.epochClk.Load()
+		if tx.shardSeen == 0 {
+			tx.epochSeen = ep
+		} else if ep != tx.epochSeen {
+			if !tx.extend() {
+				tx.conflict(CauseValidation)
+			}
+			// extend refreshed epochSeen at a newer cut; resample the shard
+			// so the pair (clock, epoch) is re-taken in order against it.
+			continue
+		}
+		tx.rvVec[sh] = v
+		tx.shardSeen |= 1 << sh
+		return
+	}
+}
+
+// extend revalidates the read set at a fresh shard-clock vector and, on
+// success, installs the new vector (the TinySTM timestamp extension, per
+// shard). The clocks are reloaded (door-aware, so the new vector never
+// covers a batch still open to joiners) before validating — the same
+// ordering the single-clock extension needed — and the validation pass is
+// partitioned: entries in shards whose clock did not move are skipped,
+// unless the global epoch moved, in which case every entry is checked (see
+// validateReadsPartial for both soundness arguments).
+//
+// The epoch is loaded AFTER the clocks, mirroring captureShard: a
+// cross-shard committer bumps the epoch before its shard clocks, so if any
+// reloaded clock includes its bump the epoch load below must see the bump
+// too and force the full pass — whose ownership checks catch the committer's
+// held locks in the shards it has not bumped yet. Loading the epoch first
+// could pair a stale-but-equal epoch with post-bump clocks, installing a
+// vector that is "after" the commit in the bumped shards while the quiet-
+// shard skip hides the committer's in-flight locks everywhere else.
+func (tx *Txn) extend() bool {
+	s := tx.s
+	var changed uint64
+	for m := tx.shardSeen; m != 0; m &= m - 1 {
+		sh := uint(bits.TrailingZeros64(m))
+		now := tx.sampleShardClock(uint32(sh))
+		if now != tx.rvVec[sh] {
+			changed |= 1 << sh
+			tx.rvVec[sh] = now
+		}
+	}
+	ep := s.epochClk.Load()
+	full := ep != tx.epochSeen
+	if (full || changed != 0) && !tx.validateReadsPartial(changed, full) {
+		return false
+	}
+	tx.epochSeen = ep
+	return true
+}
+
+// validateReadsPartial checks read-set entries for exact version and
+// ownership, visiting only the entries of shards in changed (via the
+// per-shard read-log chains, see logRead) and skipping quiet shards without
+// touching their entries at all. The skip is sound because every committer
+// bumps a shard's clock before publishing anything into it: an unmoved clock
+// proves no publication into the shard since the transaction captured it, so
+// its entries still hold their recorded committed values (a writer that
+// merely holds locks there has not published and cannot have invalidated
+// them yet).
+//
+// full disables the skip and walks the whole log. It is set when the global
+// epoch moved past the transaction's fence: a cross-shard committer may then
+// be mid-flight with only some of its shard clocks bumped, and for the
+// not-yet-bumped shards only its held per-ref locks reveal it — which the
+// exact per-entry check observes and the quiet-shard skip would not.
+func (tx *Txn) validateReadsPartial(changed uint64, full bool) bool {
+	if full || tx.s.nShards == 1 {
+		return tx.validateReads()
+	}
+	tx.chainReads()
+	for m := changed & tx.readShards; m != 0; m &= m - 1 {
+		sh := uint(bits.TrailingZeros64(m))
+		for i := tx.readHeads[sh]; i >= 0; i = tx.reads[i].next {
+			re := &tx.reads[i]
+			o := re.r.owner.Load()
+			if o != nil && o != tx {
+				return false
+			}
+			if re.r.version.Load() != re.ver {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// pubStamp records one commit attempt's write-version assignment: the shards
+// written, the version(s) to publish, and what must be released — the door
+// batch, or the serial-mode door sweep — once publication finishes or the
+// attempt fails. It lives on the committer's stack.
+type pubStamp struct {
+	mask      uint64            // shards written
+	single    bool              // write set confined to one shard (or empty)
+	soloFresh bool              // single-shard, solo bump, and wv == rv+1 for that shard
+	skip      bool              // read validation provably unnecessary (solo TL2 skip)
+	shard     uint32            // the single shard (when single)
+	wv        uint64            // its write version
+	gen       uint64            // door batch generation (0 = no door entered)
+	doors     bool              // serial mode: all door mutexes held
+	wvs       [MaxShards]uint64 // cross-shard: per-shard write versions
+}
+
+// ver returns the version to publish for r under this stamp.
+func (p *pubStamp) ver(r *baseRef) uint64 {
+	if p.single {
+		return p.wv
+	}
+	return p.wvs[r.shard]
+}
+
+// stampWrites assigns the attempt's write version(s) for the shards in mask.
+// The caller must already hold the write locks of every ref it will publish
+// (door sharing and the validation skip both depend on it) and must pair
+// this call with releaseStamp on every outcome.
+//
+// Single-shard write sets go through the shard's commit door: concurrently
+// arriving committers with (necessarily disjoint) write sets share one clock
+// bump. Cross-shard write sets bump the global epoch first — the fence that
+// makes partially-bumped clock vectors visible to readers — and then advance
+// each written shard's clock in ascending shard order.
+func (tx *Txn) stampWrites(p *pubStamp, mask uint64) {
+	s := tx.s
+	p.mask = mask
+	if tx.serialMode {
+		s.lockAllDoors()
+		p.doors = true
+	}
+	if mask == 0 {
+		// No writes to version (commit-locked hooks only): nothing to stamp.
+		p.single = true
+		return
+	}
+	if mask&(mask-1) == 0 {
+		sh := uint32(bits.TrailingZeros64(mask))
+		p.single = true
+		p.shard = sh
+		shard := &s.shards[sh]
+		// A solo bump with wv == rv+1 proves no other commit landed in sh
+		// since we captured it, letting validation skip our own shard's
+		// entries (and, if the read set is confined to sh, skip entirely —
+		// the classic TL2 wv==rv+1 optimization, per shard). Only meaningful
+		// when we have captured sh, i.e. have reads there.
+		wantSolo := tx.shardSeen>>sh&1 == 1 && shard.clock.Load() == tx.rvVec[sh]
+		if p.doors || !s.groupCommit {
+			p.wv = shard.clock.Add(1)
+		} else {
+			var joined bool
+			p.wv, p.gen, joined = shard.door.enter(&shard.clock, wantSolo)
+			if joined {
+				s.stats.GroupCommits.Add(1)
+				return // shared bump: no skip of any kind
+			}
+		}
+		if wantSolo && p.wv == tx.rvVec[sh]+1 {
+			p.soloFresh = true
+			p.skip = tx.shardSeen&^mask == 0
+		}
+		return
+	}
+	// Cross-shard: announce through the epoch before bumping any shard
+	// clock, so a reader whose vector capture races with the partial bumps
+	// is forced through the fence (full validation) and cannot assemble a
+	// cut that straddles this commit.
+	s.epochClk.Add(1)
+	s.stats.CrossShardCommits.Add(1)
+	for m := mask; m != 0; m &= m - 1 {
+		sh := uint(bits.TrailingZeros64(m))
+		p.wvs[sh] = s.shards[sh].clock.Add(1)
+	}
+}
+
+// releaseStamp ends the stamp: exits the door batch or releases the
+// serial-mode door sweep. On the commit path it MUST run after values and
+// versions are published and BEFORE any per-ref lock is released — the open
+// batch guarantees joiners are write-disjoint from us only while every
+// member still holds its locks.
+func (tx *Txn) releaseStamp(p *pubStamp) {
+	if p.doors {
+		tx.s.unlockAllDoors()
+		p.doors = false
+	}
+	if p.gen != 0 {
+		tx.s.shards[p.shard].door.exit(p.gen)
+		p.gen = 0
+	}
+}
+
+// validateCommit runs commit-time read-set validation under the stamp.
+// Cross-shard commits always validate every entry: they bumped the epoch
+// themselves, so their vector is by definition behind the fence. Single-
+// shard commits validate partitioned — quiet shards skipped — unless the
+// epoch moved past the transaction's fence, and may skip their own shard's
+// entries after a solo fresh bump (no other commit landed there since
+// capture; our own locked writes pass the owner check trivially and holding
+// the closed door means no joiner shares the version).
+//
+// The raw clock loads here are deliberate (no door-aware capture needed):
+// the values are only compared against rvVec, never installed as read
+// versions. rvVec itself is door-aware, so a batch open at wv in a seen
+// shard always shows clock >= wv > rvVec — the shard lands in changed and
+// its entries get the exact per-entry check, which observes any member's
+// held locks or published versions. The epoch is loaded after the clock
+// sweep, like captureShard/extend: a clock sample that includes a
+// cross-shard commit's bump then cannot pair with a stale-but-equal epoch.
+func (tx *Txn) validateCommit(p *pubStamp) bool {
+	if p.skip || len(tx.reads) == 0 {
+		return true
+	}
+	s := tx.s
+	full := !p.single
+	var changed uint64
+	if !full {
+		for m := tx.shardSeen; m != 0; m &= m - 1 {
+			sh := uint(bits.TrailingZeros64(m))
+			if s.shards[sh].clock.Load() != tx.rvVec[sh] {
+				changed |= 1 << sh
+			}
+		}
+		if p.soloFresh {
+			// The only bump in our shard since capture was our own.
+			changed &^= p.mask
+		}
+		full = s.epochClk.Load() != tx.epochSeen
+		if !full && changed == 0 {
+			return true
+		}
+	}
+	return tx.validateReadsPartialTimed(changed, full)
+}
+
+// validateReadsPartialTimed is validateReadsPartial with the commit-time
+// ValidationTime histogram sampling applied.
+func (tx *Txn) validateReadsPartialTimed(changed uint64, full bool) bool {
+	if !tx.sampled {
+		return tx.validateReadsPartial(changed, full)
+	}
+	t0 := time.Now()
+	ok := tx.validateReadsPartial(changed, full)
+	tx.s.stats.ValidationTime.observe(time.Since(t0))
+	return ok
+}

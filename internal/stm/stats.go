@@ -199,6 +199,10 @@ type Stats struct {
 	DeadlineTxns  atomic.Uint64 // transactions abandoned via ctx deadline
 	ClosedTxns    atomic.Uint64 // transactions failed by STM.Close
 
+	// Sharded-timebase counters (see shard.go).
+	GroupCommits      atomic.Uint64 // commits that merged into an open door batch
+	CrossShardCommits atomic.Uint64 // commits whose write set spanned shards (epoch bumps)
+
 	// ValidationTime observes the duration of each commit-time read-set
 	// validation pass (version- or value-based).
 	ValidationTime DurationHist
@@ -226,6 +230,9 @@ type StatsSnapshot struct {
 	CanceledTxns  uint64 `json:"canceled_txns"`
 	DeadlineTxns  uint64 `json:"deadline_txns"`
 	ClosedTxns    uint64 `json:"closed_txns"`
+
+	GroupCommits      uint64 `json:"group_commits"`
+	CrossShardCommits uint64 `json:"cross_shard_commits"`
 
 	ValidationTime DurationHistSnapshot `json:"validation_time"`
 	LockHold       DurationHistSnapshot `json:"lock_hold"`
@@ -259,6 +266,8 @@ func (st *Stats) snapshot() StatsSnapshot {
 		CanceledTxns:      st.CanceledTxns.Load(),
 		DeadlineTxns:      st.DeadlineTxns.Load(),
 		ClosedTxns:        st.ClosedTxns.Load(),
+		GroupCommits:      st.GroupCommits.Load(),
+		CrossShardCommits: st.CrossShardCommits.Load(),
 		ValidationTime:    st.ValidationTime.snapshot(),
 		LockHold:          st.LockHold.snapshot(),
 	}
@@ -279,6 +288,8 @@ func (st *Stats) reset() {
 	st.CanceledTxns.Store(0)
 	st.DeadlineTxns.Store(0)
 	st.ClosedTxns.Store(0)
+	st.GroupCommits.Store(0)
+	st.CrossShardCommits.Store(0)
 	st.ValidationTime.reset()
 	st.LockHold.reset()
 }

@@ -3,12 +3,15 @@
 //
 // The STM provides:
 //
-//   - Versioned transactional references (Ref[T]) stamped by a global
-//     version clock.
+//   - Versioned transactional references (Ref[T]) stamped by a sharded
+//     timebase: per-shard commit clocks (refs map to shards by id block)
+//     with a global cross-shard epoch, plus per-shard group-commit doors.
+//     See shard.go and DESIGN.md §11.
 //   - Opaque transactions: every transactional read is validated against the
-//     transaction's read version, with read-set revalidation and clock
-//     extension on failure, so no transaction (not even one that will later
-//     abort) observes an inconsistent memory snapshot.
+//     transaction's per-shard read-version vector, with read-set
+//     revalidation and clock extension on failure, so no transaction (not
+//     even one that will later abort) observes an inconsistent memory
+//     snapshot.
 //   - Pluggable conflict-detection backends reproducing the right-hand table
 //     of Figure 1 in the Proust paper, selected by registry name: "tl2"
 //     (lazy/lazy, TL2-like), "ccstm" (eager w/w, lazy r/w — the paper's
@@ -118,19 +121,30 @@ var ErrDeadline = errors.New("stm: transaction deadline exceeded")
 // in-flight transactions fail with it at their next attempt boundary.
 var ErrClosed = errors.New("stm: transactional memory closed")
 
-// STM is an instance of the transactional memory: a global version clock, a
-// conflict-detection backend, a contention manager and statistics. All
-// references participating in the same transactions must be created against
-// the same STM.
+// STM is an instance of the transactional memory: a sharded timebase
+// (per-shard commit clocks plus a cross-shard epoch), a conflict-detection
+// backend, a contention manager and statistics. All references participating
+// in the same transactions must be created against the same STM.
 type STM struct {
-	// The two hottest atomics get a cache line each: clock is Add-contended
-	// by every committing writer and read by every attempt, txnIDs is bumped
-	// on every attempt. Without the padding they false-share with each other
-	// and with the per-commit stats counters that follow in the struct.
-	clock  atomic.Uint64 // global version clock
-	_      [56]byte
-	txnIDs atomic.Uint64 // unique transaction serials
-	_      [56]byte
+	// The two hottest instance-wide atomics get a cache line each: epochClk
+	// is read by every cross-shard vector capture and bumped by cross-shard
+	// commits, txnIDs is bumped on every attempt. The per-shard commit
+	// clocks — the Add-contended successors of the old single global clock —
+	// each live on their own line inside shards.
+	epochClk atomic.Uint64 // cross-shard commit epoch (reader fence)
+	_        [56]byte
+	txnIDs   atomic.Uint64 // unique transaction serials
+	_        [56]byte
+
+	// shards partitions the timebase: refs map to shards in id blocks
+	// (shardOf), each shard holding a padded commit clock and a group-commit
+	// door. Sized once in New; see WithShards.
+	shards      []stmShard
+	nShards     int
+	shardMask   uint64
+	shardShift  uint32 // log2 of the ref-id block size (WithShardBlockBits)
+	reqShards   int    // WithShards request; 0 = auto
+	groupCommit bool   // commit doors enabled (WithGroupCommit)
 
 	refIDs   atomic.Uint64 // unique reference ids (commit-time lock order)
 	backend  Backend
@@ -208,13 +222,23 @@ func WithMaxAttempts(n int) Option { return maxTriesOption(n) }
 // (MixedEagerWWLazyRW), matching the paper's evaluation.
 func New(opts ...Option) *STM {
 	s := &STM{
-		cm:    Backoff{},
-		epoch: time.Now(),
+		cm:          Backoff{},
+		epoch:       time.Now(),
+		groupCommit: true,
+		shardShift:  shardBlockBits,
 	}
 	s.epochNS = s.epoch.UnixNano()
 	for _, o := range opts {
 		o.apply(s)
 	}
+	n := s.reqShards
+	if n <= 0 {
+		n = autoShardCount()
+	}
+	n = ceilShardPow2(n)
+	s.nShards = n
+	s.shardMask = uint64(n - 1)
+	s.shards = make([]stmShard, n)
 	if s.backend == nil {
 		f, ok := BackendByName(DefaultBackend)
 		if !ok {
@@ -240,9 +264,20 @@ func (s *STM) Policy() DetectionPolicy { return s.backend.Policy() }
 // Backend returns the backend instance of this STM.
 func (s *STM) Backend() Backend { return s.backend }
 
-// GlobalClock returns the current value of the global version clock. It is
-// exported for tests and diagnostics.
-func (s *STM) GlobalClock() uint64 { return s.clock.Load() }
+// GlobalClock returns the logical commit clock of the instance: the sum of
+// the per-shard commit clocks. With one shard this is exactly the classic
+// TL2 global version clock; with more it still advances by at least one per
+// versioned writing commit (group-commit batches advance it once per batch),
+// so dashboards and tests observe a monotonically advancing value rather
+// than a frozen pre-sharding field. The cross-shard epoch is exposed
+// separately via Epoch.
+func (s *STM) GlobalClock() uint64 {
+	var sum uint64
+	for i := range s.shards {
+		sum += s.shards[i].clock.Load()
+	}
+	return sum
+}
 
 // sinceEpoch returns monotonic nanoseconds since the instance was created.
 // Duration stamps stored inside Txn use this compact form (8 bytes instead of

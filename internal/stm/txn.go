@@ -44,9 +44,10 @@ type conflictSignal struct{ cause AbortCause }
 type retrySignal struct{}
 
 type readEntry struct {
-	r   *baseRef
-	ver uint64
-	box *box // norec backend: value identity instead of version
+	r    *baseRef
+	ver  uint64
+	box  *box  // norec backend: value identity instead of version
+	next int32 // same-shard chain link (index into Txn.reads); -1 ends it
 }
 
 type undoEntry struct {
@@ -79,10 +80,29 @@ type Txn struct {
 	// state word so stale doom CASes can never cross a pool reuse.
 	incarnation uint32
 
-	readVersion uint64 // versioned backends (tl2, ccstm, eager): TL2 read version
-	snapshot    uint64 // norec backend: global sequence-lock snapshot (even)
+	// rvVec is the per-shard read-version vector: for the versioned backends
+	// (tl2, ccstm, eager) rvVec[s] is the shard-s commit clock captured at
+	// the transaction's first touch of shard s; for norec it holds the
+	// per-shard write-counter snapshot. It is allocated once per descriptor
+	// (sized to the instance's shard count) and retained across pool reuse —
+	// stale values are unreachable because shardSeen gates every read.
+	rvVec     []uint64
+	shardSeen uint64 // bitmask of shards captured into rvVec this attempt
+	epochSeen uint64 // global epoch at first capture (cross-shard fence)
+	snapshot  uint64 // norec backend: global sequence-lock snapshot (even)
 
-	reads       []readEntry
+	reads []readEntry
+	// readHeads/readShards thread the read log into per-shard chains (see
+	// logRead/chainReads): readHeads[sh] is the index of shard sh's most
+	// recent entry, readShards the bitmask of shards with entries. Heads are
+	// only valid for shards whose readShards bit is set, so clearing the mask
+	// resets all chains at once. The chains are built lazily — on the first
+	// partitioned validation pass (readChained) — so attempts that never
+	// revalidate (the common uncontended case) pay nothing per read.
+	readHeads   [MaxShards]int32
+	readShards  uint64
+	readChained bool
+
 	wset        writeSet    // redo log: inline entries, insertion-ordered
 	sortBuf     []*baseRef  // commit-time lock-order scratch (tl2 backend)
 	undo        []undoEntry // encounter-time backends, in acquisition order
@@ -133,7 +153,10 @@ func (s *STM) newTxn() *Txn {
 	id := s.txnIDs.Add(1)
 	tx, _ := s.txnPool.Get().(*Txn)
 	if tx == nil {
-		tx = &Txn{s: s}
+		// The shard vector rides inline in the pooled descriptor, sized once
+		// from the instance's shard count, so the steady state stays at the
+		// one-allocation-per-transaction budget.
+		tx = &Txn{s: s, rvVec: make([]uint64, s.nShards)}
 	}
 	tx.birth.Store(id)
 	tx.rng = id*0x9e3779b97f4a7c15 | 1
@@ -185,8 +208,12 @@ func (tx *Txn) reset() {
 	if cap(tx.reads) > maxRetainedCap {
 		tx.reads = nil
 	}
+	tx.readShards = 0
+	tx.readChained = false
 	tx.id = 0
-	tx.readVersion = 0
+	clear(tx.rvVec)
+	tx.shardSeen = 0
+	tx.epochSeen = 0
 	tx.snapshot = 0
 	tx.token = nil
 	tx.tokenBox = nil
@@ -222,11 +249,15 @@ func (tx *Txn) beginAttempt() {
 	tx.attempt++
 	tx.id = tx.s.txnIDs.Add(1)
 	tx.reads = tx.reads[:0]
+	tx.readShards = 0
+	tx.readChained = false
 	tx.wset.reset()
 	tx.undo = tx.undo[:0]
 	tx.owned = tx.owned[:0]
 	tx.commitLocks = tx.commitLocks[:0]
 	tx.visible = tx.visible[:0]
+	tx.shardSeen = 0 // shard-clock vector is re-captured lazily per attempt
+	tx.epochSeen = 0
 	tx.lockStart = 0
 	if tx.ops != nil { // nil until the first NoteOp; skip the barrier-ed store
 		tx.ops = tx.ops[:0]
@@ -237,7 +268,7 @@ func (tx *Txn) beginAttempt() {
 	tx.rng ^= tx.rng << 25
 	tx.rng ^= tx.rng >> 27
 	tx.sampled = (tx.rng*0x2545f4914f6cdd1d)>>(64-3) == 0 // 3 = log2(histSampleEvery)
-	clear(tx.locals) // the map is retained, its per-attempt contents are not
+	clear(tx.locals)                                      // the map is retained, its per-attempt contents are not
 	tx.onAbort = tx.onAbort[:0]
 	tx.onCommit = tx.onCommit[:0]
 	tx.onCommitLocked = tx.onCommitLocked[:0]
@@ -383,6 +414,51 @@ func (tx *Txn) runBody(fn func(*Txn) error) (err error, sig txnSignal) {
 	}()
 	err = fn(tx)
 	return err, sigNone
+}
+
+// logRead appends a read-set entry. Once the attempt's per-shard chains have
+// been built (see chainReads), the entry is threaded onto its shard's chain
+// so later partitioned validation passes stay exact; before that, appends are
+// plain — the first partial pass back-fills the links.
+func (tx *Txn) logRead(r *baseRef, ver uint64, bx *box) {
+	e := readEntry{r: r, ver: ver, box: bx, next: -1}
+	if tx.readChained {
+		sh := r.shard
+		if tx.readShards>>sh&1 == 1 {
+			e.next = tx.readHeads[sh]
+		} else {
+			tx.readShards |= 1 << sh
+		}
+		tx.readHeads[sh] = int32(len(tx.reads))
+	}
+	tx.reads = append(tx.reads, e)
+}
+
+// chainReads threads the read log into per-shard intrusive chains so the
+// partitioned validation passes (validateReadsPartial, the norec partitioned
+// revalidation) walk exactly the entries of the shards whose clock or write
+// counter moved — O(entries in changed shards) instead of a scan over the
+// whole log. Built lazily at the first partial pass of the attempt: one O(n)
+// sweep here buys O(changed) for every later extension, and attempts that
+// never revalidate (single-shard instances, uncontended runs) never pay the
+// per-read link maintenance at all.
+func (tx *Txn) chainReads() {
+	if tx.readChained {
+		return
+	}
+	tx.readShards = 0
+	for i := range tx.reads {
+		re := &tx.reads[i]
+		sh := re.r.shard
+		if tx.readShards>>sh&1 == 1 {
+			re.next = tx.readHeads[sh]
+		} else {
+			re.next = -1
+			tx.readShards |= 1 << sh
+		}
+		tx.readHeads[sh] = int32(i)
+	}
+	tx.readChained = true
 }
 
 // read returns the value of r as observed by tx, maintaining opacity. Reads

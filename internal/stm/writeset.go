@@ -46,6 +46,17 @@ func wsHash(r *baseRef) uint64 {
 // len returns the number of distinct references written.
 func (ws *writeSet) len() int { return len(ws.entries) }
 
+// shardMask returns the bitmask of timebase shards covered by the redo log.
+// The lazy backends use it at commit to decide between the single-shard door
+// path and the epoch-fenced cross-shard path (see Txn.stampWrites).
+func (ws *writeSet) shardMask() uint64 {
+	var m uint64
+	for i := range ws.entries {
+		m |= 1 << ws.entries[i].r.shard
+	}
+	return m
+}
+
 // find returns the entry index of r, or -1 if r has not been written.
 func (ws *writeSet) find(r *baseRef) int {
 	if len(ws.entries) <= wsLinearScan {
