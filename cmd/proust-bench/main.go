@@ -15,6 +15,8 @@
 //	proust-bench -ops 1000000 -warmups 10 -reps 10   # the paper's protocol
 //	proust-bench -metrics-addr :9090 -experiment figure4   # live observability
 //	proust-bench -series ts.jsonl -flight flight.jsonl     # time series + flight dump
+//	proust-bench -experiment contended-scale -trace-out trace.json  # Perfetto trace
+//	proust-bench -flight run.jsonl -metrics-out run.metrics.json    # proust-report inputs
 //
 // The absolute numbers differ from the paper's EC2 m4.10xlarge/JVM setup;
 // the shapes (who wins, scaling trends, the effect of o and u) are the
@@ -27,6 +29,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	rtrace "runtime/trace"
 	"strings"
 	"time"
 
@@ -35,8 +38,10 @@ import (
 	"proust/internal/stm"
 )
 
-// dumpFlight writes the flight recorder to path as JSON lines.
-func dumpFlight(fr *obs.FlightRecorder, path string) {
+// dumpFlight writes the flight recorder — and, when po is non-nil, the
+// retained phase samples — to path as JSON lines. proust-report ingests the
+// mixed stream directly, sniffing sample lines by their "phases" field.
+func dumpFlight(fr *obs.FlightRecorder, po *obs.PhaseObserver, path string) {
 	f, err := os.Create(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "proust-bench: flight dump:", err)
@@ -45,8 +50,55 @@ func dumpFlight(fr *obs.FlightRecorder, path string) {
 	defer f.Close()
 	if err := fr.DumpJSONL(f); err != nil {
 		fmt.Fprintln(os.Stderr, "proust-bench: flight dump:", err)
+		return
+	}
+	if po != nil {
+		enc := json.NewEncoder(f)
+		for _, s := range po.Samples() {
+			if err := enc.Encode(s); err != nil {
+				fmt.Fprintln(os.Stderr, "proust-bench: flight dump:", err)
+				return
+			}
+		}
 	}
 	fmt.Printf("# wrote flight recorder dump to %s\n", path)
+}
+
+// writeChromeTrace renders the run's retained phase samples and flight events
+// as Chrome trace-event JSON at path (load at ui.perfetto.dev or
+// chrome://tracing).
+func writeChromeTrace(obsv *bench.Observability, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "proust-bench: trace out:", err)
+		return
+	}
+	defer f.Close()
+	samples := obsv.Phases.Samples()
+	if err := obs.WriteChromeTrace(f, samples, obsv.Flight.Events()); err != nil {
+		fmt.Fprintln(os.Stderr, "proust-bench: trace out:", err)
+		return
+	}
+	fmt.Printf("# wrote Chrome trace (%d phase samples) to %s — load at ui.perfetto.dev\n",
+		len(samples), path)
+}
+
+// writeMetricsSnapshot writes the registry's JSON snapshot (the /metrics.json
+// payload, which proust-report -metrics ingests) to path.
+func writeMetricsSnapshot(r *obs.Registry, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "proust-bench: metrics out:", err)
+		return
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r.Snapshot()); err != nil {
+		fmt.Fprintln(os.Stderr, "proust-bench: metrics out:", err)
+		return
+	}
+	fmt.Printf("# wrote metrics snapshot to %s\n", path)
 }
 
 func main() {
@@ -77,10 +129,13 @@ func run(args []string) error {
 		deadline  = fs.Duration("deadline", 0, "per-transaction deadline via AtomicallyCtx (0 = nil-ctx fast path); expiries count as timeouts")
 		escalate  = fs.Int("escalate", 0, "escalate transactions to serial mode after this many conflict aborts (0 = disabled)")
 
-		metricsAddr = fs.String("metrics-addr", "", "serve /metrics (Prometheus text), /metrics.json, /flight and /debug/pprof on this address for the duration of the run")
+		metricsAddr = fs.String("metrics-addr", "", "serve /metrics (Prometheus text), /metrics.json, /flight, /trace, /shards and /debug/pprof on this address for the duration of the run")
 		seriesPath  = fs.String("series", "", "append a periodic observability time series (JSON lines) to this file")
 		seriesInt   = fs.Duration("series-interval", time.Second, "sampling interval for -series")
-		flightPath  = fs.String("flight", "", "dump the transaction flight recorder (JSON lines) to this file when the run ends")
+		flightPath  = fs.String("flight", "", "dump the transaction flight recorder plus phase samples (JSON lines) to this file when the run ends")
+		traceOut    = fs.String("trace-out", "", "write the run's phase spans and lifecycle events as Chrome trace-event JSON (Perfetto-loadable) to this file")
+		metricsOut  = fs.String("metrics-out", "", "write the final metrics snapshot (the /metrics.json payload) to this file when the run ends")
+		rtracePath  = fs.String("runtime-trace", "", "also capture a Go runtime execution trace (go tool trace) to this file for the duration of the run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -101,35 +156,18 @@ func run(args []string) error {
 		}
 	}
 
-	if *experiment == "backends" {
-		return runBackends(*policy, *threads, *ops, *warmups, *reps, *keyRange, *shards, *jsonPath)
-	}
-	if *experiment == "contended-scale" {
-		return runContendedScale(*threads, *ops, *warmups, *reps, *shards, *jsonPath)
-	}
-
-	cfg := bench.DefaultSweep(os.Stdout)
-	cfg.Backend = *policy
-	cfg.Shards = *shards
-	if *chaos {
-		cc := stm.DefaultChaosConfig()
-		cc.Seed = *chaosSeed
-		cfg.Chaos = &cc
-	}
-	cfg.Escalate = *escalate
-	cfg.TxnDeadline = *deadline
-
 	var obsv *bench.Observability
-	if *metricsAddr != "" || *seriesPath != "" || *flightPath != "" {
+	if *metricsAddr != "" || *seriesPath != "" || *flightPath != "" || *traceOut != "" || *metricsOut != "" {
 		obsv = bench.NewObservability(0)
-		cfg.Obs = obsv
 		if *metricsAddr != "" {
-			addr, stop, err := obs.Serve(*metricsAddr, obsv.Registry, obsv.Flight)
+			addr, stop, err := obs.Serve(*metricsAddr, obsv.Registry, obsv.Flight,
+				obs.TraceEndpoint(obsv.Phases, obsv.Flight),
+				obs.ShardsEndpoint(obsv.Collector))
 			if err != nil {
 				return fmt.Errorf("metrics endpoint: %w", err)
 			}
 			defer stop()
-			fmt.Printf("# observability: http://%s/metrics (also /metrics.json, /flight, /debug/pprof)\n", addr)
+			fmt.Printf("# observability: http://%s/metrics (also /metrics.json, /flight, /trace, /shards, /debug/pprof)\n", addr)
 		}
 		if *seriesPath != "" {
 			f, err := os.Create(*seriesPath)
@@ -150,17 +188,57 @@ func run(args []string) error {
 			n := fr.Storms()
 			path := fmt.Sprintf("%s.storm%d.jsonl", stormBase, n)
 			fmt.Fprintf(os.Stderr, "# abort storm %d detected; dumping flight recorder to %s\n", n, path)
-			go dumpFlight(fr, path)
+			go dumpFlight(fr, obsv.Phases, path)
 		})
 		defer func() {
 			if *flightPath != "" {
-				dumpFlight(obsv.Flight, *flightPath)
+				dumpFlight(obsv.Flight, obsv.Phases, *flightPath)
+			}
+			if *traceOut != "" {
+				writeChromeTrace(obsv, *traceOut)
+			}
+			if *metricsOut != "" {
+				writeMetricsSnapshot(obsv.Registry, *metricsOut)
 			}
 			fc := obsv.Estimator.Stats()
 			fmt.Printf("# false-conflict estimate: %d conflict aborts examined, %d likely false, %d likely true, %d unattributed (ratio %.3f)\n",
 				fc.Examined, fc.LikelyFalse, fc.LikelyTrue, fc.Unattributed, fc.Ratio)
 		}()
 	}
+	if *rtracePath != "" {
+		f, err := os.Create(*rtracePath)
+		if err != nil {
+			return fmt.Errorf("create runtime trace file: %w", err)
+		}
+		if err := rtrace.Start(f); err != nil {
+			f.Close()
+			return fmt.Errorf("runtime trace: %w", err)
+		}
+		defer func() {
+			rtrace.Stop()
+			f.Close()
+			fmt.Printf("# wrote Go runtime trace to %s (view with: go tool trace %s)\n", *rtracePath, *rtracePath)
+		}()
+	}
+
+	if *experiment == "backends" {
+		return runBackends(*policy, *threads, *ops, *warmups, *reps, *keyRange, *shards, *jsonPath)
+	}
+	if *experiment == "contended-scale" {
+		return runContendedScale(*threads, *ops, *warmups, *reps, *shards, *jsonPath, obsv)
+	}
+
+	cfg := bench.DefaultSweep(os.Stdout)
+	cfg.Backend = *policy
+	cfg.Shards = *shards
+	cfg.Obs = obsv
+	if *chaos {
+		cc := stm.DefaultChaosConfig()
+		cc.Seed = *chaosSeed
+		cfg.Chaos = &cc
+	}
+	cfg.Escalate = *escalate
+	cfg.TxnDeadline = *deadline
 	switch *experiment {
 	case "figure4":
 		cfg.TotalOps = 1000000
@@ -342,9 +420,12 @@ func runBackends(policy, threads string, ops, warmups, reps, keyRange, shards in
 // runContendedScale executes the sharded-timebase contended-scale experiment
 // (control single-clock arm vs sharded arm, see internal/bench/shardbench.go)
 // and optionally exports the measurements plus per-backend speedups as JSON.
-func runContendedScale(threads string, ops, warmups, reps, shards int, jsonPath string) error {
+func runContendedScale(threads string, ops, warmups, reps, shards int, jsonPath string, obsv *bench.Observability) error {
 	cfg := bench.DefaultShardBench()
 	cfg.Shards = shards
+	if obsv != nil {
+		cfg.Instrument = obsv.InstrumentSTM
+	}
 	if ops > 0 {
 		cfg.TotalOps = ops
 	}

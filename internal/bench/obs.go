@@ -33,6 +33,7 @@ type Observability struct {
 	Sink      *obs.CoreSink
 	LockObs   *obs.LockObserver
 	Collector *obs.STMCollector
+	Phases    *obs.PhaseObserver
 }
 
 // NewObservability builds the full wiring. flightCap bounds the flight
@@ -46,6 +47,7 @@ func NewObservability(flightCap int) *Observability {
 		Sink:      obs.NewCoreSink(r),
 		LockObs:   obs.NewLockObserver(r, benchMem),
 		Collector: obs.NewSTMCollector(r),
+		Phases:    obs.NewPhaseObserver(r, 0),
 	}
 }
 
@@ -58,7 +60,7 @@ func (o *Observability) InstrumentSystem(sys *System) {
 	if o == nil {
 		return
 	}
-	sys.STM.SetTracer(obs.Tracers(o.Flight, o.Estimator))
+	sys.STM.SetTracer(obs.Tracers(o.Flight, o.Estimator, o.Phases))
 	o.Collector.Attach(sys.STM)
 	if in, ok := sys.Map.(interface{ Instrument(string, core.Sink) }); ok {
 		in.Instrument(sys.Name, o.Sink)
@@ -66,6 +68,18 @@ func (o *Observability) InstrumentSystem(sys *System) {
 	if sys.Locks != nil {
 		sys.Locks.SetObserver(o.LockObs)
 	}
+}
+
+// InstrumentSTM wires a bare STM instance (one built outside the System
+// factory path, e.g. by the contended-scale sweep) into the tracer stack and
+// the collector. Repeated attaches of the same backend replace each other, so
+// scrape-time families always reflect the most recently built instance.
+func (o *Observability) InstrumentSTM(s *stm.STM) {
+	if o == nil || s == nil {
+		return
+	}
+	s.SetTracer(obs.Tracers(o.Flight, o.Estimator, o.Phases))
+	o.Collector.Attach(s)
 }
 
 // Instrumented wraps a factory so every System it builds is instrumented.

@@ -77,6 +77,10 @@ type ShardBenchConfig struct {
 	// Shards is the sharded arm's shard count (0 = automatic). The control
 	// arm always runs WithShards(1) + WithGroupCommit(false).
 	Shards int `json:"shards"`
+	// Instrument, when non-nil, is called with each freshly built STM before
+	// any transaction runs — the observability hook (tracer + collector) for
+	// instrumented contended-scale runs. Not part of the recorded config.
+	Instrument func(*stm.STM) `json:"-"`
 }
 
 // DefaultShardBench is the recorded contended-scale configuration: threads up
@@ -178,6 +182,9 @@ func runShardArm(backendName string, arm ShardArm, threads int, zipfS float64, c
 			stm.WithShardBlockBits(bits.Len(uint(cfg.PartitionRefs-1))))
 	}
 	s := stm.New(opts...)
+	if cfg.Instrument != nil {
+		cfg.Instrument(s)
+	}
 	parts := shardPartitions(s, cfg)
 	feed := parts[0]
 	ring := uint64(len(feed))

@@ -166,6 +166,15 @@ type STMCollector struct {
 	groupCommits, crossShard         *CounterVec
 	shardSkew, epoch                 *GaugeVec
 	quant                            *GaugeVec
+	observations                     *CounterVec
+
+	// Per-shard heat families (labels: backend, shard).
+	shardClock               *CounterVec
+	doorBatches, doorMembers *CounterVec
+	doorMerged               *CounterVec
+	doorBatchSize            *HistogramVec
+	epochExtensions          *CounterVec
+	validationShards         *CounterVec // labels: backend, result
 }
 
 // NewSTMCollector registers the per-backend STM families on r and hooks the
@@ -206,6 +215,31 @@ func NewSTMCollector(r *Registry) *STMCollector {
 				"unevenly commit traffic lands across the sharded timebase.", "backend"),
 		epoch: r.Gauge("proust_stm_epoch",
 			"Global epoch-fence value (cross-shard commits since start).", "backend"),
+		observations: r.Counter("proust_stm_duration_observations_total",
+			"Estimated full-population observation counts behind the duration "+
+				"quantiles: the sampled counts scaled back up by sample_every.",
+			"backend", "hist"),
+		shardClock: r.Counter("proust_stm_shard_clock",
+			"Per-shard commit clock value; scrape deltas give each shard's "+
+				"clock advance rate.", "backend", "shard"),
+		doorBatches: r.Counter("proust_stm_shard_door_batches_total",
+			"Group-commit door batches opened per shard.", "backend", "shard"),
+		doorMembers: r.Counter("proust_stm_shard_door_members_total",
+			"Committers stamped through each shard's door.", "backend", "shard"),
+		doorMerged: r.Counter("proust_stm_shard_door_merged_total",
+			"Door members that joined an already-open batch (shared another "+
+				"committer's clock bump); merged/members is the shard's "+
+				"merged-commit ratio.", "backend", "shard"),
+		doorBatchSize: r.Histogram("proust_stm_shard_door_batch_size",
+			"Size of closed group-commit door batches per shard.",
+			UnitCount, "backend", "shard"),
+		epochExtensions: r.Counter("proust_stm_epoch_extensions_total",
+			"Read-set extensions forced by the cross-shard epoch fence during "+
+				"shard-clock capture.", "backend"),
+		validationShards: r.Counter("proust_stm_validation_shards_total",
+			"Commit-time validation shard visits by result: checked (walked) "+
+				"versus skipped (proved quiet by an unmoved shard clock).",
+			"backend", "result"),
 	}
 	r.OnGather(c.collect)
 	return c
@@ -259,6 +293,9 @@ func (c *STMCollector) collect() {
 		c.crossShard.With(backend).set(st.CrossShardCommits)
 		c.shardSkew.With(backend).Set(int64(s.ShardClockSkew()))
 		c.epoch.With(backend).Set(int64(s.Epoch()))
+		c.epochExtensions.With(backend).set(st.EpochExtensions)
+		c.validationShards.With(backend, "checked").set(st.ValidationShardsChecked)
+		c.validationShards.With(backend, "skipped").set(st.ValidationShardsSkipped)
 		for name, h := range map[string]stm.DurationHistSnapshot{
 			"validation": st.ValidationTime,
 			"lock_hold":  st.LockHold,
@@ -266,8 +303,88 @@ func (c *STMCollector) collect() {
 			c.quant.With(backend, name, "0.5").Set(int64(h.Quantile(0.5)))
 			c.quant.With(backend, name, "0.99").Set(int64(h.Quantile(0.99)))
 			c.samples.With(backend, name, itoa(h.SampleEvery)).set(h.Count)
+			c.observations.With(backend, name).set(h.EstimatedTotal())
+		}
+		for _, tel := range s.ShardTelemetrySnapshot(nil) {
+			shard := itoa(uint64(tel.Shard))
+			c.shardClock.With(backend, shard).set(tel.Clock)
+			c.doorBatches.With(backend, shard).set(tel.DoorBatches)
+			c.doorMembers.With(backend, shard).set(tel.DoorMembers)
+			c.doorMerged.With(backend, shard).set(tel.DoorMerged)
+			// BatchSizes[i] counts sizes of bit length i+1: mirror at shift 1.
+			c.doorBatchSize.With(backend, shard).setCounts(tel.BatchSizes[:], 1, tel.BatchSizeSum)
 		}
 	}
+}
+
+// ShardHeatReport is the JSON payload of the /shards endpoint for one
+// attached STM instance: the raw per-shard telemetry plus the two headline
+// aggregates the forensics reporter leads with.
+type ShardHeatReport struct {
+	Backend string               `json:"backend"`
+	Shards  []stm.ShardTelemetry `json:"shards"`
+	// ClockGini is the Gini coefficient of the per-shard clock values:
+	// 0 = commits spread evenly, →1 = one shard absorbs everything.
+	ClockGini float64 `json:"clock_gini"`
+	// MergedRatio is the instance-wide door merged-commit ratio.
+	MergedRatio float64 `json:"merged_ratio"`
+}
+
+// ShardReport builds the heat report for one STM instance.
+func ShardReport(s *stm.STM) ShardHeatReport {
+	tel := s.ShardTelemetrySnapshot(nil)
+	out := ShardHeatReport{Backend: s.Backend().Name(), Shards: tel}
+	clocks := make([]uint64, 0, len(tel))
+	var members, merged uint64
+	for _, t := range tel {
+		clocks = append(clocks, t.Clock)
+		members += t.DoorMembers
+		merged += t.DoorMerged
+	}
+	out.ClockGini = Gini(clocks)
+	if members > 0 {
+		out.MergedRatio = float64(merged) / float64(members)
+	}
+	return out
+}
+
+// ShardReports returns a heat report per attached backend, the collector-level
+// mirror of LockObserver.HotShards for the timebase side.
+func (c *STMCollector) ShardReports() map[string]ShardHeatReport {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	stms := make(map[string]*stm.STM, len(c.stms))
+	for name, s := range c.stms {
+		stms[name] = s
+	}
+	c.mu.Unlock()
+	out := make(map[string]ShardHeatReport, len(stms))
+	for name, s := range stms {
+		out[name] = ShardReport(s)
+	}
+	return out
+}
+
+// Gini returns the Gini coefficient of the values (0 = perfectly even,
+// →1 = maximally concentrated). Zero for empty or all-zero input.
+func Gini(vals []uint64) float64 {
+	n := len(vals)
+	if n == 0 {
+		return 0
+	}
+	sorted := append([]uint64(nil), vals...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var total, weighted float64
+	for i, v := range sorted {
+		total += float64(v)
+		weighted += float64(i+1) * float64(v)
+	}
+	if total == 0 {
+		return 0
+	}
+	return (2*weighted - float64(n+1)*total) / (float64(n) * total)
 }
 
 // RegisterSTM mirrors one STM instance's Stats into r — the single-embedder
@@ -308,12 +425,33 @@ type tsFreeMulti struct{ multiTracer }
 
 func (tsFreeMulti) TimestampFree() {}
 
+// phaseMulti is a multiTracer with at least one stm.PhaseTracer member: the
+// combination advertises the phase facet and fans samples to those members,
+// so the STM keeps its phase accounting armed behind a combined tracer.
+type phaseMulti struct {
+	multiTracer
+	phasers []stm.PhaseTracer
+}
+
+func (m phaseMulti) TracePhases(ps stm.PhaseSample) {
+	for _, p := range m.phasers {
+		p.TracePhases(ps)
+	}
+}
+
+// tsFreePhaseMulti is a phaseMulti whose members are all stm.TimestampFree.
+type tsFreePhaseMulti struct{ phaseMulti }
+
+func (tsFreePhaseMulti) TimestampFree() {}
+
 // Tracers combines tracers into one (nil entries are dropped). With zero or
 // one live tracers it returns nil or the tracer itself, preserving the
 // single-branch fast path. If every live tracer is stm.TimestampFree, so is
-// the combination.
+// the combination; if any live tracer is an stm.PhaseTracer, the combination
+// forwards phase samples to every such member.
 func Tracers(ts ...stm.Tracer) stm.Tracer {
 	var live multiTracer
+	var phasers []stm.PhaseTracer
 	allTSFree := true
 	for _, t := range ts {
 		switch v := t.(type) {
@@ -327,9 +465,16 @@ func Tracers(ts ...stm.Tracer) stm.Tracer {
 			if v == nil {
 				continue
 			}
+		case *PhaseObserver:
+			if v == nil {
+				continue
+			}
 		}
 		if _, ok := t.(stm.TimestampFree); !ok {
 			allTSFree = false
+		}
+		if p, ok := t.(stm.PhaseTracer); ok {
+			phasers = append(phasers, p)
 		}
 		live = append(live, t)
 	}
@@ -339,6 +484,13 @@ func Tracers(ts ...stm.Tracer) stm.Tracer {
 	case 1:
 		return live[0]
 	default:
+		if len(phasers) > 0 {
+			pm := phaseMulti{multiTracer: live, phasers: phasers}
+			if allTSFree {
+				return tsFreePhaseMulti{pm}
+			}
+			return pm
+		}
 		if allTSFree {
 			return tsFreeMulti{live}
 		}

@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"proust/internal/stm"
+)
+
+// Chrome trace-event export: phase samples become "X" (complete) slices — one
+// enclosing slice per sampled attempt plus one child slice per non-zero phase
+// — and flight-recorder lifecycle events become "i" (instant) marks. The
+// output is the JSON object form of the trace-event format, loadable by
+// Perfetto (ui.perfetto.dev) and chrome://tracing.
+//
+// Concurrent attempts are laid out on synthetic "lanes" (trace tids) by a
+// greedy sweep: samples are taken in start order and each is placed on the
+// first lane whose previous occupant has finished, so overlapping attempts
+// never share a row and the lane count approximates the observed concurrency.
+
+// chromeEvent is one entry of the traceEvents array.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`            // microseconds
+	Dur   float64        `json:"dur,omitempty"` // microseconds
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the top-level JSON object.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+const chromePID = 1
+
+// WriteChromeTrace renders phase samples and lifecycle events as Chrome
+// trace-event JSON. Either slice may be empty; timestamps are normalized to
+// the earliest event so the trace starts near zero.
+func WriteChromeTrace(w io.Writer, samples []stm.PhaseSample, events []stm.TraceEvent) error {
+	samples = append([]stm.PhaseSample(nil), samples...)
+	sort.Slice(samples, func(i, j int) bool {
+		if samples[i].StartNS != samples[j].StartNS {
+			return samples[i].StartNS < samples[j].StartNS
+		}
+		return samples[i].Serial < samples[j].Serial
+	})
+
+	var base int64
+	for _, s := range samples {
+		if base == 0 || s.StartNS < base {
+			base = s.StartNS
+		}
+	}
+	for _, ev := range events {
+		if ev.TS != 0 && (base == 0 || ev.TS < base) {
+			base = ev.TS
+		}
+	}
+
+	tr := chromeTrace{DisplayTimeUnit: "ns"}
+	tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+		Name: "process_name", Phase: "M", PID: chromePID, TID: 0,
+		Args: map[string]any{"name": "proust"},
+	})
+
+	// Greedy lane assignment over the start-sorted samples.
+	var laneEnds []int64
+	lanes := 0
+	for _, s := range samples {
+		lane := -1
+		for i, end := range laneEnds {
+			if end <= s.StartNS {
+				lane = i
+				break
+			}
+		}
+		if lane < 0 {
+			lane = len(laneEnds)
+			laneEnds = append(laneEnds, 0)
+		}
+		laneEnds[lane] = s.StartNS + s.TotalNS
+		if lane+1 > lanes {
+			lanes = lane + 1
+		}
+		tid := lane + 1
+		ts := float64(s.StartNS-base) / 1e3
+		name := fmt.Sprintf("txn %s", s.Kind)
+		if s.Kind == stm.TraceAbort {
+			name = fmt.Sprintf("txn abort (%s)", s.Cause)
+		}
+		tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+			Name: name, Cat: "txn", Phase: "X",
+			TS: ts, Dur: float64(s.TotalNS) / 1e3,
+			PID: chromePID, TID: tid,
+			Args: map[string]any{
+				"backend": s.Backend,
+				"serial":  s.Serial,
+				"attempt": s.Attempt,
+				"reads":   s.Reads,
+				"writes":  s.Writes,
+			},
+		})
+		// Child slices: phases in their canonical order, laid out
+		// back-to-back (the STM accounts wall time exclusively to the
+		// innermost active phase, so the durations partition the total).
+		off := s.StartNS - base
+		for i, d := range s.PhaseNS {
+			if d <= 0 {
+				continue
+			}
+			tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+				Name: stm.Phase(i).String(), Cat: "phase", Phase: "X",
+				TS: float64(off) / 1e3, Dur: float64(d) / 1e3,
+				PID: chromePID, TID: tid,
+			})
+			off += d
+		}
+	}
+	for i := 0; i < lanes; i++ {
+		tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+			Name: "thread_name", Phase: "M", PID: chromePID, TID: i + 1,
+			Args: map[string]any{"name": fmt.Sprintf("lane %d", i+1)},
+		})
+	}
+
+	for _, ev := range events {
+		if ev.TS == 0 {
+			continue // timestamp-free events cannot be placed on the axis
+		}
+		name := fmt.Sprintf("%s %s", ev.Backend, ev.Kind)
+		if ev.Kind == stm.TraceAbort {
+			name = fmt.Sprintf("%s abort (%s)", ev.Backend, ev.Cause)
+		}
+		tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+			Name: name, Cat: "lifecycle", Phase: "i", Scope: "t",
+			TS: float64(ev.TS-base) / 1e3, PID: chromePID, TID: 0,
+			Args: map[string]any{
+				"serial": ev.Serial, "attempt": ev.Attempt,
+				"reads": ev.Reads, "writes": ev.Writes,
+			},
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(tr)
+}

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -8,6 +9,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strings"
+	"time"
 )
 
 // WriteText renders the registry in the Prometheus text exposition format
@@ -170,6 +172,44 @@ func (r *Registry) Snapshot() []FamilySnapshot {
 	return out
 }
 
+// Endpoint is an extra route mounted on the observability handler, e.g.
+// TraceEndpoint or ShardsEndpoint.
+type Endpoint struct {
+	Path    string
+	Handler http.HandlerFunc
+}
+
+// TraceEndpoint serves the retained phase samples and flight-recorder events
+// as Chrome trace-event JSON at /trace (load the download in Perfetto or
+// chrome://tracing). Either argument may be nil.
+func TraceEndpoint(po *PhaseObserver, fr *FlightRecorder) Endpoint {
+	return Endpoint{Path: "/trace", Handler: func(w http.ResponseWriter, req *http.Request) {
+		if po == nil && fr == nil {
+			http.NotFound(w, req)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Disposition", `attachment; filename="proust-trace.json"`)
+		_ = WriteChromeTrace(w, po.Samples(), fr.Events())
+	}}
+}
+
+// ShardsEndpoint serves the per-backend shard heat reports (per-shard clocks
+// and door accounting, clock Gini, merged-commit ratio) as JSON at /shards —
+// the timebase-side sibling of the LockObserver hot-stripe table.
+func ShardsEndpoint(c *STMCollector) Endpoint {
+	return Endpoint{Path: "/shards", Handler: func(w http.ResponseWriter, req *http.Request) {
+		if c == nil {
+			http.NotFound(w, req)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(c.ShardReports())
+	}}
+}
+
 // Handler returns the observability HTTP handler:
 //
 //	/metrics       Prometheus text exposition
@@ -177,8 +217,9 @@ func (r *Registry) Snapshot() []FamilySnapshot {
 //	/flight        flight-recorder dump as JSON lines (when fr != nil)
 //	/debug/pprof/  the standard Go profiler endpoints
 //
-// Either argument may be nil; the corresponding endpoints report 404.
-func Handler(r *Registry, fr *FlightRecorder) http.Handler {
+// plus any extra endpoints (e.g. TraceEndpoint, ShardsEndpoint). Either core
+// argument may be nil; the corresponding endpoints report 404.
+func Handler(r *Registry, fr *FlightRecorder, extras ...Endpoint) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
 		if r == nil {
@@ -211,18 +252,39 @@ func Handler(r *Registry, fr *FlightRecorder) http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for _, e := range extras {
+		if e.Path != "" && e.Handler != nil {
+			mux.HandleFunc(e.Path, e.Handler)
+		}
+	}
 	return mux
 }
+
+// serveDrainTimeout bounds how long the Serve shutdown func waits for
+// in-flight scrapes to complete before tearing connections down.
+const serveDrainTimeout = 5 * time.Second
 
 // Serve starts the observability endpoint on addr and returns the bound
 // listener address (useful with ":0") and a shutdown func. It is what
 // proust-bench -metrics-addr uses; any embedder can do the same.
-func Serve(addr string, r *Registry, fr *FlightRecorder) (string, func() error, error) {
+//
+// The shutdown func drains gracefully: it stops accepting connections, lets
+// in-flight requests (a scrape mid-write, a trace download) complete for up
+// to serveDrainTimeout, and only then force-closes whatever remains.
+func Serve(addr string, r *Registry, fr *FlightRecorder, extras ...Endpoint) (string, func() error, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, err
 	}
-	srv := &http.Server{Handler: Handler(r, fr)}
+	srv := &http.Server{Handler: Handler(r, fr, extras...)}
 	go func() { _ = srv.Serve(ln) }()
-	return ln.Addr().String(), srv.Close, nil
+	shutdown := func() error {
+		ctx, cancel := context.WithTimeout(context.Background(), serveDrainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			return srv.Close()
+		}
+		return nil
+	}
+	return ln.Addr().String(), shutdown, nil
 }

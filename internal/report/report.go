@@ -1,0 +1,436 @@
+// Package report is the abort-forensics analyzer behind cmd/proust-report: it
+// ingests a flight-recorder dump (JSON lines of stm.TraceEvent, optionally
+// interleaved with stm.PhaseSample lines) and a metrics snapshot (the JSON
+// form of the obs registry), and distills the post-mortem a human reaches for
+// after a contended run — which keys conflict, which phase the aborts die in,
+// how unevenly the timebase shards are loaded, how well the commit doors
+// merge, and what to tune first.
+package report
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"proust/internal/obs"
+	"proust/internal/stm"
+)
+
+// Dump is a parsed flight dump: lifecycle events and phase samples, in file
+// order.
+type Dump struct {
+	Events  []stm.TraceEvent
+	Samples []stm.PhaseSample
+}
+
+// dumpLine is the sniffing envelope: a phase-sample line carries a "phases"
+// array, a lifecycle line does not.
+type dumpLine struct {
+	Phases *json.RawMessage `json:"phases"`
+}
+
+// ParseDump reads a JSONL flight dump, sorting each line into events or
+// samples by shape. Blank lines are skipped; a malformed line fails the parse
+// with its line number.
+func ParseDump(r io.Reader) (Dump, error) {
+	var d Dump
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var sniff dumpLine
+		if err := json.Unmarshal(line, &sniff); err != nil {
+			return d, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		if sniff.Phases != nil {
+			var ps stm.PhaseSample
+			if err := json.Unmarshal(line, &ps); err != nil {
+				return d, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			d.Samples = append(d.Samples, ps)
+		} else {
+			var ev stm.TraceEvent
+			if err := json.Unmarshal(line, &ev); err != nil {
+				return d, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			d.Events = append(d.Events, ev)
+		}
+	}
+	return d, sc.Err()
+}
+
+// ParseMetrics reads a JSON metrics snapshot (the /metrics.json payload, an
+// array of family snapshots).
+func ParseMetrics(r io.Reader) ([]obs.FamilySnapshot, error) {
+	var fams []obs.FamilySnapshot
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&fams); err != nil {
+		return nil, err
+	}
+	return fams, nil
+}
+
+// KeyConflict is one entry of the top-conflicting-keys table: an abstract key
+// (the hash recorded by Txn.NoteOp) and how many abort events carried it.
+type KeyConflict struct {
+	Key    uint64 `json:"key"`
+	Op     string `json:"op"`
+	Aborts uint64 `json:"aborts"`
+}
+
+// ShardSummary aggregates one backend's timebase heat from the metrics
+// snapshot.
+type ShardSummary struct {
+	Shards            int     `json:"shards"`
+	HottestShard      int     `json:"hottest_shard"`
+	HottestClock      uint64  `json:"hottest_clock"`
+	TotalClock        uint64  `json:"total_clock"`
+	ClockGini         float64 `json:"clock_gini"`
+	DoorMembers       uint64  `json:"door_members"`
+	DoorMerged        uint64  `json:"door_merged"`
+	MergedRatio       float64 `json:"merged_ratio"`
+	EpochExtensions   uint64  `json:"epoch_extensions"`
+	ValidationChecked uint64  `json:"validation_shards_checked"`
+	ValidationSkipped uint64  `json:"validation_shards_skipped"`
+}
+
+// Analysis is the full forensics result.
+type Analysis struct {
+	Events  int `json:"events"`
+	Samples int `json:"samples"`
+	Commits uint64
+	Aborts  uint64
+	// AbortsByCause counts abort events by cause name.
+	AbortsByCause map[string]uint64
+	// AbortPhase maps cause name → phase name → aborted sampled attempts
+	// whose largest time share died in that phase.
+	AbortPhase map[string]map[string]uint64
+	// PhaseTotalsNS sums sampled time per phase name across all samples.
+	PhaseTotalsNS map[string]int64
+	// TopKeys ranks abstract keys by the abort events that carried them.
+	TopKeys []KeyConflict
+	// ShardsByBackend summarizes timebase heat per backend (metrics input).
+	ShardsByBackend map[string]ShardSummary
+	// Hints are the rule-based "tune this first" suggestions.
+	Hints []string
+}
+
+// Analyze distills a dump and an optional metrics snapshot (fams may be nil).
+func Analyze(d Dump, fams []obs.FamilySnapshot, topN int) Analysis {
+	if topN <= 0 {
+		topN = 10
+	}
+	a := Analysis{
+		Events:          len(d.Events),
+		Samples:         len(d.Samples),
+		AbortsByCause:   map[string]uint64{},
+		AbortPhase:      map[string]map[string]uint64{},
+		PhaseTotalsNS:   map[string]int64{},
+		ShardsByBackend: map[string]ShardSummary{},
+	}
+
+	type keyOp struct {
+		key uint64
+		op  string
+	}
+	keyAborts := map[keyOp]uint64{}
+	for _, ev := range d.Events {
+		switch ev.Kind {
+		case stm.TraceCommit:
+			a.Commits++
+		case stm.TraceAbort:
+			a.Aborts++
+			a.AbortsByCause[ev.Cause.String()]++
+			for _, op := range ev.Ops {
+				keyAborts[keyOp{op.Key, op.Op}]++
+			}
+		}
+	}
+	for ko, n := range keyAborts {
+		a.TopKeys = append(a.TopKeys, KeyConflict{Key: ko.key, Op: ko.op, Aborts: n})
+	}
+	sort.Slice(a.TopKeys, func(i, j int) bool {
+		if a.TopKeys[i].Aborts != a.TopKeys[j].Aborts {
+			return a.TopKeys[i].Aborts > a.TopKeys[j].Aborts
+		}
+		return a.TopKeys[i].Key < a.TopKeys[j].Key
+	})
+	if len(a.TopKeys) > topN {
+		a.TopKeys = a.TopKeys[:topN]
+	}
+
+	for _, ps := range d.Samples {
+		for i, ns := range ps.PhaseNS {
+			a.PhaseTotalsNS[stm.Phase(i).String()] += ns
+		}
+		if ps.Kind != stm.TraceAbort {
+			continue
+		}
+		dom, domNS := 0, int64(-1)
+		for i, ns := range ps.PhaseNS {
+			if ns > domNS {
+				dom, domNS = i, ns
+			}
+		}
+		cause := ps.Cause.String()
+		if a.AbortPhase[cause] == nil {
+			a.AbortPhase[cause] = map[string]uint64{}
+		}
+		a.AbortPhase[cause][stm.Phase(dom).String()]++
+	}
+
+	a.summarizeShards(fams)
+	a.hints()
+	return a
+}
+
+// metric lookup helpers over the family snapshot list.
+
+func findFamily(fams []obs.FamilySnapshot, name string) *obs.FamilySnapshot {
+	for i := range fams {
+		if fams[i].Name == name {
+			return &fams[i]
+		}
+	}
+	return nil
+}
+
+func counterBy(f *obs.FamilySnapshot, want map[string]string) (uint64, bool) {
+	if f == nil {
+		return 0, false
+	}
+	for _, m := range f.Metrics {
+		ok := true
+		for k, v := range want {
+			if m.Labels[k] != v {
+				ok = false
+				break
+			}
+		}
+		if ok && m.Count != nil {
+			return *m.Count, true
+		}
+	}
+	return 0, false
+}
+
+func (a *Analysis) summarizeShards(fams []obs.FamilySnapshot) {
+	clockF := findFamily(fams, "proust_stm_shard_clock")
+	if clockF == nil {
+		return
+	}
+	type shardRow struct {
+		shard int
+		clock uint64
+	}
+	byBackend := map[string][]shardRow{}
+	for _, m := range clockF.Metrics {
+		if m.Count == nil {
+			continue
+		}
+		sh, err := strconv.Atoi(m.Labels["shard"])
+		if err != nil {
+			continue
+		}
+		b := m.Labels["backend"]
+		byBackend[b] = append(byBackend[b], shardRow{shard: sh, clock: *m.Count})
+	}
+	membersF := findFamily(fams, "proust_stm_shard_door_members_total")
+	mergedF := findFamily(fams, "proust_stm_shard_door_merged_total")
+	epochExtF := findFamily(fams, "proust_stm_epoch_extensions_total")
+	valF := findFamily(fams, "proust_stm_validation_shards_total")
+	for backend, rows := range byBackend {
+		s := ShardSummary{Shards: len(rows)}
+		clocks := make([]uint64, 0, len(rows))
+		for _, r := range rows {
+			clocks = append(clocks, r.clock)
+			s.TotalClock += r.clock
+			if r.clock > s.HottestClock {
+				s.HottestClock, s.HottestShard = r.clock, r.shard
+			}
+			want := map[string]string{"backend": backend, "shard": strconv.Itoa(r.shard)}
+			if n, ok := counterBy(membersF, want); ok {
+				s.DoorMembers += n
+			}
+			if n, ok := counterBy(mergedF, want); ok {
+				s.DoorMerged += n
+			}
+		}
+		s.ClockGini = obs.Gini(clocks)
+		if s.DoorMembers > 0 {
+			s.MergedRatio = float64(s.DoorMerged) / float64(s.DoorMembers)
+		}
+		s.EpochExtensions, _ = counterBy(epochExtF, map[string]string{"backend": backend})
+		s.ValidationChecked, _ = counterBy(valF, map[string]string{"backend": backend, "result": "checked"})
+		s.ValidationSkipped, _ = counterBy(valF, map[string]string{"backend": backend, "result": "skipped"})
+		a.ShardsByBackend[backend] = s
+	}
+}
+
+// hints derives the rule-based tuning suggestions from the aggregates.
+func (a *Analysis) hints() {
+	total := a.Commits + a.Aborts
+	if total > 0 && a.Aborts*5 > total { // >20% of events are aborts
+		cause, n := "", uint64(0)
+		for c, v := range a.AbortsByCause {
+			if v > n {
+				cause, n = c, v
+			}
+		}
+		switch cause {
+		case "validation":
+			a.Hints = append(a.Hints,
+				"validation aborts dominate: reads are going stale under writers — "+
+					"shrink transaction footprints, or partition hot keys so "+
+					"single-shard commits can skip quiet shards")
+		case "lock-conflict":
+			a.Hints = append(a.Hints,
+				"lock-conflict aborts dominate: writers collide on the same refs — "+
+					"consider the eager (visible-reader) backend or a blunter "+
+					"contention manager to serialize the hot set")
+		case "doomed":
+			a.Hints = append(a.Hints,
+				"doomed aborts dominate: the contention manager is killing "+
+					"transactions aggressively — check arbitration policy fit")
+		}
+	}
+	for cause, phases := range a.AbortPhase {
+		var tot, door uint64
+		for ph, n := range phases {
+			tot += n
+			if ph == "door-wait" {
+				door += n
+			}
+		}
+		if tot > 0 && door*3 > tot {
+			a.Hints = append(a.Hints, fmt.Sprintf(
+				"%s aborts mostly die in door-wait: the commit door is a choke "+
+					"point — raise the shard count or disable group commit for "+
+					"this workload", cause))
+		}
+	}
+	for backend, s := range a.ShardsByBackend {
+		if s.Shards > 1 && s.ClockGini > 0.6 {
+			a.Hints = append(a.Hints, fmt.Sprintf(
+				"%s: shard imbalance is high (Gini %.2f, shard %d absorbs the "+
+					"most commits) — keys hash into too few id blocks; widen the "+
+					"key partition or lower WithShardBlockBits", backend, s.ClockGini, s.HottestShard))
+		}
+		if s.DoorMembers > 100 && s.MergedRatio < 0.05 {
+			a.Hints = append(a.Hints, fmt.Sprintf(
+				"%s: door merge ratio is only %.1f%% over %d committers — group "+
+					"commit is not paying here; WithGroupCommit(false) removes "+
+					"the door mutex from the commit path", backend, 100*s.MergedRatio, s.DoorMembers))
+		}
+		if ck := s.ValidationChecked + s.ValidationSkipped; ck > 0 &&
+			s.ValidationSkipped*10 < ck && s.Shards > 1 {
+			a.Hints = append(a.Hints, fmt.Sprintf(
+				"%s: partitioned validation skips only %.1f%% of shard visits — "+
+					"read sets span hot shards; align structure partitions with "+
+					"shard blocks (WithShardBlockBits)", backend,
+				100*float64(s.ValidationSkipped)/float64(ck)))
+		}
+		if s.EpochExtensions > 0 && s.EpochExtensions*10 > s.TotalClock && s.TotalClock > 0 {
+			a.Hints = append(a.Hints, fmt.Sprintf(
+				"%s: the epoch fence forced %d extensions against %d commits — "+
+					"cross-shard writers are hot; co-locate their write sets in "+
+					"one id block", backend, s.EpochExtensions, s.TotalClock))
+		}
+	}
+	if len(a.Hints) == 0 {
+		a.Hints = append(a.Hints, "nothing stands out: abort rate, shard "+
+			"balance and door merging all look healthy")
+	}
+}
+
+// WriteText renders the analysis as the human-facing report.
+func (a Analysis) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "proust abort forensics\n")
+	fmt.Fprintf(bw, "  events: %d lifecycle, %d phase samples\n", a.Events, a.Samples)
+	total := a.Commits + a.Aborts
+	if total > 0 {
+		fmt.Fprintf(bw, "  commits: %d  aborts: %d (%.1f%% of events)\n",
+			a.Commits, a.Aborts, 100*float64(a.Aborts)/float64(total))
+	}
+
+	if len(a.AbortsByCause) > 0 {
+		fmt.Fprintf(bw, "\naborts by cause:\n")
+		for _, c := range sortedKeysByCount(a.AbortsByCause) {
+			fmt.Fprintf(bw, "  %-14s %d\n", c, a.AbortsByCause[c])
+		}
+	}
+	if len(a.AbortPhase) > 0 {
+		fmt.Fprintf(bw, "\nabort phase breakdown (dominant phase of sampled aborted attempts):\n")
+		causes := make([]string, 0, len(a.AbortPhase))
+		for c := range a.AbortPhase {
+			causes = append(causes, c)
+		}
+		sort.Strings(causes)
+		for _, c := range causes {
+			fmt.Fprintf(bw, "  %s:", c)
+			for _, ph := range sortedKeysByCount(a.AbortPhase[c]) {
+				fmt.Fprintf(bw, " %s=%d", ph, a.AbortPhase[c][ph])
+			}
+			fmt.Fprintln(bw)
+		}
+	}
+	if len(a.TopKeys) > 0 {
+		fmt.Fprintf(bw, "\ntop conflicting keys (by abort events carrying them):\n")
+		for _, k := range a.TopKeys {
+			fmt.Fprintf(bw, "  key %#016x  op %-8s aborts %d\n", k.Key, k.Op, k.Aborts)
+		}
+	}
+	if len(a.ShardsByBackend) > 0 {
+		backends := make([]string, 0, len(a.ShardsByBackend))
+		for b := range a.ShardsByBackend {
+			backends = append(backends, b)
+		}
+		sort.Strings(backends)
+		fmt.Fprintf(bw, "\nshard heat:\n")
+		for _, b := range backends {
+			s := a.ShardsByBackend[b]
+			fmt.Fprintf(bw, "  %s: %d shards, hottest shard %d (clock %d of %d), Gini %.2f\n",
+				b, s.Shards, s.HottestShard, s.HottestClock, s.TotalClock, s.ClockGini)
+			fmt.Fprintf(bw, "    door: %d members, %d merged (ratio %.1f%%)\n",
+				s.DoorMembers, s.DoorMerged, 100*s.MergedRatio)
+			if ck := s.ValidationChecked + s.ValidationSkipped; ck > 0 {
+				fmt.Fprintf(bw, "    validation: %d shard visits checked, %d skipped (%.1f%% skipped)\n",
+					s.ValidationChecked, s.ValidationSkipped,
+					100*float64(s.ValidationSkipped)/float64(ck))
+			}
+			if s.EpochExtensions > 0 {
+				fmt.Fprintf(bw, "    epoch fence: %d forced extensions\n", s.EpochExtensions)
+			}
+		}
+	}
+	fmt.Fprintf(bw, "\ntune this:\n")
+	for _, h := range a.Hints {
+		fmt.Fprintf(bw, "  - %s\n", h)
+	}
+	return bw.Flush()
+}
+
+// sortedKeysByCount orders map keys by descending count, then name.
+func sortedKeysByCount(m map[string]uint64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if m[keys[i]] != m[keys[j]] {
+			return m[keys[i]] > m[keys[j]]
+		}
+		return keys[i] < keys[j]
+	})
+	return keys
+}

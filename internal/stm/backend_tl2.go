@@ -69,6 +69,10 @@ func (tl2Backend) commit(tx *Txn) bool {
 
 	// Sort a scratch copy of the written refs into global id order (the
 	// redo log itself keeps insertion order for publication and replay).
+	// A lockForCommit failure leaves the PhaseLock interval open; the abort
+	// emission charges it to the lock phase, which is the truthful
+	// attribution for a lost commit-time acquisition.
+	pp := tx.phaseEnter(PhaseLock)
 	tx.sortBuf = tx.sortBuf[:0]
 	for i := range tx.wset.entries {
 		tx.sortBuf = append(tx.sortBuf, tx.wset.entries[i].r)
@@ -84,6 +88,7 @@ func (tl2Backend) commit(tx *Txn) bool {
 		tx.markLocked()
 		tx.commitLocks = append(tx.commitLocks, r)
 	}
+	tx.phaseExit(pp)
 
 	// Stamp the write shards (entering the shard door or bumping per-shard
 	// clocks); validateCommit applies the per-shard generalization of the
@@ -109,6 +114,7 @@ func (tl2Backend) commit(tx *Txn) bool {
 	// (releaseStamp) and the batch is left before any lock is released:
 	// group-commit joiners are only guaranteed write-disjoint from us while
 	// we still hold every lock.
+	pp = tx.phaseEnter(PhasePublish)
 	tx.runCommitLocked()
 	for i := range tx.wset.entries {
 		e := &tx.wset.entries[i]
@@ -121,6 +127,7 @@ func (tl2Backend) commit(tx *Txn) bool {
 	}
 	tx.commitLocks = tx.commitLocks[:0]
 	tx.observeLockHold()
+	tx.phaseExit(pp)
 	tx.finishCommit()
 	return true
 }

@@ -13,6 +13,7 @@ package stm
 // other shards — or in this shard before its first touch — never force an
 // extension.
 func (tx *Txn) readVersioned(r *baseRef) any {
+	pp := tx.phaseEnter(PhaseRead)
 	rv := tx.rvFor(r)
 	for spins := 0; ; spins++ {
 		v1 := r.version.Load()
@@ -38,6 +39,7 @@ func (tx *Txn) readVersioned(r *baseRef) any {
 			continue
 		}
 		tx.logRead(r, v1, nil)
+		tx.phaseExit(pp)
 		return b.v
 	}
 }
@@ -85,15 +87,21 @@ func (tx *Txn) validateReads() bool {
 // acquire takes the write lock on r at encounter time, arbitrating with the
 // contention manager.
 func (tx *Txn) acquire(r *baseRef) {
+	// A conflict panic out of checkAlive/waitOrDie skips the phaseExit; the
+	// open PhaseLock interval is then charged to the lock phase by the abort
+	// emission, which is the truthful attribution for a lost acquisition.
+	pp := tx.phaseEnter(PhaseLock)
 	for spins := 0; ; spins++ {
 		tx.checkAlive()
 		if r.owner.CompareAndSwap(nil, tx) {
 			tx.markLocked()
+			tx.phaseExit(pp)
 			return
 		}
 		owner := r.owner.Load()
 		if owner == nil || owner == tx {
 			if owner == tx {
+				tx.phaseExit(pp)
 				return
 			}
 			continue
@@ -189,6 +197,7 @@ func (tx *Txn) commitEncounter(validate bool) bool {
 		return false
 	}
 
+	pp := tx.phaseEnter(PhasePublish)
 	tx.runCommitLocked()
 	// Publish all versions first, then leave the door batch, then release
 	// the locks: the batch must close before any member's locks free up
@@ -204,6 +213,7 @@ func (tx *Txn) commitEncounter(validate bool) bool {
 	tx.owned = tx.owned[:0]
 	tx.undo = tx.undo[:0]
 	tx.observeLockHold()
+	tx.phaseExit(pp)
 	tx.finishCommit()
 	return true
 }

@@ -85,6 +85,7 @@ func (b *norecBackend) begin(tx *Txn) {
 // read performs a NOrec read: consistent against the global sequence, with
 // full value revalidation whenever the sequence has moved.
 func (b *norecBackend) read(tx *Txn, r *baseRef) any {
+	pp := tx.phaseEnter(PhaseRead)
 	for {
 		bx := r.value.Load()
 		s := b.seq.Load()
@@ -100,6 +101,7 @@ func (b *norecBackend) read(tx *Txn, r *baseRef) any {
 			continue // re-read under the new snapshot
 		}
 		tx.logRead(r, 0, bx)
+		tx.phaseExit(pp)
 		return bx.v
 	}
 }
@@ -118,6 +120,16 @@ func (*norecBackend) write(tx *Txn, r *baseRef, v any) {
 // the same stable sequence window, so an unmoved counter proves the shard
 // received no publication and its entries' boxes cannot have changed.
 func (b *norecBackend) validate(tx *Txn) bool {
+	pp := tx.phaseEnter(PhaseValidate)
+	ok := b.validateChains(tx)
+	tx.phaseExit(pp)
+	return ok
+}
+
+// validateChains is the validation pass proper (the validate wrapper only
+// attributes it to PhaseValidate; the bracket nests inside PhaseRead or
+// PhaseDoorWait and the token model restores the outer phase).
+func (b *norecBackend) validateChains(tx *Txn) bool {
 	n := tx.s.nShards
 	var cnt [MaxShards]uint64
 	for {
@@ -189,6 +201,9 @@ func (b *norecBackend) commit(tx *Txn) bool {
 		tx.finishCommit()
 		return true
 	}
+	// The sequence-lock spin is NOrec's equivalent of the commit door: time
+	// spent losing the CAS (and revalidating) is serialization wait.
+	pp := tx.phaseEnter(PhaseDoorWait)
 	for !b.seq.CompareAndSwap(tx.snapshot, tx.snapshot+1) {
 		if !b.validateTimed(tx) {
 			tx.rollback(CauseValidation)
@@ -198,11 +213,13 @@ func (b *norecBackend) commit(tx *Txn) bool {
 	// Sequence lock held (odd): no reader returns and no writer commits
 	// until we release.
 	tx.markLocked()
+	tx.phaseExit(pp)
 	if !tx.transitionCommitted() {
 		b.seq.Store(tx.snapshot + 2)
 		tx.rollback(CauseDoomed)
 		return false
 	}
+	pp = tx.phaseEnter(PhasePublish)
 	tx.runCommitLocked()
 	for i := range tx.wset.entries {
 		e := &tx.wset.entries[i]
@@ -217,6 +234,7 @@ func (b *norecBackend) commit(tx *Txn) bool {
 	}
 	b.seq.Store(tx.snapshot + 2)
 	tx.observeLockHold()
+	tx.phaseExit(pp)
 	tx.finishCommit()
 	return true
 }

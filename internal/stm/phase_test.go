@@ -1,0 +1,240 @@
+package stm
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// phaseCollector is a PhaseTracer that retains every sample.
+type phaseCollector struct {
+	mu      sync.Mutex
+	samples []PhaseSample
+	events  atomic.Uint64
+}
+
+func (pc *phaseCollector) Trace(ev TraceEvent) { pc.events.Add(1) }
+
+func (pc *phaseCollector) TracePhases(ps PhaseSample) {
+	pc.mu.Lock()
+	pc.samples = append(pc.samples, ps)
+	pc.mu.Unlock()
+}
+
+// TestPhaseSampleInvariants drives every backend with a contended read-write
+// workload under an attached PhaseTracer and checks the per-sample invariants:
+// the phase breakdown partitions the attempt's total exactly, no phase is
+// negative, and identity fields match the emitting instance.
+func TestPhaseSampleInvariants(t *testing.T) {
+	const (
+		goroutines = 8
+		txnsPerG   = 400
+		refsN      = 8
+	)
+	for _, name := range BackendNames() {
+		if bf, _ := BackendByName(name); bf.Fault {
+			continue
+		}
+		name := name
+		t.Run(name, func(t *testing.T) {
+			pc := &phaseCollector{}
+			s := New(WithBackend(name), WithTracer(pc))
+			refs := make([]*Ref[int], refsN)
+			for i := range refs {
+				refs[i] = NewRef(s, 0)
+			}
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func(id int) {
+					defer wg.Done()
+					for i := 0; i < txnsPerG; i++ {
+						_ = s.Atomically(func(tx *Txn) error {
+							a := refs[(id+i)%refsN]
+							b := refs[(id*7+i*3)%refsN]
+							a.Set(tx, a.Get(tx)+b.Get(tx)+1)
+							return nil
+						})
+					}
+				}(g)
+			}
+			wg.Wait()
+
+			pc.mu.Lock()
+			defer pc.mu.Unlock()
+			if len(pc.samples) == 0 {
+				t.Fatal("no phase samples collected")
+			}
+			// Sampling is 1-in-8 on average; with 3200 transactions the
+			// sample count should land well inside (1%, 50%) of events.
+			ev := pc.events.Load()
+			if n := uint64(len(pc.samples)); n*100 < ev || n*2 > ev {
+				t.Errorf("samples = %d of %d events, outside plausible 1-in-8 range", n, ev)
+			}
+			for _, ps := range pc.samples {
+				if ps.Backend != name {
+					t.Fatalf("sample backend = %q, want %q", ps.Backend, name)
+				}
+				if ps.Kind != TraceCommit && ps.Kind != TraceAbort {
+					t.Fatalf("sample kind = %v", ps.Kind)
+				}
+				if ps.Kind == TraceCommit && ps.Cause != CauseNone {
+					t.Fatalf("commit sample carries cause %v", ps.Cause)
+				}
+				var sum int64
+				for i, d := range ps.PhaseNS {
+					if d < 0 {
+						t.Fatalf("phase %s negative: %d", Phase(i), d)
+					}
+					sum += d
+				}
+				if sum != ps.TotalNS {
+					t.Fatalf("phase sum %d != total %d (%+v)", sum, ps.TotalNS, ps)
+				}
+				if ps.Attempt < 1 {
+					t.Fatalf("sample attempt = %d", ps.Attempt)
+				}
+			}
+		})
+	}
+}
+
+// TestPhaseBlindTracerUntouched checks that a tracer without the PhaseTracer
+// facet disables phase accounting entirely (phaseOn stays false) and that
+// swapping tracers re-evaluates the facet.
+func TestPhaseBlindTracerUntouched(t *testing.T) {
+	plain := &atomicTracer{}
+	s := New(WithBackend("tl2"), WithTracer(plain), WithClock(func() int64 { return 1 }))
+	if s.phaser != nil {
+		t.Fatal("phaser set for a phase-blind tracer")
+	}
+	r := NewRef(s, 0)
+	for i := 0; i < 64; i++ {
+		if err := s.Atomically(func(tx *Txn) error {
+			r.Set(tx, r.Get(tx)+1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pc := &phaseCollector{}
+	s.SetTracer(pc)
+	if s.phaser == nil {
+		t.Fatal("phaser not set after SetTracer swap to a PhaseTracer")
+	}
+}
+
+// TestPhaseNames pins the phase enum to its stable wire names.
+func TestPhaseNames(t *testing.T) {
+	want := []string{"body", "read", "validate", "lock", "door-wait", "publish"}
+	got := PhaseNames()
+	if len(got) != NumPhases {
+		t.Fatalf("PhaseNames() returned %d names, want %d", len(got), NumPhases)
+	}
+	for i, w := range want {
+		if got[i] != w {
+			t.Errorf("phase %d = %q, want %q", i, got[i], w)
+		}
+		if Phase(i).String() != w {
+			t.Errorf("Phase(%d).String() = %q, want %q", i, Phase(i).String(), w)
+		}
+	}
+}
+
+// TestShardTelemetrySnapshot checks the door accounting identities after a
+// quiesced single-shard workload: members = batches + merged, every batch is
+// recorded in the size histogram, and the merged total matches the
+// GroupCommits stat.
+func TestShardTelemetrySnapshot(t *testing.T) {
+	const (
+		goroutines = 8
+		txnsPerG   = 300
+	)
+	s := New(WithBackend("tl2"), WithShards(4))
+	r := NewRef(s, 0) // single ref: every writing commit is single-shard
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < txnsPerG; i++ {
+				_ = s.Atomically(func(tx *Txn) error {
+					r.Set(tx, r.Get(tx)+1)
+					return nil
+				})
+			}
+		}()
+	}
+	wg.Wait()
+
+	tel := s.ShardTelemetrySnapshot(nil)
+	if len(tel) != s.Shards() {
+		t.Fatalf("telemetry rows = %d, want %d", len(tel), s.Shards())
+	}
+	var members, batches, merged, recorded uint64
+	for _, st := range tel {
+		if st.DoorMembers != st.DoorBatches+st.DoorMerged {
+			t.Errorf("shard %d: members %d != batches %d + merged %d",
+				st.Shard, st.DoorMembers, st.DoorBatches, st.DoorMerged)
+		}
+		members += st.DoorMembers
+		batches += st.DoorBatches
+		merged += st.DoorMerged
+		for _, n := range st.BatchSizes {
+			recorded += n
+		}
+	}
+	if members == 0 {
+		t.Fatal("no door members recorded for a write-heavy workload")
+	}
+	if recorded != batches {
+		t.Errorf("size histogram records %d batches, door opened %d", recorded, batches)
+	}
+	if got := s.Stats().GroupCommits; got != merged {
+		t.Errorf("stats GroupCommits = %d, telemetry merged = %d", got, merged)
+	}
+	// Serial-mode commits bypass the doors, so members can undershoot the
+	// writing-commit count, but never exceed it.
+	if c := s.Stats().Commits; members > c {
+		t.Errorf("door members %d > commits %d", members, c)
+	}
+}
+
+// TestValidationShardAccounting checks that commit-time validation accounts
+// checked and skipped shards for a cross-shard read set, and that the skip
+// counters actually move under skew (reads spread over shards, writes hot in
+// one).
+func TestValidationShardAccounting(t *testing.T) {
+	const refsN = 256 // spans all 4 shards at block bits 6
+	s := New(WithBackend("tl2"), WithShards(4))
+	refs := make([]*Ref[int], refsN)
+	for i := range refs {
+		refs[i] = NewRef(s, 0)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				_ = s.Atomically(func(tx *Txn) error {
+					// Read one ref in every shard, write into shard 0.
+					for sh := 0; sh < 4; sh++ {
+						_ = refs[sh*64+(i%64)].Get(tx)
+					}
+					r := refs[i%64]
+					r.Set(tx, r.Get(tx)+1)
+					return nil
+				})
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := s.Stats()
+	if st.ValidationShardsChecked+st.ValidationShardsSkipped == 0 {
+		t.Fatal("validation shard accounting never moved")
+	}
+	if st.ValidationShardsSkipped == 0 {
+		t.Error("no shards skipped despite quiet read shards under skewed writes")
+	}
+}

@@ -70,6 +70,32 @@ type commitDoor struct {
 	gen  uint64 // batch generation; 0 = no batch yet
 	wv   uint64 // write version shared by the current batch
 	open bool   // current batch accepts joiners
+
+	// Heat telemetry, guarded by mu. These are plain counters bumped while
+	// the mutex is already held for the protocol itself, so the telemetry
+	// costs no extra atomics on the commit path.
+	batches uint64                  // batches opened (solo or shared)
+	members uint64                  // committers stamped through the door
+	merged  uint64                  // members that joined an already-open batch
+	curSize uint64                  // members of the batch not yet recorded
+	sizeSum uint64                  // total members over recorded batches
+	sizeBkt [doorSizeBuckets]uint64 // closed-batch sizes; bucket i = sizes with bit length i+1
+}
+
+// doorSizeBuckets is the number of power-of-two batch-size buckets: bucket i
+// counts batches of size in [2^i, 2^(i+1)), the last absorbing 64 and up.
+const doorSizeBuckets = 7
+
+// recordBatch folds the in-progress batch's size into the size histogram.
+// Caller holds mu.
+func (d *commitDoor) recordBatch() {
+	i := bits.Len64(d.curSize) - 1
+	if i >= doorSizeBuckets {
+		i = doorSizeBuckets - 1
+	}
+	d.sizeBkt[i]++
+	d.sizeSum += d.curSize
+	d.curSize = 0
 }
 
 // enter assigns a write version to a single-shard committer, joining the
@@ -81,14 +107,25 @@ func (d *commitDoor) enter(clock *atomic.Uint64, wantSolo bool) (wv, gen uint64,
 	d.mu.Lock()
 	if d.open && !wantSolo {
 		wv, gen = d.wv, d.gen
+		d.members++
+		d.merged++
+		d.curSize++
 		d.mu.Unlock()
 		return wv, gen, true
+	}
+	if d.curSize > 0 {
+		// A wantSolo opener can supersede a batch still open to joiners
+		// before any member exited; fold its size in now.
+		d.recordBatch()
 	}
 	d.gen++
 	gen = d.gen
 	wv = clock.Add(1)
 	d.wv = wv
 	d.open = !wantSolo
+	d.batches++
+	d.members++
+	d.curSize = 1
 	d.mu.Unlock()
 	return wv, gen, false
 }
@@ -102,6 +139,9 @@ func (d *commitDoor) exit(gen uint64) {
 	d.mu.Lock()
 	if d.gen == gen {
 		d.open = false
+		if d.curSize > 0 {
+			d.recordBatch()
+		}
 	}
 	d.mu.Unlock()
 }
@@ -224,6 +264,51 @@ func (s *STM) ShardClockSkew() uint64 {
 	return hi - lo
 }
 
+// ShardTelemetry is a point-in-time heat profile of one timebase shard: its
+// commit clock (scrape deltas give the clock advance rate) and its door's
+// group-commit accounting. DoorMerged/DoorMembers is the shard's merged-commit
+// ratio; BatchSizes bucket i counts closed batches of size in [2^i, 2^(i+1)),
+// the last bucket absorbing 64 and up.
+type ShardTelemetry struct {
+	Shard        int                     `json:"shard"`
+	Clock        uint64                  `json:"clock"`
+	DoorBatches  uint64                  `json:"door_batches"`
+	DoorMembers  uint64                  `json:"door_members"`
+	DoorMerged   uint64                  `json:"door_merged"`
+	BatchSizeSum uint64                  `json:"batch_size_sum"`
+	BatchSizes   [doorSizeBuckets]uint64 `json:"batch_sizes"`
+}
+
+// MergedRatio returns the fraction of door members that shared another
+// committer's clock bump (0 when the door saw no traffic).
+func (t ShardTelemetry) MergedRatio() float64 {
+	if t.DoorMembers == 0 {
+		return 0
+	}
+	return float64(t.DoorMerged) / float64(t.DoorMembers)
+}
+
+// ShardTelemetrySnapshot appends one ShardTelemetry per timebase shard to dst
+// and returns the result. Each shard's door counters are read under its door
+// mutex (a momentary, per-shard acquisition — the snapshot never holds two
+// doors at once and never blocks commits in other shards).
+func (s *STM) ShardTelemetrySnapshot(dst []ShardTelemetry) []ShardTelemetry {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		t := ShardTelemetry{Shard: i, Clock: sh.clock.Load()}
+		d := &sh.door
+		d.mu.Lock()
+		t.DoorBatches = d.batches
+		t.DoorMembers = d.members
+		t.DoorMerged = d.merged
+		t.BatchSizeSum = d.sizeSum
+		t.BatchSizes = d.sizeBkt
+		d.mu.Unlock()
+		dst = append(dst, t)
+	}
+	return dst
+}
+
 // lockAllDoors takes every shard's door mutex in ascending shard order.
 // Serial (escalated) transactions hold all doors across their commit so the
 // per-shard clock bumps of one serial commit form a single atomic step of
@@ -320,6 +405,7 @@ func (tx *Txn) captureShard(sh uint32) {
 		if tx.shardSeen == 0 {
 			tx.epochSeen = ep
 		} else if ep != tx.epochSeen {
+			s.stats.EpochExtensions.Add(1)
 			if !tx.extend() {
 				tx.conflict(CauseValidation)
 			}
@@ -351,6 +437,15 @@ func (tx *Txn) captureShard(sh uint32) {
 // vector that is "after" the commit in the bumped shards while the quiet-
 // shard skip hides the committer's in-flight locks everywhere else.
 func (tx *Txn) extend() bool {
+	pp := tx.phaseEnter(PhaseValidate)
+	ok := tx.extendVector()
+	tx.phaseExit(pp)
+	return ok
+}
+
+// extendVector is the extension pass proper (see extend above for the
+// protocol argument; the wrapper only attributes the pass to PhaseValidate).
+func (tx *Txn) extendVector() bool {
 	s := tx.s
 	var changed uint64
 	for m := tx.shardSeen; m != 0; m &= m - 1 {
@@ -441,6 +536,14 @@ func (p *pubStamp) ver(r *baseRef) uint64 {
 // makes partially-bumped clock vectors visible to readers — and then advance
 // each written shard's clock in ascending shard order.
 func (tx *Txn) stampWrites(p *pubStamp, mask uint64) {
+	pp := tx.phaseEnter(PhaseDoorWait)
+	tx.stampWritesDoor(p, mask)
+	tx.phaseExit(pp)
+}
+
+// stampWritesDoor is the stamping pass proper (the stampWrites wrapper only
+// attributes the door/clock window to PhaseDoorWait).
+func (tx *Txn) stampWritesDoor(p *pubStamp, mask uint64) {
 	s := tx.s
 	p.mask = mask
 	if tx.serialMode {
@@ -525,10 +628,22 @@ func (tx *Txn) releaseStamp(p *pubStamp) {
 // sweep, like captureShard/extend: a clock sample that includes a
 // cross-shard commit's bump then cannot pair with a stale-but-equal epoch.
 func (tx *Txn) validateCommit(p *pubStamp) bool {
+	pp := tx.phaseEnter(PhaseValidate)
+	ok := tx.validateCommitStamped(p)
+	tx.phaseExit(pp)
+	return ok
+}
+
+// validateCommitStamped is the commit-time validation pass proper (the
+// validateCommit wrapper only attributes it to PhaseValidate).
+func (tx *Txn) validateCommitStamped(p *pubStamp) bool {
+	s := tx.s
 	if p.skip || len(tx.reads) == 0 {
+		if len(tx.reads) > 0 {
+			s.stats.ValidationShardsSkipped.Add(uint64(bits.OnesCount64(tx.shardSeen)))
+		}
 		return true
 	}
-	s := tx.s
 	full := !p.single
 	var changed uint64
 	if !full {
@@ -543,7 +658,13 @@ func (tx *Txn) validateCommit(p *pubStamp) bool {
 			changed &^= p.mask
 		}
 		full = s.epochClk.Load() != tx.epochSeen
-		if !full && changed == 0 {
+	}
+	if full {
+		s.stats.ValidationShardsChecked.Add(uint64(bits.OnesCount64(tx.shardSeen)))
+	} else {
+		s.stats.ValidationShardsChecked.Add(uint64(bits.OnesCount64(changed)))
+		s.stats.ValidationShardsSkipped.Add(uint64(bits.OnesCount64(tx.shardSeen &^ changed)))
+		if changed == 0 {
 			return true
 		}
 	}

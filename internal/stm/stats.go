@@ -202,6 +202,14 @@ type Stats struct {
 	// Sharded-timebase counters (see shard.go).
 	GroupCommits      atomic.Uint64 // commits that merged into an open door batch
 	CrossShardCommits atomic.Uint64 // commits whose write set spanned shards (epoch bumps)
+	EpochExtensions   atomic.Uint64 // extensions forced by the epoch fence during capture
+	// Partitioned commit-time validation accounting: of the shards a
+	// committing transaction had captured, how many the pass actually walked
+	// (clock moved, or epoch fence forced the full pass) versus proved quiet
+	// and skipped. Skipped/(Skipped+Checked) is the payoff of the sharded
+	// timebase under skew.
+	ValidationShardsChecked atomic.Uint64
+	ValidationShardsSkipped atomic.Uint64
 
 	// ValidationTime observes the duration of each commit-time read-set
 	// validation pass (version- or value-based).
@@ -231,8 +239,11 @@ type StatsSnapshot struct {
 	DeadlineTxns  uint64 `json:"deadline_txns"`
 	ClosedTxns    uint64 `json:"closed_txns"`
 
-	GroupCommits      uint64 `json:"group_commits"`
-	CrossShardCommits uint64 `json:"cross_shard_commits"`
+	GroupCommits            uint64 `json:"group_commits"`
+	CrossShardCommits       uint64 `json:"cross_shard_commits"`
+	EpochExtensions         uint64 `json:"epoch_extensions"`
+	ValidationShardsChecked uint64 `json:"validation_shards_checked"`
+	ValidationShardsSkipped uint64 `json:"validation_shards_skipped"`
 
 	ValidationTime DurationHistSnapshot `json:"validation_time"`
 	LockHold       DurationHistSnapshot `json:"lock_hold"`
@@ -252,24 +263,27 @@ func (s StatsSnapshot) AbortsByCause() map[string]uint64 {
 
 func (st *Stats) snapshot() StatsSnapshot {
 	return StatsSnapshot{
-		Starts:            st.Starts.Load(),
-		Commits:           st.Commits.Load(),
-		Aborts:            st.Aborts.Load(),
-		ConflictAborts:    st.ConflictAborts.Load(),
-		ValidationAborts:  st.ValidationAborts.Load(),
-		DoomedAborts:      st.DoomedAborts.Load(),
-		UserAborts:        st.UserAborts.Load(),
-		MaxAttemptsAborts: st.MaxAttemptsAborts.Load(),
-		ChaosAborts:       st.ChaosAborts.Load(),
-		Escalations:       st.Escalations.Load(),
-		SerialCommits:     st.SerialCommits.Load(),
-		CanceledTxns:      st.CanceledTxns.Load(),
-		DeadlineTxns:      st.DeadlineTxns.Load(),
-		ClosedTxns:        st.ClosedTxns.Load(),
-		GroupCommits:      st.GroupCommits.Load(),
-		CrossShardCommits: st.CrossShardCommits.Load(),
-		ValidationTime:    st.ValidationTime.snapshot(),
-		LockHold:          st.LockHold.snapshot(),
+		Starts:                  st.Starts.Load(),
+		Commits:                 st.Commits.Load(),
+		Aborts:                  st.Aborts.Load(),
+		ConflictAborts:          st.ConflictAborts.Load(),
+		ValidationAborts:        st.ValidationAborts.Load(),
+		DoomedAborts:            st.DoomedAborts.Load(),
+		UserAborts:              st.UserAborts.Load(),
+		MaxAttemptsAborts:       st.MaxAttemptsAborts.Load(),
+		ChaosAborts:             st.ChaosAborts.Load(),
+		Escalations:             st.Escalations.Load(),
+		SerialCommits:           st.SerialCommits.Load(),
+		CanceledTxns:            st.CanceledTxns.Load(),
+		DeadlineTxns:            st.DeadlineTxns.Load(),
+		ClosedTxns:              st.ClosedTxns.Load(),
+		GroupCommits:            st.GroupCommits.Load(),
+		CrossShardCommits:       st.CrossShardCommits.Load(),
+		EpochExtensions:         st.EpochExtensions.Load(),
+		ValidationShardsChecked: st.ValidationShardsChecked.Load(),
+		ValidationShardsSkipped: st.ValidationShardsSkipped.Load(),
+		ValidationTime:          st.ValidationTime.snapshot(),
+		LockHold:                st.LockHold.snapshot(),
 	}
 }
 
@@ -290,6 +304,9 @@ func (st *Stats) reset() {
 	st.ClosedTxns.Store(0)
 	st.GroupCommits.Store(0)
 	st.CrossShardCommits.Store(0)
+	st.EpochExtensions.Store(0)
+	st.ValidationShardsChecked.Store(0)
+	st.ValidationShardsSkipped.Store(0)
 	st.ValidationTime.reset()
 	st.LockHold.reset()
 }

@@ -150,6 +150,7 @@ type STM struct {
 	backend  Backend
 	cm       ContentionManager
 	tracer   Tracer
+	phaser   PhaseTracer  // tracer's PhaseTracer facet, nil when phase-blind
 	stampTS  bool         // tracer attached and not TimestampFree
 	now      func() int64 // TraceEvent timestamp clock, nil = wall time
 	maxTries int

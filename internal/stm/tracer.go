@@ -91,6 +91,7 @@ func (s *STM) setTracer(t Tracer) {
 	s.tracer = t
 	_, tsFree := t.(TimestampFree)
 	s.stampTS = t != nil && !tsFree
+	s.phaser, _ = t.(PhaseTracer)
 }
 
 // eventTS produces the TraceEvent.TS stamp: zero when the attached tracer is
@@ -149,6 +150,7 @@ func (tx *Txn) traceCommit() {
 			TS:      tx.s.eventTS(),
 			Ops:     tx.traceOps(),
 		})
+		tx.emitPhases(TraceCommit, CauseNone)
 	}
 }
 
@@ -166,5 +168,6 @@ func (tx *Txn) traceAbort(cause AbortCause) {
 			TS:      tx.s.eventTS(),
 			Ops:     tx.traceOps(),
 		})
+		tx.emitPhases(TraceAbort, cause)
 	}
 }

@@ -128,6 +128,18 @@ type Txn struct {
 	tokenBox *box
 	tokenFor uint64
 
+	// Phase-level span timing (phase.go): per-phase nanosecond buckets, the
+	// attempt's start and the open interval's start (both s.sinceEpoch based),
+	// the current phase and the armed flag. Owner goroutine only; armed per
+	// attempt by phaseBegin only when the attempt is sampled and the attached
+	// tracer implements PhaseTracer, so untraced runs pay one branch per
+	// bracket site.
+	phaseNS    [NumPhases]int64
+	phaseStart int64
+	phaseT     int64
+	phaseCur   Phase
+	phaseOn    bool
+
 	attempt int32
 	sampled bool // this attempt feeds the duration histograms
 	// serialMode marks an escalated (serial/irrevocable) transaction: it
@@ -221,6 +233,7 @@ func (tx *Txn) reset() {
 	tx.lockStart = 0
 	tx.attempt = 0
 	tx.sampled = false
+	tx.phaseOn = false
 	tx.serialMode = false
 	tx.escHeld = escNone
 	tx.incarnation++
@@ -268,7 +281,12 @@ func (tx *Txn) beginAttempt() {
 	tx.rng ^= tx.rng << 25
 	tx.rng ^= tx.rng >> 27
 	tx.sampled = (tx.rng*0x2545f4914f6cdd1d)>>(64-3) == 0 // 3 = log2(histSampleEvery)
-	clear(tx.locals)                                      // the map is retained, its per-attempt contents are not
+	if tx.sampled && tx.s.phaser != nil {
+		tx.phaseBegin()
+	} else {
+		tx.phaseOn = false
+	}
+	clear(tx.locals) // the map is retained, its per-attempt contents are not
 	tx.onAbort = tx.onAbort[:0]
 	tx.onCommit = tx.onCommit[:0]
 	tx.onCommitLocked = tx.onCommitLocked[:0]
