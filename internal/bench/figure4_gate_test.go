@@ -1,0 +1,35 @@
+package bench
+
+import "testing"
+
+// figure4AllocBudget is the Figure-4 hot-path allocation gate: allocations
+// per benchmark iteration (100k ops = 6250 transactions of 16 ops) on the
+// eager/optimistic Proustian map. History: 627k at the observability PR,
+// 210k after the zero-allocation ADT layer, ≤50k required once the Ctrie
+// gained epoch-pooled nodes (DESIGN.md §13) — measured ~39k, gated with
+// headroom at 50k. The structure's steady state allocates nothing; the
+// remainder is the STM's per-attempt serial token and committed-value
+// boxing.
+const figure4AllocBudget = 50000
+
+// TestFigure4AllocGate runs the Figure-4 hot path under the benchmark
+// harness and fails if allocations per iteration regress past the budget.
+// CI runs this in the bench-smoke job.
+func TestFigure4AllocGate(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts differ under the race detector")
+	}
+	if testing.Short() {
+		t.Skip("benchmark-backed gate; skipped in -short runs")
+	}
+	res := testing.Benchmark(func(b *testing.B) {
+		benchmarkFigure4Path(b, nil)
+	})
+	allocs := res.AllocsPerOp()
+	t.Logf("Figure-4 hot path: %d allocs/iter (budget %d), %d bytes/iter",
+		allocs, figure4AllocBudget, res.AllocedBytesPerOp())
+	if allocs > figure4AllocBudget {
+		t.Fatalf("Figure-4 hot path allocates %d/iter, budget is %d — the Ctrie pooling or the ADT layer regressed",
+			allocs, figure4AllocBudget)
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports whether the race detector is compiled in; allocation
+// gates are skipped under the detector, whose instrumentation changes
+// allocation counts.
+const raceEnabled = true

@@ -3,6 +3,7 @@ package conc
 import (
 	"math/bits"
 	"sync/atomic"
+	"unsafe"
 )
 
 // Ctrie is a concurrent hash-trie map with lock-free updates and
@@ -12,12 +13,38 @@ import (
 // ScalaProust uses as the base structure for its TrieMap wrappers.
 //
 // Updates use GCAS (generation-compare-and-swap) on interior nodes and
-// RDCSS on the root, so Snapshot is O(1): it installs a root with a fresh
-// generation, and subsequent writers lazily copy the path they touch.
+// RDCSS on the root, so Snapshot is O(1) in the size of the trie: it
+// installs a root with a fresh generation, and subsequent writers lazily
+// copy the paths they touch.
+//
+// On top of the PPoPP 2012 algorithm this implementation adds the memory
+// discipline described in DESIGN.md §13:
+//
+//   - Branch slots are atomic words holding *ctBranch boxes, so a value
+//     update on a key that is already present can CAS the slot in place
+//     when the enclosing CNode is stamped with the current generation —
+//     no CNode/array copy, no allocation (CtrieConfig.InPlace; off by
+//     default, see the config for the workload tradeoff). Copy-on-write
+//     remains the rule the moment a snapshot installs a new generation.
+//   - Displacing a current-generation CNode first freezes every slot
+//     (CAS-ing in a freeze wrapper, as in Prokopec's cache-trie snapshots)
+//     so an in-place writer can never publish into a node that a copier
+//     has already read: the slot CAS and the displacement race on the
+//     same word, which makes the lost-update window detectable atomically.
+//   - Displaced nodes whose generation matches their INode's generation
+//     are provably unreachable from every snapshot, so they are retired
+//     into epoch-based pools (epoch.go, ctriepool.go) and reused once a
+//     grace period has elapsed. With in-place mutation enabled, Snapshot
+//     and ReadOnlySnapshot wait one grace period after installing the new
+//     generation so writers that read the old generation have drained;
+//     the wait is bounded by in-flight operation length, never trie size.
 type Ctrie[K comparable, V any] struct {
-	hash     Hasher[K]
-	readOnly bool
-	root     atomic.Pointer[rootRef[K, V]]
+	hash        Hasher[K]
+	readOnly    bool
+	unversioned bool
+	inplace     bool
+	pool        *ctPool[K, V]
+	root        atomic.Pointer[rootRef[K, V]]
 }
 
 // ctGen is a trie generation; identity only.
@@ -37,11 +64,12 @@ type rdcssDesc[K comparable, V any] struct {
 	committed atomic.Bool
 }
 
-// ctMain is a tagged union of the main-node kinds (CNode, TNode, LNode) plus
-// the GCAS failed-node marker. Exactly one of cn/tn/ln/failed is set.
+// ctMain is a tagged union of the main-node kinds (CNode, TNode, LNode)
+// plus the GCAS failed-node marker. Exactly one of cn/tn/ln/failed is set;
+// tn holds the entombed SNode box directly.
 type ctMain[K comparable, V any] struct {
 	cn     *ctCNode[K, V]
-	tn     *ctTNode[K, V]
+	tn     *ctBranch[K, V]
 	ln     *ctLNode[K, V]
 	failed *ctMain[K, V]
 
@@ -59,39 +87,111 @@ func newCtINode[K comparable, V any](gen *ctGen, m *ctMain[K, V]) *ctINode[K, V]
 	return in
 }
 
-// ctBranch is either *ctINode or *ctSNode.
-type ctBranch[K comparable, V any] interface {
-	isCtBranch()
+// ctBranch is a branch box: either an INode edge (in != nil), a freeze
+// wrapper (fz != nil, see the displacement protocol below), or an SNode
+// carrying a key/value pair. Boxes are immutable once published — in-place
+// mutation replaces the *slot's* box pointer, never a box's fields — and
+// carry the generation they were created under, which decides whether a
+// displaced box may be retired into the pool (a box whose generation
+// predates the latest snapshot is shared with that snapshot).
+type ctBranch[K comparable, V any] struct {
+	in  *ctINode[K, V]
+	fz  *ctBranch[K, V]
+	gen *ctGen
+	hc  uint32
+	k   K
+	v   V
 }
 
-func (*ctINode[K, V]) isCtBranch() {}
-func (*ctSNode[K, V]) isCtBranch() {}
-
-type ctSNode[K comparable, V any] struct {
-	hc uint32
-	k  K
-	v  V
-}
-
-type ctTNode[K comparable, V any] struct {
-	sn *ctSNode[K, V]
+// ctSlot is one CAS-able branch slot of a CNode. The pointer is accessed
+// atomically once the CNode is published; while a replacement is still
+// private to its builder, plain stores suffice — the GCAS that publishes
+// it is the synchronizing operation (and gives the race detector its
+// happens-before edge).
+type ctSlot[K comparable, V any] struct {
+	p unsafe.Pointer // *ctBranch[K, V]
 }
 
 type ctLNode[K comparable, V any] struct {
-	entries []*ctSNode[K, V]
+	entries []*ctBranch[K, V]
 }
 
 type ctCNode[K comparable, V any] struct {
 	bmp   uint32
-	array []ctBranch[K, V]
+	array []ctSlot[K, V]
 	gen   *ctGen
 }
 
-// NewCtrie creates an empty Ctrie with the given hasher.
+// loadRaw reads slot i without unwrapping freeze markers.
+func (cn *ctCNode[K, V]) loadRaw(i int) *ctBranch[K, V] {
+	return (*ctBranch[K, V])(atomic.LoadPointer(&cn.array[i].p))
+}
+
+// load reads slot i through any freeze wrapper.
+func (cn *ctCNode[K, V]) load(i int) *ctBranch[K, V] {
+	b := cn.loadRaw(i)
+	if b != nil && b.fz != nil {
+		return b.fz
+	}
+	return b
+}
+
+// casSlot CASes slot i; this is how in-place updates and freeze markers
+// are published.
+func (cn *ctCNode[K, V]) casSlot(i int, old, new *ctBranch[K, V]) bool {
+	return atomic.CompareAndSwapPointer(&cn.array[i].p, unsafe.Pointer(old), unsafe.Pointer(new))
+}
+
+// setSlot plain-stores slot i of a CNode that is still private to its
+// builder (never published).
+func (cn *ctCNode[K, V]) setSlot(i int, b *ctBranch[K, V]) {
+	cn.array[i].p = unsafe.Pointer(b)
+}
+
+// CtrieConfig selects the Ctrie variants described in DESIGN.md §13.
+type CtrieConfig struct {
+	// Unversioned drops the persistence machinery: a single generation
+	// forever, GCAS degenerates to a plain CAS, and
+	// Snapshot/ReadOnlySnapshot panic. Use it when rollback is provided
+	// elsewhere (the eager Proustian map's undo logs) and snapshots are
+	// never taken; Range/Len walk the live trie and are weakly
+	// consistent, like sync.Map.
+	Unversioned bool
+
+	// InPlace enables the slot-CAS fast path for value updates on
+	// current-generation CNodes, guarded by the per-slot freeze protocol.
+	// It trades a freeze pass (one CAS per slot) on every structural
+	// displacement for zero-copy value updates, so it wins on
+	// update-dominant workloads over stable key sets and loses on
+	// insert/remove-heavy churn — see EXPERIMENTS.md for the measured
+	// crossover. Snapshots stay O(1) either way; with InPlace set they
+	// additionally wait one epoch grace period (bounded by in-flight
+	// operation length, never trie size).
+	InPlace bool
+}
+
+// NewCtrie creates an empty Ctrie with the given hasher: the default
+// snapshot-capable, copy-on-write configuration.
 func NewCtrie[K comparable, V any](hash Hasher[K]) *Ctrie[K, V] {
+	return NewCtrieConfigured[K, V](hash, CtrieConfig{})
+}
+
+// NewCtrieUnversioned creates a Ctrie that never pays the persistence
+// machinery (CtrieConfig.Unversioned).
+func NewCtrieUnversioned[K comparable, V any](hash Hasher[K]) *Ctrie[K, V] {
+	return NewCtrieConfigured[K, V](hash, CtrieConfig{Unversioned: true})
+}
+
+// NewCtrieConfigured creates an empty Ctrie with an explicit configuration.
+func NewCtrieConfigured[K comparable, V any](hash Hasher[K], cfg CtrieConfig) *Ctrie[K, V] {
 	gen := &ctGen{}
 	root := newCtINode(gen, &ctMain[K, V]{cn: &ctCNode[K, V]{gen: gen}})
-	ct := &Ctrie[K, V]{hash: hash}
+	ct := &Ctrie[K, V]{
+		hash:        hash,
+		unversioned: cfg.Unversioned,
+		inplace:     cfg.InPlace,
+		pool:        newCtPool[K, V](),
+	}
 	ct.root.Store(&rootRef[K, V]{in: root})
 	return ct
 }
@@ -155,17 +255,42 @@ func (ct *Ctrie[K, V]) rdcssRoot(ov *rootRef[K, V], expMain *ctMain[K, V], nv *c
 
 // --- GCAS on interior nodes --------------------------------------------
 
-func (ct *Ctrie[K, V]) gcas(in *ctINode[K, V], old, next *ctMain[K, V]) bool {
+// gcas installs next over old under in. On failure it also disposes of
+// next: a copy that lost the CAS was never published and goes straight
+// back to the freelists, while a copy that was installed and then rolled
+// back by the generation check was visible to readers and must age through
+// the epoch before reuse.
+func (ct *Ctrie[K, V]) gcas(h *ctHandle[K, V], in *ctINode[K, V], old, next *ctMain[K, V]) bool {
+	if ct.unversioned {
+		// A single generation forever: no snapshot can invalidate the
+		// update between CAS and commit, so GCAS is a plain CAS.
+		if in.main.CompareAndSwap(old, next) {
+			return true
+		}
+		ct.recycleCopy(h, next)
+		return false
+	}
 	next.prev.Store(old)
 	if in.main.CompareAndSwap(old, next) {
 		ct.gcasComplete(in, next)
-		return next.prev.Load() == nil
+		if next.prev.Load() == nil {
+			return true
+		}
+		if next.cn != nil {
+			h.retireCNode(next.cn)
+		}
+		h.retireMain(next)
+		return false
 	}
+	ct.recycleCopy(h, next)
 	return false
 }
 
 func (ct *Ctrie[K, V]) gcasRead(in *ctINode[K, V]) *ctMain[K, V] {
 	m := in.main.Load()
+	if ct.unversioned {
+		return m
+	}
 	if m.prev.Load() == nil {
 		return m
 	}
@@ -202,6 +327,72 @@ func (ct *Ctrie[K, V]) gcasComplete(in *ctINode[K, V], m *ctMain[K, V]) *ctMain[
 	}
 }
 
+// --- displacement protocol ----------------------------------------------
+
+// freezeIfLive freezes every slot of cn when in-place writers could target
+// it (its generation matches the owning INode's). A frozen slot makes any
+// later in-place CAS fail — the copier and the updater race on the slot
+// word itself — so the replacement built from the frozen payloads can
+// never lose a concurrent in-place update. Old-generation CNodes are
+// immutable (in-place is generation-gated), so they need no freezing.
+func (ct *Ctrie[K, V]) freezeIfLive(h *ctHandle[K, V], in *ctINode[K, V], cn *ctCNode[K, V]) {
+	if !ct.inplace || cn.gen != in.gen {
+		return
+	}
+	for i := range cn.array {
+		for {
+			b := cn.loadRaw(i)
+			if b == nil || b.fz != nil {
+				break
+			}
+			f := h.newFrozen(b)
+			if cn.casSlot(i, b, f) {
+				break
+			}
+			h.recycleBranchNow(f)
+		}
+	}
+}
+
+// retireDisplaced retires a successfully displaced cn-main into the pool
+// when it is provably unreachable from every snapshot: a CNode whose
+// generation matches its INode's was created after the latest snapshot
+// (nothing carries a generation before that generation exists), and
+// displacement removed the only structural reference to it. Freeze
+// wrappers in its slots are retired along with it. TNode/LNode mains are
+// rare and are left to the garbage collector.
+func (ct *Ctrie[K, V]) retireDisplaced(h *ctHandle[K, V], in *ctINode[K, V], m *ctMain[K, V]) {
+	cn := m.cn
+	if cn == nil || cn.gen != in.gen {
+		return
+	}
+	for i := range cn.array {
+		if b := cn.loadRaw(i); b != nil && b.fz != nil {
+			h.retireBranch(b)
+		}
+	}
+	h.retireCNode(cn)
+	h.retireMain(m)
+}
+
+// retireBranchIf retires a displaced branch box when its generation proves
+// it post-dates the latest snapshot.
+func (ct *Ctrie[K, V]) retireBranchIf(h *ctHandle[K, V], in *ctINode[K, V], b *ctBranch[K, V]) {
+	if b.gen == in.gen {
+		h.retireBranch(b)
+	}
+}
+
+// recycleCopy returns a never-published replacement (a losing GCAS copy)
+// straight to the freelists — no grace period needed.
+func (ct *Ctrie[K, V]) recycleCopy(h *ctHandle[K, V], m *ctMain[K, V]) {
+	if m.cn != nil {
+		h.recycleCNodeNow(m.cn)
+		m.cn = nil
+	}
+	h.recycleMainNow(m)
+}
+
 // --- CNode helpers -------------------------------------------------------
 
 func ctFlagPos(hc uint32, lev uint, bmp uint32) (flag uint32, pos int) {
@@ -211,95 +402,165 @@ func ctFlagPos(hc uint32, lev uint, bmp uint32) (flag uint32, pos int) {
 	return flag, pos
 }
 
-func (cn *ctCNode[K, V]) insertedAt(pos int, flag uint32, b ctBranch[K, V], gen *ctGen) *ctMain[K, V] {
-	arr := make([]ctBranch[K, V], len(cn.array)+1)
-	copy(arr, cn.array[:pos])
-	arr[pos] = b
-	copy(arr[pos+1:], cn.array[pos:])
-	return &ctMain[K, V]{cn: &ctCNode[K, V]{bmp: cn.bmp | flag, array: arr, gen: gen}}
+// cowInserted builds a copy of cn with branch b inserted at pos. The
+// caller has frozen cn if it is live.
+func (ct *Ctrie[K, V]) cowInserted(h *ctHandle[K, V], cn *ctCNode[K, V], pos int, flag uint32, b *ctBranch[K, V], gen *ctGen) *ctCNode[K, V] {
+	ncn := h.newCNode(len(cn.array)+1, cn.bmp|flag, gen)
+	for i := 0; i < pos; i++ {
+		ncn.setSlot(i, cn.load(i))
+	}
+	ncn.setSlot(pos, b)
+	for i := pos; i < len(cn.array); i++ {
+		ncn.setSlot(i+1, cn.load(i))
+	}
+	return ncn
 }
 
-func (cn *ctCNode[K, V]) updatedAt(pos int, b ctBranch[K, V], gen *ctGen) *ctCNode[K, V] {
-	arr := make([]ctBranch[K, V], len(cn.array))
-	copy(arr, cn.array)
-	arr[pos] = b
-	return &ctCNode[K, V]{bmp: cn.bmp, array: arr, gen: gen}
-}
-
-func (cn *ctCNode[K, V]) removedAt(pos int, flag uint32, gen *ctGen) *ctCNode[K, V] {
-	arr := make([]ctBranch[K, V], len(cn.array)-1)
-	copy(arr, cn.array[:pos])
-	copy(arr[pos:], cn.array[pos+1:])
-	return &ctCNode[K, V]{bmp: cn.bmp &^ flag, array: arr, gen: gen}
-}
-
-// renewed copies the CNode to a new generation, copying child INodes along.
-func (ct *Ctrie[K, V]) renewed(cn *ctCNode[K, V], gen *ctGen) *ctCNode[K, V] {
-	arr := make([]ctBranch[K, V], len(cn.array))
-	for i, b := range cn.array {
-		if in, ok := b.(*ctINode[K, V]); ok {
-			arr[i] = ct.copyToGen(in, gen)
+// cowUpdated builds a copy of cn with slot pos replaced by b.
+func (ct *Ctrie[K, V]) cowUpdated(h *ctHandle[K, V], cn *ctCNode[K, V], pos int, b *ctBranch[K, V], gen *ctGen) *ctCNode[K, V] {
+	ncn := h.newCNode(len(cn.array), cn.bmp, gen)
+	for i := range cn.array {
+		if i == pos {
+			ncn.setSlot(i, b)
 		} else {
-			arr[i] = b
+			ncn.setSlot(i, cn.load(i))
 		}
 	}
-	return &ctCNode[K, V]{bmp: cn.bmp, array: arr, gen: gen}
+	return ncn
+}
+
+// cowRemoved builds a copy of cn with slot pos removed.
+func (ct *Ctrie[K, V]) cowRemoved(h *ctHandle[K, V], cn *ctCNode[K, V], pos int, flag uint32, gen *ctGen) *ctCNode[K, V] {
+	ncn := h.newCNode(len(cn.array)-1, cn.bmp&^flag, gen)
+	for i := 0; i < pos; i++ {
+		ncn.setSlot(i, cn.load(i))
+	}
+	for i := pos + 1; i < len(cn.array); i++ {
+		ncn.setSlot(i-1, cn.load(i))
+	}
+	return ncn
+}
+
+// renewed copies the CNode to a new generation, copying child INodes
+// along. The caller has frozen cn if it is live.
+func (ct *Ctrie[K, V]) renewed(h *ctHandle[K, V], cn *ctCNode[K, V], gen *ctGen) *ctCNode[K, V] {
+	ncn := h.newCNode(len(cn.array), cn.bmp, gen)
+	for i := range cn.array {
+		b := cn.load(i)
+		if b.in != nil {
+			ncn.setSlot(i, h.newINodeBranch(ct.copyToGen(b.in, gen), gen))
+		} else {
+			ncn.setSlot(i, b)
+		}
+	}
+	return ncn
 }
 
 func (ct *Ctrie[K, V]) copyToGen(in *ctINode[K, V], gen *ctGen) *ctINode[K, V] {
 	return newCtINode(gen, ct.gcasRead(in))
 }
 
-// toContracted entombs a single-SNode CNode below the root.
-func (cn *ctCNode[K, V]) toContracted(lev uint) *ctMain[K, V] {
+// toContracted entombs a single-SNode CNode below the root, recycling the
+// (private, never-published) CNode it consumes if it contracts.
+func (ct *Ctrie[K, V]) toContracted(h *ctHandle[K, V], cn *ctCNode[K, V], lev uint) *ctMain[K, V] {
 	if lev > 0 && len(cn.array) == 1 {
-		if sn, ok := cn.array[0].(*ctSNode[K, V]); ok {
-			return &ctMain[K, V]{tn: &ctTNode[K, V]{sn: sn}}
+		if b := cn.load(0); b != nil && b.in == nil {
+			h.recycleCNodeNow(cn)
+			m := h.newMain()
+			m.tn = b
+			return m
 		}
 	}
-	return &ctMain[K, V]{cn: cn}
+	m := h.newMain()
+	m.cn = cn
+	return m
 }
 
-// toCompressed resurrects tombed children and contracts.
-func (ct *Ctrie[K, V]) toCompressed(cn *ctCNode[K, V], lev uint, gen *ctGen) *ctMain[K, V] {
-	arr := make([]ctBranch[K, V], len(cn.array))
-	for i, b := range cn.array {
-		if in, ok := b.(*ctINode[K, V]); ok {
-			m := ct.gcasRead(in)
+// toCompressed resurrects tombed children and contracts. The caller has
+// frozen cn if it is live. Each resurrected (displaced) INode-edge box is
+// appended to h.scratch: a TNode main is terminal, so a child seen tombed
+// here stays tombed, and the caller may retire the recorded edges if (and
+// only if) its GCAS wins. Re-reading child state after the GCAS would
+// instead race with children that became tombed after the copy was taken —
+// those are still reachable through the new CNode and must not be retired.
+func (ct *Ctrie[K, V]) toCompressed(h *ctHandle[K, V], cn *ctCNode[K, V], lev uint, gen *ctGen) *ctMain[K, V] {
+	h.scratch = h.scratch[:0]
+	ncn := h.newCNode(len(cn.array), cn.bmp, gen)
+	for i := range cn.array {
+		b := cn.load(i)
+		if b.in != nil {
+			m := ct.gcasRead(b.in)
 			if m != nil && m.tn != nil {
-				arr[i] = m.tn.sn
+				ncn.setSlot(i, m.tn)
+				h.scratch = append(h.scratch, b)
 				continue
 			}
 		}
-		arr[i] = b
+		ncn.setSlot(i, b)
 	}
-	return (&ctCNode[K, V]{bmp: cn.bmp, array: arr, gen: gen}).toContracted(lev)
+	return ct.toContracted(h, ncn, lev)
 }
 
-func (ct *Ctrie[K, V]) clean(in *ctINode[K, V], lev uint) {
+func (ct *Ctrie[K, V]) clean(h *ctHandle[K, V], in *ctINode[K, V], lev uint) {
 	m := ct.gcasRead(in)
 	if m != nil && m.cn != nil {
-		ct.gcas(in, m, ct.toCompressed(m.cn, lev, in.gen))
+		ct.freezeIfLive(h, in, m.cn)
+		nm := ct.toCompressed(h, m.cn, lev, in.gen)
+		if ct.gcas(h, in, m, nm) {
+			ct.retireDisplaced(h, in, m)
+			ct.retireTombedEdges(h, in)
+		}
+		h.scratch = h.scratch[:0]
 	}
 }
 
-// dual builds the subtree holding two colliding SNodes.
-func ctDual[K comparable, V any](x *ctSNode[K, V], xhc uint32, y *ctSNode[K, V], yhc uint32, lev uint, gen *ctGen) *ctMain[K, V] {
+// retireTombedEdges retires the INode edges recorded by toCompressed once
+// the displacement won. The INode struct is retired when its generation
+// matches (fresh INodes are never shared across generations, unlike mains,
+// which copyToGen aliases into the renewed generation — so the terminal
+// TNode main is only retired in the unversioned trie, where there is a
+// single generation and no sharing is possible).
+func (ct *Ctrie[K, V]) retireTombedEdges(h *ctHandle[K, V], in *ctINode[K, V]) {
+	for _, b := range h.scratch {
+		ct.retireBranchIf(h, in, b)
+		if b.in.gen == in.gen {
+			if ct.unversioned {
+				if cm := ct.gcasRead(b.in); cm != nil && cm.tn != nil {
+					h.retireMain(cm)
+				}
+			}
+			h.retireINode(b.in)
+		}
+	}
+}
+
+// ctDual builds the subtree holding two colliding SNode boxes.
+func (ct *Ctrie[K, V]) ctDual(h *ctHandle[K, V], x *ctBranch[K, V], y *ctBranch[K, V], lev uint, gen *ctGen) *ctMain[K, V] {
 	if lev < 35 {
-		xidx := (xhc >> lev) & 0x1f
-		yidx := (yhc >> lev) & 0x1f
+		xidx := (x.hc >> lev) & 0x1f
+		yidx := (y.hc >> lev) & 0x1f
 		bmp := (uint32(1) << xidx) | (uint32(1) << yidx)
 		if xidx == yidx {
-			sub := newCtINode(gen, ctDual(x, xhc, y, yhc, lev+5, gen))
-			return &ctMain[K, V]{cn: &ctCNode[K, V]{bmp: bmp, array: []ctBranch[K, V]{sub}, gen: gen}}
+			sub := h.newINode(gen, ct.ctDual(h, x, y, lev+5, gen))
+			ncn := h.newCNode(1, bmp, gen)
+			ncn.setSlot(0, h.newINodeBranch(sub, gen))
+			m := h.newMain()
+			m.cn = ncn
+			return m
 		}
-		arr := []ctBranch[K, V]{x, y}
-		if xidx > yidx {
-			arr[0], arr[1] = y, x
+		ncn := h.newCNode(2, bmp, gen)
+		if xidx < yidx {
+			ncn.setSlot(0, x)
+			ncn.setSlot(1, y)
+		} else {
+			ncn.setSlot(0, y)
+			ncn.setSlot(1, x)
 		}
-		return &ctMain[K, V]{cn: &ctCNode[K, V]{bmp: bmp, array: arr, gen: gen}}
+		m := h.newMain()
+		m.cn = ncn
+		return m
 	}
-	return &ctMain[K, V]{ln: &ctLNode[K, V]{entries: []*ctSNode[K, V]{x, y}}}
+	return &ctMain[K, V]{ln: &ctLNode[K, V]{entries: []*ctBranch[K, V]{x, y}}}
 }
 
 // --- LNode helpers -------------------------------------------------------
@@ -314,8 +575,8 @@ func (ln *ctLNode[K, V]) get(k K) (V, bool) {
 	return zero, false
 }
 
-func (ln *ctLNode[K, V]) inserted(sn *ctSNode[K, V]) *ctLNode[K, V] {
-	out := &ctLNode[K, V]{entries: make([]*ctSNode[K, V], 0, len(ln.entries)+1)}
+func (ln *ctLNode[K, V]) inserted(sn *ctBranch[K, V]) *ctLNode[K, V] {
+	out := &ctLNode[K, V]{entries: make([]*ctBranch[K, V], 0, len(ln.entries)+1)}
 	replaced := false
 	for _, e := range ln.entries {
 		if e.k == sn.k {
@@ -344,11 +605,11 @@ func (ln *ctLNode[K, V]) removed(k K) (*ctMain[K, V], V, bool) {
 		return nil, zero, false
 	}
 	old := ln.entries[idx].v
-	rest := make([]*ctSNode[K, V], 0, len(ln.entries)-1)
+	rest := make([]*ctBranch[K, V], 0, len(ln.entries)-1)
 	rest = append(rest, ln.entries[:idx]...)
 	rest = append(rest, ln.entries[idx+1:]...)
 	if len(rest) == 1 {
-		return &ctMain[K, V]{tn: &ctTNode[K, V]{sn: rest[0]}}, old, true
+		return &ctMain[K, V]{tn: rest[0]}, old, true
 	}
 	return &ctMain[K, V]{ln: &ctLNode[K, V]{entries: rest}}, old, true
 }
@@ -358,13 +619,21 @@ func (ln *ctLNode[K, V]) removed(k K) (*ctMain[K, V], V, bool) {
 // Get returns the value for k.
 func (ct *Ctrie[K, V]) Get(k K) (V, bool) {
 	hc := ct.hc(k)
+	h := ct.pool.get()
+	h.pin()
+	var v V
+	var ok bool
 	for {
 		r := ct.rdcssReadRoot(false)
-		v, ok, restart := ct.ilookup(r, k, hc, 0, nil, r.gen)
+		var restart bool
+		v, ok, restart = ct.ilookup(h, r, k, hc, 0, nil, r.gen)
 		if !restart {
-			return v, ok
+			break
 		}
 	}
+	h.unpin()
+	ct.pool.put(h)
+	return v, ok
 }
 
 // Contains reports whether k is present.
@@ -379,13 +648,21 @@ func (ct *Ctrie[K, V]) Put(k K, v V) (V, bool) {
 		panic("conc: Put on read-only Ctrie snapshot")
 	}
 	hc := ct.hc(k)
+	h := ct.pool.get()
+	h.pin()
+	var old V
+	var had bool
 	for {
 		r := ct.rdcssReadRoot(false)
-		old, had, restart := ct.iinsert(r, k, v, hc, 0, nil, r.gen)
+		var restart bool
+		old, had, restart = ct.iinsert(h, r, k, v, hc, 0, nil, r.gen)
 		if !restart {
-			return old, had
+			break
 		}
 	}
+	h.unpin()
+	ct.pool.put(h)
+	return old, had
 }
 
 // Remove deletes k and returns the removed value, if any.
@@ -394,55 +671,98 @@ func (ct *Ctrie[K, V]) Remove(k K) (V, bool) {
 		panic("conc: Remove on read-only Ctrie snapshot")
 	}
 	hc := ct.hc(k)
+	h := ct.pool.get()
+	h.pin()
+	var old V
+	var had bool
 	for {
 		r := ct.rdcssReadRoot(false)
-		old, had, restart := ct.iremove(r, k, hc, 0, nil, r.gen)
+		var restart bool
+		old, had, restart = ct.iremove(h, r, k, hc, 0, nil, r.gen)
 		if !restart {
-			return old, had
+			break
 		}
 	}
+	h.unpin()
+	ct.pool.put(h)
+	return old, had
 }
 
-// Snapshot returns a mutable snapshot in O(1). The snapshot and the
-// original evolve independently; writers lazily copy the paths they touch.
-// Proust uses one snapshot per transaction as the shadow copy.
+// Snapshot returns a mutable snapshot, O(1) in the size of the trie. The
+// snapshot and the original evolve independently; writers lazily copy the
+// paths they touch. Proust uses one snapshot per transaction as the shadow
+// copy. When in-place mutation is enabled the call additionally waits one
+// epoch grace period — bounded by in-flight operation length — so writers
+// that read the previous generation have drained before the snapshot is
+// handed out; the snapshot is frozen from the caller's first read onward.
 func (ct *Ctrie[K, V]) Snapshot() *Ctrie[K, V] {
+	if ct.unversioned {
+		panic("conc: Snapshot on unversioned Ctrie")
+	}
+	h := ct.pool.get()
+	h.pin()
 	for {
 		rref := ct.rdcssReadRootRef(false)
 		r := rref.in
 		expMain := ct.gcasRead(r)
 		if ct.rdcssRoot(rref, expMain, ct.copyToGen(r, &ctGen{})) {
-			snap := &Ctrie[K, V]{hash: ct.hash}
+			snap := &Ctrie[K, V]{hash: ct.hash, inplace: ct.inplace, pool: ct.pool}
 			snap.root.Store(&rootRef[K, V]{in: ct.copyToGen(r, &ctGen{})})
+			h.unpin()
+			ct.pool.put(h)
+			if ct.inplace {
+				ct.pool.ebr.synchronize()
+			}
 			return snap
 		}
 	}
 }
 
-// ReadOnlySnapshot returns a read-only snapshot in O(1); mutating it panics.
+// ReadOnlySnapshot returns a read-only snapshot, O(1) in the size of the
+// trie; mutating it panics. See Snapshot for the grace-period fence.
 func (ct *Ctrie[K, V]) ReadOnlySnapshot() *Ctrie[K, V] {
+	if ct.unversioned {
+		panic("conc: ReadOnlySnapshot on unversioned Ctrie")
+	}
 	if ct.readOnly {
 		return ct
 	}
+	h := ct.pool.get()
+	h.pin()
 	for {
 		rref := ct.rdcssReadRootRef(false)
 		r := rref.in
 		expMain := ct.gcasRead(r)
 		if ct.rdcssRoot(rref, expMain, ct.copyToGen(r, &ctGen{})) {
-			snap := &Ctrie[K, V]{hash: ct.hash, readOnly: true}
+			snap := &Ctrie[K, V]{hash: ct.hash, readOnly: true, inplace: ct.inplace, pool: ct.pool}
 			snap.root.Store(&rootRef[K, V]{in: r})
+			h.unpin()
+			ct.pool.put(h)
+			if ct.inplace {
+				ct.pool.ebr.synchronize()
+			}
 			return snap
 		}
 	}
 }
 
-// Range calls f over a consistent snapshot of the map until f returns false.
+// Range calls f over the map until f returns false. On a versioned trie it
+// iterates a consistent read-only snapshot; on an unversioned trie it
+// walks the live structure and is weakly consistent (like sync.Map): keys
+// not mutated during the walk are each seen exactly once.
 func (ct *Ctrie[K, V]) Range(f func(K, V) bool) {
-	snap := ct.ReadOnlySnapshot()
-	snap.walk(snap.rdcssReadRoot(false), f)
+	src := ct
+	if !ct.unversioned {
+		src = ct.ReadOnlySnapshot()
+	}
+	h := src.pool.get()
+	h.pin()
+	src.walk(h, src.rdcssReadRoot(false), f)
+	h.unpin()
+	src.pool.put(h)
 }
 
-// Len counts the entries over a consistent snapshot.
+// Len counts the entries; consistency matches Range.
 func (ct *Ctrie[K, V]) Len() int {
 	n := 0
 	ct.Range(func(K, V) bool {
@@ -452,26 +772,27 @@ func (ct *Ctrie[K, V]) Len() int {
 	return n
 }
 
-func (ct *Ctrie[K, V]) walk(in *ctINode[K, V], f func(K, V) bool) bool {
+func (ct *Ctrie[K, V]) walk(h *ctHandle[K, V], in *ctINode[K, V], f func(K, V) bool) bool {
 	m := ct.gcasRead(in)
 	switch {
 	case m == nil:
 		return true
 	case m.cn != nil:
-		for _, b := range m.cn.array {
-			switch br := b.(type) {
-			case *ctSNode[K, V]:
-				if !f(br.k, br.v) {
+		for i := range m.cn.array {
+			b := m.cn.load(i)
+			if b == nil {
+				continue
+			}
+			if b.in != nil {
+				if !ct.walk(h, b.in, f) {
 					return false
 				}
-			case *ctINode[K, V]:
-				if !ct.walk(br, f) {
-					return false
-				}
+			} else if !f(b.k, b.v) {
+				return false
 			}
 		}
 	case m.tn != nil:
-		return f(m.tn.sn.k, m.tn.sn.v)
+		return f(m.tn.k, m.tn.v)
 	case m.ln != nil:
 		for _, sn := range m.ln.entries {
 			if !f(sn.k, sn.v) {
@@ -484,7 +805,7 @@ func (ct *Ctrie[K, V]) walk(in *ctINode[K, V], f func(K, V) bool) bool {
 
 // --- core recursive operations -------------------------------------------
 
-func (ct *Ctrie[K, V]) ilookup(in *ctINode[K, V], k K, hc uint32, lev uint, parent *ctINode[K, V], startgen *ctGen) (V, bool, bool) {
+func (ct *Ctrie[K, V]) ilookup(h *ctHandle[K, V], in *ctINode[K, V], k K, hc uint32, lev uint, parent *ctINode[K, V], startgen *ctGen) (V, bool, bool) {
 	var zero V
 	m := ct.gcasRead(in)
 	switch {
@@ -494,30 +815,32 @@ func (ct *Ctrie[K, V]) ilookup(in *ctINode[K, V], k K, hc uint32, lev uint, pare
 		if cn.bmp&flag == 0 {
 			return zero, false, false
 		}
-		switch b := cn.array[pos].(type) {
-		case *ctINode[K, V]:
-			if ct.readOnly || startgen == b.gen {
-				return ct.ilookup(b, k, hc, lev+5, in, startgen)
+		b := cn.load(pos)
+		if b.in != nil {
+			if ct.readOnly || startgen == b.in.gen {
+				return ct.ilookup(h, b.in, k, hc, lev+5, in, startgen)
 			}
-			if ct.gcas(in, m, &ctMain[K, V]{cn: ct.renewed(cn, startgen)}) {
-				return ct.ilookup(in, k, hc, lev, parent, startgen)
+			ct.freezeIfLive(h, in, cn)
+			nm := h.newMain()
+			nm.cn = ct.renewed(h, cn, startgen)
+			if ct.gcas(h, in, m, nm) {
+				ct.retireDisplaced(h, in, m)
+				return ct.ilookup(h, in, k, hc, lev, parent, startgen)
 			}
 			return zero, false, true
-		case *ctSNode[K, V]:
-			if b.hc == hc && b.k == k {
-				return b.v, true, false
-			}
-			return zero, false, false
 		}
-		return zero, false, true
+		if b.hc == hc && b.k == k {
+			return b.v, true, false
+		}
+		return zero, false, false
 	case m.tn != nil:
 		if ct.readOnly {
-			if m.tn.sn.hc == hc && m.tn.sn.k == k {
-				return m.tn.sn.v, true, false
+			if m.tn.hc == hc && m.tn.k == k {
+				return m.tn.v, true, false
 			}
 			return zero, false, false
 		}
-		ct.clean(parent, lev-5)
+		ct.clean(h, parent, lev-5)
 		return zero, false, true
 	case m.ln != nil:
 		v, ok := m.ln.get(k)
@@ -526,7 +849,7 @@ func (ct *Ctrie[K, V]) ilookup(in *ctINode[K, V], k K, hc uint32, lev uint, pare
 	return zero, false, true
 }
 
-func (ct *Ctrie[K, V]) iinsert(in *ctINode[K, V], k K, v V, hc uint32, lev uint, parent *ctINode[K, V], startgen *ctGen) (V, bool, bool) {
+func (ct *Ctrie[K, V]) iinsert(h *ctHandle[K, V], in *ctINode[K, V], k K, v V, hc uint32, lev uint, parent *ctINode[K, V], startgen *ctGen) (V, bool, bool) {
 	var zero V
 	m := ct.gcasRead(in)
 	switch {
@@ -534,52 +857,101 @@ func (ct *Ctrie[K, V]) iinsert(in *ctINode[K, V], k K, v V, hc uint32, lev uint,
 		cn := m.cn
 		flag, pos := ctFlagPos(hc, lev, cn.bmp)
 		if cn.bmp&flag == 0 {
-			rn := cn
+			// New key: the bitmap changes, so this is always a copy.
+			ct.freezeIfLive(h, in, cn)
+			src := cn
 			if cn.gen != in.gen {
-				rn = ct.renewed(cn, in.gen)
+				src = ct.renewed(h, cn, in.gen)
 			}
-			if ct.gcas(in, m, rn.insertedAt(pos, flag, &ctSNode[K, V]{hc: hc, k: k, v: v}, in.gen)) {
+			nm := h.newMain()
+			nm.cn = ct.cowInserted(h, src, pos, flag, h.newSNode(hc, k, v, in.gen), in.gen)
+			if src != cn {
+				h.recycleCNodeNow(src)
+			}
+			if ct.gcas(h, in, m, nm) {
+				ct.retireDisplaced(h, in, m)
 				return zero, false, false
 			}
 			return zero, false, true
 		}
-		switch b := cn.array[pos].(type) {
-		case *ctINode[K, V]:
-			if startgen == b.gen {
-				return ct.iinsert(b, k, v, hc, lev+5, in, startgen)
+		raw := cn.loadRaw(pos)
+		b := raw
+		frozen := false
+		if b != nil && b.fz != nil {
+			b, frozen = b.fz, true
+		}
+		switch {
+		case b.in != nil:
+			if startgen == b.in.gen {
+				return ct.iinsert(h, b.in, k, v, hc, lev+5, in, startgen)
 			}
-			if ct.gcas(in, m, &ctMain[K, V]{cn: ct.renewed(cn, startgen)}) {
-				return ct.iinsert(in, k, v, hc, lev, parent, startgen)
+			ct.freezeIfLive(h, in, cn)
+			nm := h.newMain()
+			nm.cn = ct.renewed(h, cn, startgen)
+			if ct.gcas(h, in, m, nm) {
+				ct.retireDisplaced(h, in, m)
+				return ct.iinsert(h, in, k, v, hc, lev, parent, startgen)
 			}
 			return zero, false, true
-		case *ctSNode[K, V]:
-			rn := cn
-			if cn.gen != in.gen {
-				rn = ct.renewed(cn, in.gen)
-			}
-			if b.hc == hc && b.k == k {
-				ncn := rn.updatedAt(pos, &ctSNode[K, V]{hc: hc, k: k, v: v}, in.gen)
-				if ct.gcas(in, m, &ctMain[K, V]{cn: ncn}) {
+		case b.hc == hc && b.k == k:
+			// Key present: a pure value update. When the CNode carries the
+			// current generation and the slot is not frozen, CAS the slot
+			// in place — a displacement racing with us must freeze this
+			// very word first, so the CAS itself decides the race.
+			if ct.inplace && !frozen && cn.gen == in.gen && in.gen == startgen {
+				nb := h.newSNode(hc, k, v, in.gen)
+				if cn.casSlot(pos, raw, nb) {
+					ct.retireBranchIf(h, in, b)
 					return b.v, true, false
 				}
+				h.recycleBranchNow(nb)
 				return zero, false, true
 			}
-			nsn := &ctSNode[K, V]{hc: hc, k: k, v: v}
-			nin := newCtINode(in.gen, ctDual(b, b.hc, nsn, hc, lev+5, in.gen))
-			ncn := rn.updatedAt(pos, nin, in.gen)
-			if ct.gcas(in, m, &ctMain[K, V]{cn: ncn}) {
+			ct.freezeIfLive(h, in, cn)
+			src := cn
+			if cn.gen != in.gen {
+				src = ct.renewed(h, cn, in.gen)
+			}
+			nm := h.newMain()
+			nm.cn = ct.cowUpdated(h, src, pos, h.newSNode(hc, k, v, in.gen), in.gen)
+			if src != cn {
+				h.recycleCNodeNow(src)
+			}
+			if ct.gcas(h, in, m, nm) {
+				ct.retireDisplaced(h, in, m)
+				ct.retireBranchIf(h, in, b)
+				return b.v, true, false
+			}
+			return zero, false, true
+		default:
+			// Hash path collision: split into a subtree.
+			ct.freezeIfLive(h, in, cn)
+			src := cn
+			if cn.gen != in.gen {
+				src = ct.renewed(h, cn, in.gen)
+			}
+			nsn := h.newSNode(hc, k, v, in.gen)
+			nin := h.newINode(in.gen, ct.ctDual(h, b, nsn, lev+5, in.gen))
+			nm := h.newMain()
+			nm.cn = ct.cowUpdated(h, src, pos, h.newINodeBranch(nin, in.gen), in.gen)
+			if src != cn {
+				h.recycleCNodeNow(src)
+			}
+			if ct.gcas(h, in, m, nm) {
+				ct.retireDisplaced(h, in, m)
 				return zero, false, false
 			}
 			return zero, false, true
 		}
-		return zero, false, true
 	case m.tn != nil:
-		ct.clean(parent, lev-5)
+		ct.clean(h, parent, lev-5)
 		return zero, false, true
 	case m.ln != nil:
 		old, had := m.ln.get(k)
-		nln := m.ln.inserted(&ctSNode[K, V]{hc: hc, k: k, v: v})
-		if ct.gcas(in, m, &ctMain[K, V]{ln: nln}) {
+		nln := m.ln.inserted(h.newSNode(hc, k, v, in.gen))
+		nm := h.newMain()
+		nm.ln = nln
+		if ct.gcas(h, in, m, nm) {
 			return old, had, false
 		}
 		return zero, false, true
@@ -587,7 +959,7 @@ func (ct *Ctrie[K, V]) iinsert(in *ctINode[K, V], k K, v V, hc uint32, lev uint,
 	return zero, false, true
 }
 
-func (ct *Ctrie[K, V]) iremove(in *ctINode[K, V], k K, hc uint32, lev uint, parent *ctINode[K, V], startgen *ctGen) (V, bool, bool) {
+func (ct *Ctrie[K, V]) iremove(h *ctHandle[K, V], in *ctINode[K, V], k K, hc uint32, lev uint, parent *ctINode[K, V], startgen *ctGen) (V, bool, bool) {
 	var zero V
 	m := ct.gcasRead(in)
 	switch {
@@ -602,25 +974,30 @@ func (ct *Ctrie[K, V]) iremove(in *ctINode[K, V], k K, hc uint32, lev uint, pare
 			removed bool
 			restart bool
 		)
-		switch b := cn.array[pos].(type) {
-		case *ctINode[K, V]:
-			if startgen == b.gen {
-				res, removed, restart = ct.iremove(b, k, hc, lev+5, in, startgen)
+		b := cn.load(pos)
+		if b.in != nil {
+			if startgen == b.in.gen {
+				res, removed, restart = ct.iremove(h, b.in, k, hc, lev+5, in, startgen)
 			} else {
-				if ct.gcas(in, m, &ctMain[K, V]{cn: ct.renewed(cn, startgen)}) {
-					res, removed, restart = ct.iremove(in, k, hc, lev, parent, startgen)
+				ct.freezeIfLive(h, in, cn)
+				nm := h.newMain()
+				nm.cn = ct.renewed(h, cn, startgen)
+				if ct.gcas(h, in, m, nm) {
+					ct.retireDisplaced(h, in, m)
+					res, removed, restart = ct.iremove(h, in, k, hc, lev, parent, startgen)
 				} else {
 					restart = true
 				}
 			}
-		case *ctSNode[K, V]:
-			if b.hc == hc && b.k == k {
-				ncn := cn.removedAt(pos, flag, in.gen).toContracted(lev)
-				if ct.gcas(in, m, ncn) {
-					res, removed = b.v, true
-				} else {
-					restart = true
-				}
+		} else if b.hc == hc && b.k == k {
+			ct.freezeIfLive(h, in, cn)
+			nm := ct.toContracted(h, ct.cowRemoved(h, cn, pos, flag, in.gen), lev)
+			if ct.gcas(h, in, m, nm) {
+				ct.retireDisplaced(h, in, m)
+				ct.retireBranchIf(h, in, b)
+				res, removed = b.v, true
+			} else {
+				restart = true
 			}
 		}
 		if restart {
@@ -629,19 +1006,19 @@ func (ct *Ctrie[K, V]) iremove(in *ctINode[K, V], k K, hc uint32, lev uint, pare
 		if removed && parent != nil {
 			cur := ct.gcasRead(in)
 			if cur != nil && cur.tn != nil {
-				ct.cleanParent(parent, in, hc, lev-5, startgen)
+				ct.cleanParent(h, parent, in, hc, lev-5, startgen)
 			}
 		}
 		return res, removed, false
 	case m.tn != nil:
-		ct.clean(parent, lev-5)
+		ct.clean(h, parent, lev-5)
 		return zero, false, true
 	case m.ln != nil:
 		nmain, old, had := m.ln.removed(k)
 		if !had {
 			return zero, false, false
 		}
-		if ct.gcas(in, m, nmain) {
+		if ct.gcas(h, in, m, nmain) {
 			return old, true, false
 		}
 		return zero, false, true
@@ -650,7 +1027,7 @@ func (ct *Ctrie[K, V]) iremove(in *ctINode[K, V], k K, hc uint32, lev uint, pare
 }
 
 // cleanParent unlinks a tombed INode from its parent CNode.
-func (ct *Ctrie[K, V]) cleanParent(parent, in *ctINode[K, V], hc uint32, plev uint, startgen *ctGen) {
+func (ct *Ctrie[K, V]) cleanParent(h *ctHandle[K, V], parent, in *ctINode[K, V], hc uint32, plev uint, startgen *ctGen) {
 	for {
 		pm := ct.gcasRead(parent)
 		if pm == nil || pm.cn == nil {
@@ -661,16 +1038,30 @@ func (ct *Ctrie[K, V]) cleanParent(parent, in *ctINode[K, V], hc uint32, plev ui
 		if cn.bmp&flag == 0 {
 			return
 		}
-		sub, ok := cn.array[pos].(*ctINode[K, V])
-		if !ok || sub != in {
+		sub := cn.load(pos)
+		if sub == nil || sub.in != in {
 			return
 		}
 		m := ct.gcasRead(in)
 		if m == nil || m.tn == nil {
 			return
 		}
-		ncn := cn.updatedAt(pos, m.tn.sn, in.gen).toContracted(plev)
-		if ct.gcas(parent, pm, ncn) {
+		ct.freezeIfLive(h, parent, cn)
+		nm := ct.toContracted(h, ct.cowUpdated(h, cn, pos, m.tn, parent.gen), plev)
+		if ct.gcas(h, parent, pm, nm) {
+			ct.retireDisplaced(h, parent, pm)
+			// The unlinked INode and its edge box are unreachable now; a
+			// TNode main is terminal, so in cannot have un-tombed. The main
+			// itself may be shared with older generations via copyToGen, so
+			// it is only retired when generations cannot differ (see
+			// retireTombedEdges).
+			ct.retireBranchIf(h, parent, sub)
+			if in.gen == parent.gen {
+				if ct.unversioned {
+					h.retireMain(m)
+				}
+				h.retireINode(in)
+			}
 			return
 		}
 		if ct.rdcssReadRoot(false).gen != startgen {

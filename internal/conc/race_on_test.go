@@ -1,0 +1,9 @@
+//go:build race
+
+package conc
+
+// raceEnabled reports whether the race detector is compiled in; iteration
+// counts of the churn-heavy pool tests are scaled down under the detector's
+// ~10x slowdown so the default race matrix stays fast (the dedicated CI
+// soak step restores the volume via -count).
+const raceEnabled = true

@@ -46,9 +46,12 @@ var _ TxMap[int, int] = (*Map[int, int])(nil)
 
 // NewMap creates an eager Proustian map over a fresh Ctrie.
 func NewMap[K comparable, V any](s *stm.STM, lap LockAllocatorPolicy[K], hash conc.Hasher[K]) *Map[K, V] {
+	// The eager map never snapshots its base — rollback comes from the
+	// typed undo log below — so it uses the unversioned Ctrie and skips
+	// the persistence machinery entirely (DESIGN.md §13).
 	m := &Map[K, V]{
 		al:   NewAbstractLock(lap, Eager),
-		base: conc.NewCtrie[K, V](hash),
+		base: conc.NewCtrieUnversioned[K, V](hash),
 		size: stm.NewRef(s, 0),
 		hash: hash,
 	}

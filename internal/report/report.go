@@ -266,15 +266,28 @@ func (a *Analysis) summarizeShards(fams []obs.FamilySnapshot) {
 			}
 		}
 		s.ClockGini = obs.Gini(clocks)
-		if s.DoorMembers > 0 {
-			s.MergedRatio = float64(s.DoorMerged) / float64(s.DoorMembers)
-		}
+		s.MergedRatio = ratio(s.DoorMerged, s.DoorMembers)
 		s.EpochExtensions, _ = counterBy(epochExtF, map[string]string{"backend": backend})
 		s.ValidationChecked, _ = counterBy(valF, map[string]string{"backend": backend, "result": "checked"})
 		s.ValidationSkipped, _ = counterBy(valF, map[string]string{"backend": backend, "result": "skipped"})
 		a.ShardsByBackend[backend] = s
 	}
 }
+
+// ratio returns part/whole, and 0 when whole is zero. Every percentage or
+// ratio the report emits must come through ratio/pct: a section fed from an
+// empty dump has zero-count denominators, and a bare division would put
+// NaN/+Inf into the text output and make encoding/json reject the whole
+// Analysis (json.Encode fails on non-finite floats).
+func ratio(part, whole uint64) float64 {
+	if whole == 0 {
+		return 0
+	}
+	return float64(part) / float64(whole)
+}
+
+// pct is ratio scaled to a percentage.
+func pct(part, whole uint64) float64 { return 100 * ratio(part, whole) }
 
 // hints derives the rule-based tuning suggestions from the aggregates.
 func (a *Analysis) hints() {
@@ -337,7 +350,7 @@ func (a *Analysis) hints() {
 				"%s: partitioned validation skips only %.1f%% of shard visits — "+
 					"read sets span hot shards; align structure partitions with "+
 					"shard blocks (WithShardBlockBits)", backend,
-				100*float64(s.ValidationSkipped)/float64(ck)))
+				pct(s.ValidationSkipped, ck)))
 		}
 		if s.EpochExtensions > 0 && s.EpochExtensions*10 > s.TotalClock && s.TotalClock > 0 {
 			a.Hints = append(a.Hints, fmt.Sprintf(
@@ -357,11 +370,8 @@ func (a Analysis) WriteText(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	fmt.Fprintf(bw, "proust abort forensics\n")
 	fmt.Fprintf(bw, "  events: %d lifecycle, %d phase samples\n", a.Events, a.Samples)
-	total := a.Commits + a.Aborts
-	if total > 0 {
-		fmt.Fprintf(bw, "  commits: %d  aborts: %d (%.1f%% of events)\n",
-			a.Commits, a.Aborts, 100*float64(a.Aborts)/float64(total))
-	}
+	fmt.Fprintf(bw, "  commits: %d  aborts: %d (%.1f%% of events)\n",
+		a.Commits, a.Aborts, pct(a.Aborts, a.Commits+a.Aborts))
 
 	if len(a.AbortsByCause) > 0 {
 		fmt.Fprintf(bw, "\naborts by cause:\n")
@@ -406,7 +416,7 @@ func (a Analysis) WriteText(w io.Writer) error {
 			if ck := s.ValidationChecked + s.ValidationSkipped; ck > 0 {
 				fmt.Fprintf(bw, "    validation: %d shard visits checked, %d skipped (%.1f%% skipped)\n",
 					s.ValidationChecked, s.ValidationSkipped,
-					100*float64(s.ValidationSkipped)/float64(ck))
+					pct(s.ValidationSkipped, ck))
 			}
 			if s.EpochExtensions > 0 {
 				fmt.Fprintf(bw, "    epoch fence: %d forced extensions\n", s.EpochExtensions)

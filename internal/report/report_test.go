@@ -223,3 +223,82 @@ func TestParseMetrics(t *testing.T) {
 		t.Errorf("metrics round-trip = %+v", fams)
 	}
 }
+
+// TestRatioGuards pins the zero-denominator contract of the ratio/pct
+// helpers every emitted percentage routes through.
+func TestRatioGuards(t *testing.T) {
+	if got := ratio(3, 0); got != 0 {
+		t.Errorf("ratio(3, 0) = %v, want 0", got)
+	}
+	if got := pct(3, 0); got != 0 {
+		t.Errorf("pct(3, 0) = %v, want 0", got)
+	}
+	if got := pct(1, 4); got != 25 {
+		t.Errorf("pct(1, 4) = %v, want 25", got)
+	}
+}
+
+// nonFinite matches the substrings a NaN or ±Inf float prints as under %f/%v.
+func assertFiniteText(t *testing.T, text string) {
+	t.Helper()
+	for _, bad := range []string{"NaN", "Inf"} {
+		if strings.Contains(text, bad) {
+			t.Errorf("renderer emitted a non-finite number (%s):\n---\n%s", bad, text)
+		}
+	}
+}
+
+// TestRenderersEmptyDump feeds a fully empty dump through both renderers:
+// every section denominator (events, door members, validation visits) is
+// zero, and neither the text report nor the JSON encoding may produce a
+// non-finite number (json.Encode rejects NaN/Inf outright, so a missing
+// guard fails this test loudly).
+func TestRenderersEmptyDump(t *testing.T) {
+	a := Analyze(Dump{}, nil, 0)
+	var buf bytes.Buffer
+	if err := a.WriteText(&buf); err != nil {
+		t.Fatalf("WriteText on empty analysis: %v", err)
+	}
+	assertFiniteText(t, buf.String())
+	if !strings.Contains(buf.String(), "commits: 0  aborts: 0 (0.0% of events)") {
+		t.Errorf("empty report missing zero-guarded abort-rate line:\n%s", buf.String())
+	}
+	var js bytes.Buffer
+	if err := json.NewEncoder(&js).Encode(a); err != nil {
+		t.Fatalf("json.Encode on empty analysis: %v", err)
+	}
+	assertFiniteText(t, js.String())
+}
+
+// TestRenderersZeroCountSections renders an analysis whose sections are
+// present but all-zero — the abort-forensics shape of a run that traced
+// nothing — through text and JSON, covering the in-section ratios
+// (merged_ratio, validation-skip percentage, abort rate) at denominator
+// zero.
+func TestRenderersZeroCountSections(t *testing.T) {
+	a := Analysis{
+		ShardsByBackend: map[string]ShardSummary{
+			"tl2": {Shards: 2, MergedRatio: ratio(0, 0), ValidationChecked: 1},
+		},
+		AbortsByCause: map[string]uint64{},
+		Hints:         []string{"nothing stands out"},
+	}
+	var buf bytes.Buffer
+	if err := a.WriteText(&buf); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	assertFiniteText(t, buf.String())
+	for _, want := range []string{
+		"door: 0 members, 0 merged (ratio 0.0%)",
+		"validation: 1 shard visits checked, 0 skipped (0.0% skipped)",
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("zero-count report missing %q:\n%s", want, buf.String())
+		}
+	}
+	var js bytes.Buffer
+	if err := json.NewEncoder(&js).Encode(a); err != nil {
+		t.Fatalf("json.Encode: %v", err)
+	}
+	assertFiniteText(t, js.String())
+}
