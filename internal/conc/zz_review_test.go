@@ -1,0 +1,77 @@
+package conc
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Review repro: in-place Put racing Remove on the same key. iremove loads the
+// slot payload before freezeIfLive and retires it after the GCAS win; an
+// in-place Put that lands its slot CAS in between retires the same box,
+// double-inserting it into the pools. The box is then handed out twice (to
+// two handles), published under two different keys, and the second writer's
+// plain stores tear the first key's published box.
+// Invariant: every value ever stored under key k satisfies v % keys == k.
+func TestReviewInPlaceRemoveDoubleRetire(t *testing.T) {
+	ct := NewCtrieConfigured[int, int](IntHasher, CtrieConfig{InPlace: true})
+	const keys = 8
+	for k := 0; k < keys; k++ {
+		ct.Put(k, k)
+	}
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	var bad atomic.Pointer[string]
+	report := func(msg string) { s := msg; bad.CompareAndSwap(nil, &s) }
+	check := func(where string, k, v int) {
+		if v%keys != k {
+			report(where + ": value from another key's space (aliased/torn box)")
+		}
+	}
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for !stop.Load() {
+				k := rng.Intn(keys)
+				switch rng.Intn(4) {
+				case 0, 1, 2: // mostly in-place updates on present keys
+					if old, had := ct.Put(k, k+keys*(1+rng.Intn(1000))); had {
+						check("Put old", k, old)
+					}
+				case 3:
+					if old, had := ct.Remove(k); had {
+						check("Remove old", k, old)
+					}
+					ct.Put(k, k+keys*(1+rng.Intn(1000)))
+				}
+			}
+		}(int64(w + 1))
+	}
+	wg.Add(2)
+	for r := 0; r < 2; r++ {
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				for k := 0; k < keys; k++ {
+					if v, ok := ct.Get(k); ok {
+						check("Get", k, v)
+					}
+				}
+				ct.Range(func(k, v int) bool {
+					check("Range", k, v)
+					return true
+				})
+			}
+		}()
+	}
+	time.Sleep(4 * time.Second)
+	stop.Store(true)
+	wg.Wait()
+	if p := bad.Load(); p != nil {
+		t.Fatal(*p)
+	}
+}
