@@ -111,7 +111,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("proust-bench", flag.ContinueOnError)
 	var (
-		experiment = fs.String("experiment", "quick", "figure4 | figure4memo | trends | quick | contention | backends | contended-scale")
+		experiment = fs.String("experiment", "quick", "figure4 | figure4memo | trends | quick | contention | backends | read-heavy | contended-scale")
 		ops        = fs.Int("ops", 0, "operations per configuration (0 = experiment default)")
 		warmups    = fs.Int("warmups", -1, "warm-up runs per configuration (-1 = experiment default)")
 		reps       = fs.Int("reps", -1, "timed repetitions per configuration (-1 = experiment default)")
@@ -123,6 +123,7 @@ func run(args []string) error {
 		jsonPath   = fs.String("json", "", "write per-backend results (ops/sec, abort causes, histograms) as JSON to this file ('-' = stdout)")
 		csvPath    = fs.String("csv", "", "also write results as CSV to this file")
 		shards     = fs.Int("shards", 0, "STM timebase shard count (0 = automatic, 1 = classic single clock)")
+		readOps    = fs.Int("read-txn-ops", 0, "read-heavy experiment: ops per read-only transaction (0 = default scan length)")
 
 		chaos     = fs.Bool("chaos", false, "wrap every system's backend in the fault-injecting chaos layer (soak mode)")
 		chaosSeed = fs.Uint64("chaos-seed", 1, "deterministic seed for -chaos fault draws")
@@ -223,6 +224,9 @@ func run(args []string) error {
 
 	if *experiment == "backends" {
 		return runBackends(*policy, *threads, *ops, *warmups, *reps, *keyRange, *shards, *jsonPath)
+	}
+	if *experiment == "read-heavy" {
+		return runReadHeavy(*threads, *ops, *warmups, *reps, *keyRange, *shards, *readOps, *jsonPath)
 	}
 	if *experiment == "contended-scale" {
 		return runContendedScale(*threads, *ops, *warmups, *reps, *shards, *jsonPath, obsv)
@@ -400,6 +404,73 @@ func runBackends(policy, threads string, ops, warmups, reps, keyRange, shards in
 			Config  bench.BackendBenchConfig `json:"config"`
 			Results []bench.BackendResult    `json:"results"`
 		}{cfg, results}
+		data, err := json.MarshalIndent(payload, "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if jsonPath == "-" {
+			os.Stdout.Write(data)
+		} else {
+			if err := os.WriteFile(jsonPath, data, 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("\n# wrote %d results to %s\n", len(results), jsonPath)
+		}
+	}
+	return nil
+}
+
+// runReadHeavy executes the read-heavy experiment: the flat-ref workload at
+// the 95/5 and 99/1 read-only-transaction mixes across every non-fault
+// backend, with read-only transactions declared via stm.WithReadOnly so the
+// mvcc backend serves them from snapshot vectors. JSON output (BENCH_mvcc
+// protocol) carries the full per-run instrumentation.
+func runReadHeavy(threads string, ops, warmups, reps, keyRange, shards, readTxnOps int, jsonPath string) error {
+	cfg := bench.DefaultBackendBench()
+	cfg.Shards = shards
+	cfg.ReadTxnOps = bench.DefaultReadTxnOps
+	if readTxnOps > 0 {
+		cfg.ReadTxnOps = readTxnOps
+	}
+	if ops > 0 {
+		cfg.TotalOps = ops
+	}
+	if warmups >= 0 {
+		cfg.Warmups = warmups
+	}
+	if reps > 0 {
+		cfg.Reps = reps
+	}
+	if keyRange > 0 {
+		cfg.KeyRange = keyRange
+	}
+	if threads != "" {
+		var ts []int
+		for _, part := range strings.Split(threads, ",") {
+			var t int
+			if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d", &t); err != nil || t < 1 {
+				return fmt.Errorf("bad -threads entry %q", part)
+			}
+			ts = append(ts, t)
+		}
+		cfg.Threads = ts
+	}
+
+	fmt.Printf("# proust-bench: experiment=read-heavy GOMAXPROCS=%d ops=%d warmups=%d reps=%d keyRange=%d opsPerTxn=%d readTxnOps=%d mixes=%v\n",
+		runtime.GOMAXPROCS(0), cfg.TotalOps, cfg.Warmups, cfg.Reps, cfg.KeyRange, cfg.OpsPerTxn, cfg.ReadTxnOps, bench.ReadHeavyMixes)
+
+	results, err := bench.SweepReadHeavy(cfg, bench.ReadHeavyMixes, os.Stdout)
+	if err != nil {
+		return err
+	}
+
+	if jsonPath != "" {
+		payload := struct {
+			Config  bench.BackendBenchConfig `json:"config"`
+			Mixes   []float64                `json:"mixes"`
+			Results []bench.ReadHeavyResult  `json:"results"`
+		}{cfg, bench.ReadHeavyMixes, results}
 		data, err := json.MarshalIndent(payload, "", "  ")
 		if err != nil {
 			return err

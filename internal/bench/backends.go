@@ -42,7 +42,27 @@ type BackendBenchConfig struct {
 	// to false via NoGroupCommit (kept inverted so the zero value keeps the
 	// default-enabled behavior).
 	NoGroupCommit bool `json:"no_group_commit,omitempty"`
+	// ReadTxnFraction, when > 0, makes roughly this fraction of transactions
+	// pure read-only transactions (all Gets), declared via stm.WithReadOnly —
+	// the read-heavy mixes (95/5, 99/1) the mvcc backend's snapshot reads are
+	// built for. The remaining transactions run the normal mixed body with
+	// WriteFraction writes per op. The transaction-level draw is deterministic
+	// given (Seed, thread id).
+	ReadTxnFraction float64 `json:"read_txn_fraction,omitempty"`
+	// ReadTxnOps is the operation count of each read-only transaction (their
+	// scan length); 0 uses OpsPerTxn. Read-dominated workloads are typically
+	// scan-shaped — lookups batched into larger read-only transactions — so
+	// the read-heavy experiment defaults this to DefaultReadTxnOps while
+	// update transactions keep OpsPerTxn.
+	ReadTxnOps int `json:"read_txn_ops,omitempty"`
+	// VersionCap, when > 0, sets the mvcc backend's per-reference version
+	// budget (stm.WithVersionCap); other backends ignore it.
+	VersionCap int `json:"version_cap,omitempty"`
 }
+
+// DefaultReadTxnOps is the read-heavy experiment's default read-only
+// transaction scan length.
+const DefaultReadTxnOps = 16
 
 // DefaultBackendBench is the configuration used for the recorded baseline:
 // t ∈ {1,4,8}, 1024 refs, 4 ops per transaction, 50% writes.
@@ -149,6 +169,9 @@ func RunBackendBench(backendName string, threads int, cfg BackendBenchConfig) (B
 	if cfg.NoGroupCommit {
 		opts = append(opts, stm.WithGroupCommit(false))
 	}
+	if cfg.VersionCap > 0 {
+		opts = append(opts, stm.WithVersionCap(cfg.VersionCap))
+	}
 	s := stm.New(opts...)
 	refs := make([]*stm.Ref[int], cfg.KeyRange)
 	for i := range refs {
@@ -159,7 +182,12 @@ func RunBackendBench(backendName string, threads int, cfg BackendBenchConfig) (B
 	if perThread == 0 {
 		perThread = 1
 	}
+	roOps := cfg.ReadTxnOps
+	if roOps <= 0 {
+		roOps = cfg.OpsPerTxn
+	}
 	s.ResetStats()
+	var opsDone atomic.Uint64 // read-only and update txn sizes may differ
 	var wg sync.WaitGroup
 	start := time.Now()
 	for t := 0; t < threads; t++ {
@@ -170,7 +198,29 @@ func RunBackendBench(backendName string, threads int, cfg BackendBenchConfig) (B
 			w := Workload{KeyRange: cfg.KeyRange, WriteFraction: cfg.WriteFraction,
 				Seed: cfg.Seed, ZipfS: cfg.ZipfS}
 			zk := w.zipfFor(id)
+			roCut := uint64(cfg.ReadTxnFraction * (1 << 32))
+			roCtx := stm.WithReadOnly(nil)
+			done := uint64(0)
+			defer func() { opsDone.Add(done) }()
 			for i := 0; i < perThread; i++ {
+				if roCut > 0 && uint64(uint32(r.next())) < roCut {
+					// Read-only transaction: roOps Gets (the scan shape),
+					// declared via the WithReadOnly hint (snapshot reads
+					// under mvcc).
+					done += uint64(roOps)
+					_ = s.AtomicallyCtx(roCtx, func(tx *stm.Txn) error {
+						for j := 0; j < roOps; j++ {
+							op := genOpKey(r, w, zk)
+							_ = refs[op.Key].Get(tx)
+							if cfg.Interleave {
+								runtime.Gosched()
+							}
+						}
+						return nil
+					})
+					continue
+				}
+				done += uint64(cfg.OpsPerTxn)
 				_ = s.Atomically(func(tx *stm.Txn) error {
 					for j := 0; j < cfg.OpsPerTxn; j++ {
 						op := genOpKey(r, w, zk)
@@ -191,7 +241,7 @@ func RunBackendBench(backendName string, threads int, cfg BackendBenchConfig) (B
 	wg.Wait()
 	elapsed := time.Since(start)
 	st := s.Stats()
-	total := float64(perThread * threads * cfg.OpsPerTxn)
+	total := float64(opsDone.Load())
 	rate := 0.0
 	if st.Commits+st.Aborts > 0 {
 		rate = float64(st.Aborts) / float64(st.Commits+st.Aborts)
@@ -207,6 +257,39 @@ func RunBackendBench(backendName string, threads int, cfg BackendBenchConfig) (B
 		Stats:           st,
 		Trace:           tracer.Summary(),
 	}, nil
+}
+
+// ReadHeavyMixes are the read-only-transaction fractions of the read-heavy
+// experiment: the 95/5 and 99/1 mixes of the mvcc backend's evaluation.
+var ReadHeavyMixes = []float64{0.95, 0.99}
+
+// ReadHeavyResult is one backend × thread-count × mix measurement.
+type ReadHeavyResult struct {
+	ReadTxnFraction float64 `json:"read_txn_fraction"`
+	BackendResult
+}
+
+// SweepReadHeavy runs the flat-ref backend sweep once per read-heavy mix
+// (read-only transactions drawn with probability mix, declared via
+// stm.WithReadOnly), printing a table to out (if non-nil).
+func SweepReadHeavy(cfg BackendBenchConfig, mixes []float64, out io.Writer) ([]ReadHeavyResult, error) {
+	var results []ReadHeavyResult
+	for _, mix := range mixes {
+		mcfg := cfg
+		mcfg.ReadTxnFraction = mix
+		if out != nil {
+			fmt.Fprintf(out, "\n# read-heavy mix: %.0f%% read-only / %.0f%% update transactions\n",
+				mix*100, (1-mix)*100)
+		}
+		rs, err := SweepBackends(mcfg, out)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range rs {
+			results = append(results, ReadHeavyResult{ReadTxnFraction: mix, BackendResult: r})
+		}
+	}
+	return results, nil
 }
 
 // SweepBackends benchmarks every backend in the stm registry across

@@ -17,6 +17,10 @@ type SkipListMap[K any, V any] struct {
 	tail *skipNode[K, V]
 	size atomic.Int64
 	seed atomic.Uint64
+	// pool is the map's epoch-reclamation domain (skippool.go): removed
+	// nodes and displaced value boxes are retired through it and reused
+	// once no traversal can still observe them.
+	pool *slPool[K, V]
 }
 
 type skipNode[K any, V any] struct {
@@ -45,7 +49,7 @@ func NewSkipListMap[K any, V any](cmp func(a, b K) int) *SkipListMap[K, V] {
 	for i := range head.next {
 		head.next[i].Store(tail)
 	}
-	m := &SkipListMap[K, V]{cmp: cmp, head: head, tail: tail}
+	m := &SkipListMap[K, V]{cmp: cmp, head: head, tail: tail, pool: newSlPool[K, V]()}
 	m.seed.Store(0x2545f4914f6cdd1d)
 	return m
 }
@@ -91,6 +95,9 @@ func (m *SkipListMap[K, V]) findNode(k K, preds, succs []*skipNode[K, V]) int {
 
 // Get returns the value mapped to k.
 func (m *SkipListMap[K, V]) Get(k K) (V, bool) {
+	h := m.pool.get()
+	h.pin()
+	defer func() { h.unpin(); m.pool.put(h) }()
 	var preds, succs [skipMaxLevel]*skipNode[K, V]
 	found := m.findNode(k, preds[:], succs[:])
 	if found == -1 {
@@ -113,6 +120,9 @@ func (m *SkipListMap[K, V]) Contains(k K) bool {
 
 // Put stores v under k and returns the previous value, if any.
 func (m *SkipListMap[K, V]) Put(k K, v V) (V, bool) {
+	h := m.pool.get()
+	h.pin()
+	defer func() { h.unpin(); m.pool.put(h) }()
 	var preds, succs [skipMaxLevel]*skipNode[K, V]
 	for {
 		found := m.findNode(k, preds[:], succs[:])
@@ -129,9 +139,14 @@ func (m *SkipListMap[K, V]) Put(k K, v V) (V, bool) {
 					n.mu.Unlock()
 					continue
 				}
-				old := n.value.Swap(&box[V]{v: v})
+				old := n.value.Swap(h.newBox(v))
 				n.mu.Unlock()
-				return old.v, true
+				ov := old.v
+				// The displaced box may still be read by a concurrent Get
+				// that loaded it before the swap; retire it through the
+				// epoch bins rather than dropping it to the GC.
+				h.retireBox(old)
+				return ov, true
 			}
 			continue // being removed: retry
 		}
@@ -155,9 +170,9 @@ func (m *SkipListMap[K, V]) Put(k K, v V) (V, bool) {
 			continue
 		}
 
-		n := newSkipNode[K, V](topLayer)
+		n := h.newNode(topLayer)
 		n.key = k
-		n.value.Store(&box[V]{v: v})
+		n.value.Store(h.newBox(v))
 		for layer := 0; layer <= topLayer; layer++ {
 			n.next[layer].Store(succs[layer])
 		}
@@ -174,6 +189,9 @@ func (m *SkipListMap[K, V]) Put(k K, v V) (V, bool) {
 
 // Remove deletes k and returns the removed value, if any.
 func (m *SkipListMap[K, V]) Remove(k K) (V, bool) {
+	h := m.pool.get()
+	h.pin()
+	defer func() { h.unpin(); m.pool.put(h) }()
 	var preds, succs [skipMaxLevel]*skipNode[K, V]
 	var victim *skipNode[K, V]
 	isMarked := false
@@ -221,10 +239,16 @@ func (m *SkipListMap[K, V]) Remove(k K) (V, bool) {
 		for layer := topLayer; layer >= 0; layer-- {
 			preds[layer].next[layer].Store(victim.next[layer].Load())
 		}
-		v := victim.value.Load().v
+		vb := victim.value.Load()
+		v := vb.v
 		victim.mu.Unlock()
 		unlockPreds(preds[:], highestLocked)
 		m.size.Add(-1)
+		// The victim is unlinked (new traversals cannot reach it) but
+		// readers that loaded a pointer before the unlink may still be
+		// standing on it; retire node and final box through the epoch bins.
+		h.retireBox(vb)
+		h.retireNode(victim)
 		return v, true
 	}
 }
@@ -236,6 +260,9 @@ func (m *SkipListMap[K, V]) Len() int {
 
 // Min returns the smallest key and its value.
 func (m *SkipListMap[K, V]) Min() (K, V, bool) {
+	h := m.pool.get()
+	h.pin()
+	defer func() { h.unpin(); m.pool.put(h) }()
 	for {
 		n := m.head.next[0].Load()
 		if n.sentinel == 1 {
@@ -253,6 +280,9 @@ func (m *SkipListMap[K, V]) Min() (K, V, bool) {
 // Range calls f over entries in ascending key order until f returns false.
 // Concurrent updates may or may not be observed.
 func (m *SkipListMap[K, V]) Range(f func(K, V) bool) {
+	h := m.pool.get()
+	h.pin()
+	defer func() { h.unpin(); m.pool.put(h) }()
 	for n := m.head.next[0].Load(); n.sentinel != 1; n = n.next[0].Load() {
 		if n.marked.Load() || !n.fullyLinked.Load() {
 			continue
@@ -267,6 +297,9 @@ func (m *SkipListMap[K, V]) Range(f func(K, V) bool) {
 // until f returns false. It descends the index layers to reach lo without
 // scanning the whole list.
 func (m *SkipListMap[K, V]) RangeBetween(lo, hi K, f func(K, V) bool) {
+	h := m.pool.get()
+	h.pin()
+	defer func() { h.unpin(); m.pool.put(h) }()
 	pred := m.head
 	for layer := skipMaxLevel - 1; layer >= 0; layer-- {
 		curr := pred.next[layer].Load()

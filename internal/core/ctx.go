@@ -28,3 +28,18 @@ func Do(ctx context.Context, s *stm.STM, fn func(tx *stm.Txn) error) error {
 func DoResult[T any](ctx context.Context, s *stm.STM, fn func(tx *stm.Txn) (T, error)) (T, error) {
 	return stm.AtomicallyCtxResult(ctx, s, fn)
 }
+
+// DoReadOnly runs fn as a transaction declared read-only (stm.WithReadOnly):
+// the body must perform no Ref writes — a write panics. Under the mvcc
+// backend the declaration changes the read protocol: the transaction reads a
+// shard-clock snapshot with no read log, no validation and no conflict
+// aborts. Under every other backend it is an advisory hint (their read-only
+// commit fast paths already apply). A nil ctx is accepted.
+func DoReadOnly(ctx context.Context, s *stm.STM, fn func(tx *stm.Txn) error) error {
+	return s.AtomicallyCtx(stm.WithReadOnly(ctx), fn)
+}
+
+// DoReadOnlyResult is DoReadOnly returning the body's result.
+func DoReadOnlyResult[T any](ctx context.Context, s *stm.STM, fn func(tx *stm.Txn) (T, error)) (T, error) {
+	return stm.AtomicallyCtxResult(stm.WithReadOnly(ctx), s, fn)
+}

@@ -175,6 +175,12 @@ type STMCollector struct {
 	doorBatchSize            *HistogramVec
 	epochExtensions          *CounterVec
 	validationShards         *CounterVec // labels: backend, result
+
+	// Multi-version (mvcc) families; only populated for attached instances
+	// whose backend exposes MVCCTelemetry.
+	mvccSnapshotReads *CounterVec
+	mvccVersionsLive  *GaugeVec
+	mvccWatermarkLag  *GaugeVec
 }
 
 // NewSTMCollector registers the per-backend STM families on r and hooks the
@@ -240,6 +246,15 @@ func NewSTMCollector(r *Registry) *STMCollector {
 			"Commit-time validation shard visits by result: checked (walked) "+
 				"versus skipped (proved quiet by an unmoved shard clock).",
 			"backend", "result"),
+		mvccSnapshotReads: r.Counter("proust_stm_mvcc_snapshot_reads_total",
+			"Reads served to WithReadOnly snapshot transactions under the mvcc "+
+				"backend (no read log, no validation, no aborts).", "backend"),
+		mvccVersionsLive: r.Gauge("proust_stm_mvcc_versions_live",
+			"History version nodes currently chained behind mvcc refs "+
+				"(appended minus reclaimed).", "backend"),
+		mvccWatermarkLag: r.Gauge("proust_stm_mvcc_watermark_lag",
+			"Distance between the newest shard clock and the mvcc GC watermark: "+
+				"how far the oldest active snapshot reader holds history back.", "backend"),
 	}
 	r.OnGather(c.collect)
 	return c
@@ -304,6 +319,11 @@ func (c *STMCollector) collect() {
 			c.quant.With(backend, name, "0.99").Set(int64(h.Quantile(0.99)))
 			c.samples.With(backend, name, itoa(h.SampleEvery)).set(h.Count)
 			c.observations.With(backend, name).set(h.EstimatedTotal())
+		}
+		if tel, ok := s.MVCCTelemetry(); ok {
+			c.mvccSnapshotReads.With(backend).set(st.MVCCSnapshotReads)
+			c.mvccVersionsLive.With(backend).Set(tel.VersionsLive)
+			c.mvccWatermarkLag.With(backend).Set(int64(tel.WatermarkLag))
 		}
 		for _, tel := range s.ShardTelemetrySnapshot(nil) {
 			shard := itoa(uint64(tel.Shard))

@@ -103,6 +103,14 @@ type ShardSummary struct {
 	ValidationSkipped uint64  `json:"validation_shards_skipped"`
 }
 
+// MVCCSummary aggregates one backend's multi-version telemetry from the
+// metrics snapshot (mvcc and chaos-mvcc instances only).
+type MVCCSummary struct {
+	SnapshotReads uint64 `json:"snapshot_reads"`
+	VersionsLive  int64  `json:"versions_live"`
+	WatermarkLag  int64  `json:"watermark_lag"`
+}
+
 // Analysis is the full forensics result.
 type Analysis struct {
 	Events  int `json:"events"`
@@ -120,6 +128,9 @@ type Analysis struct {
 	TopKeys []KeyConflict
 	// ShardsByBackend summarizes timebase heat per backend (metrics input).
 	ShardsByBackend map[string]ShardSummary
+	// MVCCByBackend summarizes multi-version telemetry per backend
+	// (metrics input; empty unless an mvcc instance was scraped).
+	MVCCByBackend map[string]MVCCSummary
 	// Hints are the rule-based "tune this first" suggestions.
 	Hints []string
 }
@@ -136,6 +147,7 @@ func Analyze(d Dump, fams []obs.FamilySnapshot, topN int) Analysis {
 		AbortPhase:      map[string]map[string]uint64{},
 		PhaseTotalsNS:   map[string]int64{},
 		ShardsByBackend: map[string]ShardSummary{},
+		MVCCByBackend:   map[string]MVCCSummary{},
 	}
 
 	type keyOp struct {
@@ -189,6 +201,7 @@ func Analyze(d Dump, fams []obs.FamilySnapshot, topN int) Analysis {
 	}
 
 	a.summarizeShards(fams)
+	a.summarizeMVCC(fams)
 	a.hints()
 	return a
 }
@@ -271,6 +284,53 @@ func (a *Analysis) summarizeShards(fams []obs.FamilySnapshot) {
 		s.ValidationChecked, _ = counterBy(valF, map[string]string{"backend": backend, "result": "checked"})
 		s.ValidationSkipped, _ = counterBy(valF, map[string]string{"backend": backend, "result": "skipped"})
 		a.ShardsByBackend[backend] = s
+	}
+}
+
+func gaugeBy(f *obs.FamilySnapshot, want map[string]string) (int64, bool) {
+	if f == nil {
+		return 0, false
+	}
+	for _, m := range f.Metrics {
+		ok := true
+		for k, v := range want {
+			if m.Labels[k] != v {
+				ok = false
+				break
+			}
+		}
+		if ok && m.Value != nil {
+			return *m.Value, true
+		}
+	}
+	return 0, false
+}
+
+func (a *Analysis) summarizeMVCC(fams []obs.FamilySnapshot) {
+	readsF := findFamily(fams, "proust_stm_mvcc_snapshot_reads_total")
+	liveF := findFamily(fams, "proust_stm_mvcc_versions_live")
+	lagF := findFamily(fams, "proust_stm_mvcc_watermark_lag")
+	if readsF == nil && liveF == nil && lagF == nil {
+		return
+	}
+	backends := map[string]struct{}{}
+	for _, f := range []*obs.FamilySnapshot{readsF, liveF, lagF} {
+		if f == nil {
+			continue
+		}
+		for _, m := range f.Metrics {
+			if b := m.Labels["backend"]; b != "" {
+				backends[b] = struct{}{}
+			}
+		}
+	}
+	for b := range backends {
+		want := map[string]string{"backend": b}
+		var s MVCCSummary
+		s.SnapshotReads, _ = counterBy(readsF, want)
+		s.VersionsLive, _ = gaugeBy(liveF, want)
+		s.WatermarkLag, _ = gaugeBy(lagF, want)
+		a.MVCCByBackend[b] = s
 	}
 }
 
@@ -359,6 +419,19 @@ func (a *Analysis) hints() {
 					"one id block", backend, s.EpochExtensions, s.TotalClock))
 		}
 	}
+	for backend, m := range a.MVCCByBackend {
+		// A lag of a few clock ticks is the steady-state cost of in-flight
+		// snapshots; a lag in the hundreds means one long-lived reader is
+		// pinning every version chain above its snapshot.
+		if m.WatermarkLag > 256 {
+			a.Hints = append(a.Hints, fmt.Sprintf(
+				"%s: the GC watermark lags the commit clock by %d ticks "+
+					"(%d version nodes live) — a long-running WithReadOnly "+
+					"snapshot is pinning history; split long scans into shorter "+
+					"snapshots or raise WithVersionCap to absorb the backlog",
+				backend, m.WatermarkLag, m.VersionsLive))
+		}
+	}
 	if len(a.Hints) == 0 {
 		a.Hints = append(a.Hints, "nothing stands out: abort rate, shard "+
 			"balance and door merging all look healthy")
@@ -421,6 +494,19 @@ func (a Analysis) WriteText(w io.Writer) error {
 			if s.EpochExtensions > 0 {
 				fmt.Fprintf(bw, "    epoch fence: %d forced extensions\n", s.EpochExtensions)
 			}
+		}
+	}
+	if len(a.MVCCByBackend) > 0 {
+		backends := make([]string, 0, len(a.MVCCByBackend))
+		for b := range a.MVCCByBackend {
+			backends = append(backends, b)
+		}
+		sort.Strings(backends)
+		fmt.Fprintf(bw, "\nmulti-version (mvcc):\n")
+		for _, b := range backends {
+			m := a.MVCCByBackend[b]
+			fmt.Fprintf(bw, "  %s: %d snapshot reads, %d versions live, watermark lag %d\n",
+				b, m.SnapshotReads, m.VersionsLive, m.WatermarkLag)
 		}
 	}
 	fmt.Fprintf(bw, "\ntune this:\n")

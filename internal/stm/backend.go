@@ -90,12 +90,21 @@ func RegisterBackend(f BackendFactory) {
 	backendOrder = append(backendOrder, f.Name)
 }
 
-// Backends returns all registered backend factories in registration order.
+// Backends returns all registered backend factories sorted by name.
+// Registration order is a package-init artifact (file-name order of the init
+// functions), so enumeration-driven harnesses — -list-backends, the bench
+// matrix, registry-sweeping tests — would otherwise reorder whenever a file
+// is renamed or a backend added; sorting makes their output deterministic.
+// (Policy resolution deliberately stays on registration order; see
+// backendForPolicy.)
 func Backends() []BackendFactory {
 	backendMu.RLock()
 	defer backendMu.RUnlock()
-	out := make([]BackendFactory, 0, len(backendOrder))
-	for _, name := range backendOrder {
+	names := make([]string, 0, len(backendOrder))
+	names = append(names, backendOrder...)
+	sort.Strings(names)
+	out := make([]BackendFactory, 0, len(names))
+	for _, name := range names {
 		out = append(out, backendRegistry[name])
 	}
 	return out
@@ -122,6 +131,10 @@ func BackendByName(name string) (BackendFactory, bool) {
 // backendForPolicy maps a Figure 1 classification to the registered backend
 // implementing it (the WithPolicy compatibility path). Fault-injecting
 // wrappers share their inner backend's policy and are never selected here.
+// This walks registration order, not sorted order: each built-in policy has
+// exactly one non-fault implementation, and keeping the original order means
+// a hypothetical second implementation cannot silently steal a policy from
+// the canonical backend by sorting earlier.
 func backendForPolicy(p DetectionPolicy) (BackendFactory, bool) {
 	backendMu.RLock()
 	defer backendMu.RUnlock()

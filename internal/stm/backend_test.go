@@ -30,6 +30,7 @@ func TestBackendRegistryComplete(t *testing.T) {
 		"ccstm": MixedEagerWWLazyRW,
 		"eager": EagerEager,
 		"norec": NOrec,
+		"mvcc":  MultiVersion,
 	}
 	var real, fault []BackendFactory
 	for _, bf := range Backends() {
@@ -82,7 +83,7 @@ func TestBackendRegistryComplete(t *testing.T) {
 		}
 	}
 	// Each policy resolves back to a backend (WithPolicy compatibility).
-	for _, p := range []DetectionPolicy{LazyLazy, MixedEagerWWLazyRW, EagerEager, NOrec} {
+	for _, p := range []DetectionPolicy{LazyLazy, MixedEagerWWLazyRW, EagerEager, NOrec, MultiVersion} {
 		if _, ok := backendForPolicy(p); !ok {
 			t.Errorf("no backend for policy %v", p)
 		}

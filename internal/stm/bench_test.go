@@ -100,3 +100,33 @@ func BenchmarkTxnLocalAccess(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkSnapshotReadOnly measures the declared-read-only transaction path
+// at the read-heavy sweep's transaction size: tl2 runs it as an ordinary
+// invisible-reader transaction (read log + commit-time validation), mvcc as a
+// snapshot transaction (begin-time vector, no log, no validation).
+func BenchmarkSnapshotReadOnly(b *testing.B) {
+	for _, name := range []string{"tl2", "ccstm", "mvcc"} {
+		for _, n := range []int{4, 64} {
+			b.Run(fmt.Sprintf("%s/reads=%d", name, n), func(b *testing.B) {
+				s := New(WithBackend(name))
+				refs := make([]*Ref[int], 1024)
+				for i := range refs {
+					refs[i] = NewRef(s, i)
+				}
+				ctx := WithReadOnly(nil)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := s.AtomicallyCtx(ctx, func(tx *Txn) error {
+						for j := 0; j < n; j++ {
+							_ = refs[(i*97+j*131)%1024].Get(tx)
+						}
+						return nil
+					}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

@@ -106,7 +106,10 @@ func (c *chaosBackend) begin(tx *Txn) { c.inner.begin(tx) }
 func (c *chaosBackend) read(tx *Txn, r *baseRef) any {
 	// Key the abort draw by (attempt serial, read-set position) so distinct
 	// reads of one attempt draw independently.
-	if !tx.serialMode && c.hit(tx.id+uint64(len(tx.reads))<<40, chaosSaltAbort, c.cfg.AbortEvery) {
+	// Read-only (WithReadOnly) transactions are exempt like serial ones: under
+	// the mvcc backend they have no validation or commit protocol to inject
+	// faults into, and their zero-abort guarantee is part of the contract.
+	if !tx.serialMode && !tx.readOnly && c.hit(tx.id+uint64(len(tx.reads))<<40, chaosSaltAbort, c.cfg.AbortEvery) {
 		tx.conflict(CauseChaos)
 	}
 	return c.inner.read(tx, r)
@@ -117,7 +120,7 @@ func (c *chaosBackend) touch(tx *Txn, r *baseRef)        { c.inner.touch(tx, r) 
 func (c *chaosBackend) validate(tx *Txn) bool            { return c.inner.validate(tx) }
 
 func (c *chaosBackend) commit(tx *Txn) bool {
-	if !tx.serialMode {
+	if !tx.serialMode && !tx.readOnly {
 		// Doom is keyed by birth serial: the same transaction fails on every
 		// optimistic attempt, so only escalation or abandonment ends it.
 		if c.hit(tx.birth.Load(), chaosSaltDoom, c.cfg.DoomEvery) {
@@ -149,6 +152,7 @@ func init() {
 		{"ccstm", MixedEagerWWLazyRW},
 		{"eager", EagerEager},
 		{"norec", NOrec},
+		{"mvcc", MultiVersion},
 	} {
 		inner := b.name
 		RegisterBackend(BackendFactory{

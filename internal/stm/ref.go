@@ -24,6 +24,14 @@ type baseRef struct {
 	owner   atomic.Pointer[Txn]
 	value   atomic.Pointer[box]
 
+	// hist is the mvcc backend's bounded, newest-first chain of displaced
+	// versions: hist holds the version the current value superseded, its next
+	// the one before, and so on. Writers mutate the chain only while holding
+	// r's owner lock; snapshot readers traverse it lock-free under an epoch
+	// pin (nodes are pooled through the conc EBR facility, see
+	// backend_mvcc.go). Always nil under the other backends.
+	hist atomic.Pointer[mvccVerNode]
+
 	// Visible readers (EagerEager policy only).
 	rmu     sync.Mutex
 	readers map[*Txn]struct{}

@@ -510,6 +510,7 @@ type pubStamp struct {
 	single    bool              // write set confined to one shard (or empty)
 	soloFresh bool              // single-shard, solo bump, and wv == rv+1 for that shard
 	skip      bool              // read validation provably unnecessary (solo TL2 skip)
+	epoched   bool              // cross-shard: epochClk bumped, epochDone owed
 	shard     uint32            // the single shard (when single)
 	wv        uint64            // its write version
 	gen       uint64            // door batch generation (0 = no door entered)
@@ -587,6 +588,7 @@ func (tx *Txn) stampWritesDoor(p *pubStamp, mask uint64) {
 	// is forced through the fence (full validation) and cannot assemble a
 	// cut that straddles this commit.
 	s.epochClk.Add(1)
+	p.epoched = true
 	s.stats.CrossShardCommits.Add(1)
 	for m := mask; m != 0; m &= m - 1 {
 		sh := uint(bits.TrailingZeros64(m))
@@ -607,6 +609,14 @@ func (tx *Txn) releaseStamp(p *pubStamp) {
 	if p.gen != 0 {
 		tx.s.shards[p.shard].door.exit(p.gen)
 		p.gen = 0
+	}
+	if p.epoched {
+		// Close the cross-shard publication window: on the commit path every
+		// value and version is published by now, on the abort path nothing
+		// was. Either way epochDone catches up to this stamp's epochClk bump,
+		// which is what the mvcc snapshot capture waits on.
+		tx.s.epochDone.Add(1)
+		p.epoched = false
 	}
 }
 

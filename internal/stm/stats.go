@@ -211,6 +211,14 @@ type Stats struct {
 	ValidationShardsChecked atomic.Uint64
 	ValidationShardsSkipped atomic.Uint64
 
+	// mvcc backend counters (see backend_mvcc.go); zero under other backends.
+	MVCCSnapshotTxns      atomic.Uint64 // committed read-only snapshot transactions
+	MVCCSnapshotReads     atomic.Uint64 // reads served under a snapshot vector
+	MVCCHistoryReads      atomic.Uint64 // of those, served from a version chain (not the current value)
+	MVCCVersionsAppended  atomic.Uint64 // displaced versions appended at publication
+	MVCCVersionsReclaimed atomic.Uint64 // versions trimmed below the watermark
+	MVCCCapOverflows      atomic.Uint64 // trims where the watermark overrode the version cap
+
 	// ValidationTime observes the duration of each commit-time read-set
 	// validation pass (version- or value-based).
 	ValidationTime DurationHist
@@ -244,6 +252,13 @@ type StatsSnapshot struct {
 	EpochExtensions         uint64 `json:"epoch_extensions"`
 	ValidationShardsChecked uint64 `json:"validation_shards_checked"`
 	ValidationShardsSkipped uint64 `json:"validation_shards_skipped"`
+
+	MVCCSnapshotTxns      uint64 `json:"mvcc_snapshot_txns"`
+	MVCCSnapshotReads     uint64 `json:"mvcc_snapshot_reads"`
+	MVCCHistoryReads      uint64 `json:"mvcc_history_reads"`
+	MVCCVersionsAppended  uint64 `json:"mvcc_versions_appended"`
+	MVCCVersionsReclaimed uint64 `json:"mvcc_versions_reclaimed"`
+	MVCCCapOverflows      uint64 `json:"mvcc_cap_overflows"`
 
 	ValidationTime DurationHistSnapshot `json:"validation_time"`
 	LockHold       DurationHistSnapshot `json:"lock_hold"`
@@ -282,6 +297,12 @@ func (st *Stats) snapshot() StatsSnapshot {
 		EpochExtensions:         st.EpochExtensions.Load(),
 		ValidationShardsChecked: st.ValidationShardsChecked.Load(),
 		ValidationShardsSkipped: st.ValidationShardsSkipped.Load(),
+		MVCCSnapshotTxns:        st.MVCCSnapshotTxns.Load(),
+		MVCCSnapshotReads:       st.MVCCSnapshotReads.Load(),
+		MVCCHistoryReads:        st.MVCCHistoryReads.Load(),
+		MVCCVersionsAppended:    st.MVCCVersionsAppended.Load(),
+		MVCCVersionsReclaimed:   st.MVCCVersionsReclaimed.Load(),
+		MVCCCapOverflows:        st.MVCCCapOverflows.Load(),
 		ValidationTime:          st.ValidationTime.snapshot(),
 		LockHold:                st.LockHold.snapshot(),
 	}
@@ -307,6 +328,12 @@ func (st *Stats) reset() {
 	st.EpochExtensions.Store(0)
 	st.ValidationShardsChecked.Store(0)
 	st.ValidationShardsSkipped.Store(0)
+	st.MVCCSnapshotTxns.Store(0)
+	st.MVCCSnapshotReads.Store(0)
+	st.MVCCHistoryReads.Store(0)
+	st.MVCCVersionsAppended.Store(0)
+	st.MVCCVersionsReclaimed.Store(0)
+	st.MVCCCapOverflows.Store(0)
 	st.ValidationTime.reset()
 	st.LockHold.reset()
 }

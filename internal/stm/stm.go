@@ -76,6 +76,17 @@ const (
 	// PPoPP 2010; cited as [8] in the paper's Figure 1 classification).
 	// Implemented by the "norec" backend.
 	NOrec
+	// MultiVersion keeps a bounded newest-first version history on every
+	// reference, stamped by the sharded timebase. Update transactions behave
+	// like LazyLazy (redo log, commit-time locking, invisible readers,
+	// commit-time validation) but additionally append the displaced version
+	// to the reference's history at publication; transactions declared
+	// read-only (WithReadOnly) capture a shard-clock snapshot vector once and
+	// serve every read from the newest version at or below it — no read log,
+	// no validation, no conflict aborts. This is the MVCC point of the design
+	// space (Proust §6 lists multi-versioning among the composable STM-level
+	// strategies). Implemented by the "mvcc" backend.
+	MultiVersion
 )
 
 // String returns the policy name used in benchmark output.
@@ -89,6 +100,8 @@ func (p DetectionPolicy) String() string {
 		return "eager-eager"
 	case NOrec:
 		return "norec"
+	case MultiVersion:
+		return "multi-version"
 	default:
 		return fmt.Sprintf("DetectionPolicy(%d)", int(p))
 	}
@@ -133,8 +146,16 @@ type STM struct {
 	// each live on their own line inside shards.
 	epochClk atomic.Uint64 // cross-shard commit epoch (reader fence)
 	_        [56]byte
-	txnIDs   atomic.Uint64 // unique transaction serials
-	_        [56]byte
+	// epochDone counts *completed* cross-shard publication windows: every
+	// epochClk bump is paired with exactly one epochDone bump when the
+	// committer's publication window closes (releaseStamp), on success and
+	// abort alike. epochDone == epochClk therefore means no cross-shard
+	// commit is mid-publication — the quiescence point the mvcc backend's
+	// snapshot-vector capture waits for (see captureSnapshotVector).
+	epochDone atomic.Uint64
+	_         [56]byte
+	txnIDs    atomic.Uint64 // unique transaction serials
+	_         [56]byte
 
 	// shards partitions the timebase: refs map to shards in id blocks
 	// (shardOf), each shard holding a padded commit clock and a group-commit
@@ -145,6 +166,10 @@ type STM struct {
 	shardShift  uint32 // log2 of the ref-id block size (WithShardBlockBits)
 	reqShards   int    // WithShards request; 0 = auto
 	groupCommit bool   // commit doors enabled (WithGroupCommit)
+
+	// versionCap bounds the per-reference version history of the mvcc
+	// backend (WithVersionCap, default 8). Other backends ignore it.
+	versionCap int
 
 	refIDs   atomic.Uint64 // unique reference ids (commit-time lock order)
 	backend  Backend
@@ -219,6 +244,20 @@ func (o maxTriesOption) apply(s *STM) { s.maxTries = int(o) }
 // returns ErrMaxAttempts when exceeded. Zero (the default) means unbounded.
 func WithMaxAttempts(n int) Option { return maxTriesOption(n) }
 
+type versionCapOption int
+
+func (o versionCapOption) apply(s *STM) { s.versionCap = int(o) }
+
+// WithVersionCap sets the per-reference version-history budget of the mvcc
+// backend (default 8, minimum 1): the number of displaced versions a
+// reference retains for snapshot readers before the writer-side trim starts
+// reclaiming aggressively. The budget is soft against active readers — a
+// version some in-flight snapshot still needs is never reclaimed (that would
+// strand the reader); the overflow is counted instead (see Stats
+// MVCCCapOverflows) and the history shrinks back once the reader exits.
+// Other backends ignore this option.
+func WithVersionCap(n int) Option { return versionCapOption(n) }
+
 // New creates an STM instance. The default backend is "ccstm"
 // (MixedEagerWWLazyRW), matching the paper's evaluation.
 func New(opts ...Option) *STM {
@@ -231,6 +270,9 @@ func New(opts ...Option) *STM {
 	s.epochNS = s.epoch.UnixNano()
 	for _, o := range opts {
 		o.apply(s)
+	}
+	if s.versionCap <= 0 {
+		s.versionCap = DefaultVersionCap
 	}
 	n := s.reqShards
 	if n <= 0 {
@@ -316,6 +358,33 @@ func (s *STM) AtomicallyCtx(ctx context.Context, fn func(tx *Txn) error) error {
 	return s.run(ctx, fn)
 }
 
+// roHintKey marks a context carrying the read-only transaction hint.
+type roHintKey struct{}
+
+// WithReadOnly returns a context that declares every transaction run under it
+// (via AtomicallyCtx, or core.Do and the ADT operations it wraps) read-only:
+// the body performs no Ref writes — a write panics, making a violated
+// declaration a loud programming error rather than a silent anomaly.
+//
+// The hint is advisory for most backends (their read-only commit fast paths
+// already apply), but under the mvcc backend it changes the read protocol:
+// the transaction captures a shard-clock snapshot vector once at begin and
+// serves every read from the newest version at or below the snapshot — no
+// read log, no validation, no conflict aborts, and no fault injection from
+// the chaos wrapper (there is no validation or commit protocol to inject
+// faults into). A nil ctx is accepted and treated as context.Background().
+func WithReadOnly(ctx context.Context) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return context.WithValue(ctx, roHintKey{}, true)
+}
+
+// ReadOnlyHinted reports whether ctx carries the WithReadOnly hint.
+func ReadOnlyHinted(ctx context.Context) bool {
+	return ctx != nil && ctx.Value(roHintKey{}) != nil
+}
+
 // run is the shared attempt loop of Atomically and AtomicallyCtx.
 //
 // The loop keeps two distinct counters: tx.attempt counts body executions
@@ -326,6 +395,7 @@ func (s *STM) AtomicallyCtx(ctx context.Context, fn func(tx *Txn) error) error {
 // must neither abandon it (the spurious-ErrMaxAttempts bug) nor escalate it.
 func (s *STM) run(ctx context.Context, fn func(tx *Txn) error) error {
 	tx := s.newTxn()
+	tx.readOnly = ReadOnlyHinted(ctx)
 	err := s.runTxn(ctx, tx, fn)
 	// Only reached on ordinary returns: a panic out of user code skips the
 	// release and the descriptor falls to the garbage collector, which is

@@ -140,6 +140,21 @@ type Txn struct {
 	phaseCur   Phase
 	phaseOn    bool
 
+	// readOnly marks a transaction declared via the WithReadOnly hint: the
+	// body performs no writes (tx.write panics if it does). Under the mvcc
+	// backend reads are served from a snapshot vector with no read log and
+	// no validation; mvccRO then holds the attempt's reader handle (epoch
+	// pin + watermark slot), released by the backend at commit/abort.
+	readOnly bool
+	mvccRO   *mvccReader
+	// mvccRd caches the descriptor's mvcc reader (watermark slot + epoch
+	// handle), minted on first use and kept for the descriptor's life —
+	// descriptors are pooled per instance, so the slot registry and the EBR
+	// registry stay bounded by the peak number of concurrent transactions
+	// without a second pooling layer on the read-only hot path. Update
+	// commits borrow its epoch handle for the publish pass.
+	mvccRd *mvccReader
+
 	attempt int32
 	sampled bool // this attempt feeds the duration histograms
 	// serialMode marks an escalated (serial/irrevocable) transaction: it
@@ -233,6 +248,8 @@ func (tx *Txn) reset() {
 	tx.lockStart = 0
 	tx.attempt = 0
 	tx.sampled = false
+	tx.readOnly = false
+	tx.mvccRO = nil
 	tx.phaseOn = false
 	tx.serialMode = false
 	tx.escHeld = escNone
@@ -345,6 +362,10 @@ func (tx *Txn) Attempt() int { return int(tx.attempt) }
 // Serialized reports whether the transaction is running in escalated
 // serial (irrevocable) mode. See WithEscalation.
 func (tx *Txn) Serialized() bool { return tx.serialMode }
+
+// ReadOnly reports whether the transaction was declared read-only via the
+// WithReadOnly context hint.
+func (tx *Txn) ReadOnly() bool { return tx.readOnly }
 
 // STM returns the instance this transaction runs against.
 func (tx *Txn) STM() *STM { return tx.s }
@@ -503,6 +524,9 @@ func (tx *Txn) touch(r *baseRef) {
 // write records or applies a write of v to r, per the backend's strategy.
 func (tx *Txn) write(r *baseRef, v any) {
 	tx.checkAlive()
+	if tx.readOnly {
+		panic("stm: write inside a transaction declared with WithReadOnly")
+	}
 	tx.s.backend.write(tx, r, v)
 }
 
