@@ -111,7 +111,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("proust-bench", flag.ContinueOnError)
 	var (
-		experiment = fs.String("experiment", "quick", "figure4 | figure4memo | trends | quick | contention | backends | read-heavy | contended-scale")
+		experiment = fs.String("experiment", "quick", "figure4 | figure4memo | trends | quick | contention | backends | read-heavy | contended-scale | serve")
 		ops        = fs.Int("ops", 0, "operations per configuration (0 = experiment default)")
 		warmups    = fs.Int("warmups", -1, "warm-up runs per configuration (-1 = experiment default)")
 		reps       = fs.Int("reps", -1, "timed repetitions per configuration (-1 = experiment default)")
@@ -124,6 +124,14 @@ func run(args []string) error {
 		csvPath    = fs.String("csv", "", "also write results as CSV to this file")
 		shards     = fs.Int("shards", 0, "STM timebase shard count (0 = automatic, 1 = classic single clock)")
 		readOps    = fs.Int("read-txn-ops", 0, "read-heavy experiment: ops per read-only transaction (0 = default scan length)")
+
+		serveAddr   = fs.String("addr", "", "serve experiment: address of an already-running proust-serve (empty = spin up an in-process server)")
+		conns       = fs.String("conns", "", "serve experiment: client connection count (default 4)")
+		pipelineStr = fs.String("pipeline", "", "serve experiment: comma-separated closed-loop pipeline depths (default 1,8,32)")
+		arrivalStr  = fs.String("arrival-rate", "", "serve experiment: comma-separated open-loop arrival rates in batches/sec (default: closed-loop only)")
+		roMix       = fs.Float64("ro-mix", -1, "serve experiment: fraction of batches that are read-only (default 0.5)")
+		serveMaps   = fs.String("maps", "", "serve experiment: namespace map implementation, predication | boosted (default predication)")
+		serveDur    = fs.Duration("duration", 0, "serve experiment: open-loop run duration per arrival rate (default 2s)")
 
 		chaos     = fs.Bool("chaos", false, "wrap every system's backend in the fault-injecting chaos layer (soak mode)")
 		chaosSeed = fs.Uint64("chaos-seed", 1, "deterministic seed for -chaos fault draws")
@@ -230,6 +238,10 @@ func run(args []string) error {
 	}
 	if *experiment == "contended-scale" {
 		return runContendedScale(*threads, *ops, *warmups, *reps, *shards, *jsonPath, obsv)
+	}
+	if *experiment == "serve" {
+		return runServe(*serveAddr, *policy, *serveMaps, *conns, *pipelineStr, *arrivalStr,
+			*roMix, *ops, *serveDur, *shards, *jsonPath, *csvPath)
 	}
 
 	cfg := bench.DefaultSweep(os.Stdout)

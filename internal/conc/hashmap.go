@@ -1,8 +1,9 @@
 // Package conc provides the thread-safe, linearizable concurrent data
 // structures that Proust wraps into transactional objects:
 //
-//   - HashMap: a striped-lock hash map (the ConcurrentHashMap stand-in used
-//     by the paper's LazyHashMap).
+//   - HashMap: a striped hash map with lock-free reads and epoch-pooled
+//     chain nodes (the ConcurrentHashMap stand-in used by the paper's
+//     LazyHashMap).
 //   - Ctrie: a concurrent hash-trie with constant-time snapshots (the Scala
 //     TrieMap stand-in used by the paper's TrieMap/LazyTrieMap).
 //   - SkipListMap: an ordered concurrent map.
@@ -19,6 +20,7 @@ package conc
 
 import (
 	"sync"
+	"sync/atomic"
 )
 
 const defaultStripes = 64
@@ -26,17 +28,55 @@ const defaultStripes = 64
 // Hasher maps a key to a 64-bit hash. Keys equal under == must hash equally.
 type Hasher[K comparable] func(K) uint64
 
-// HashMap is a thread-safe hash map using lock striping: the table is split
-// into fixed stripes, each guarded by its own RWMutex, so operations on
-// different stripes proceed in parallel.
-type HashMap[K comparable, V any] struct {
-	hash    Hasher[K]
-	stripes []hashStripe[K, V]
+// Per-stripe chain-node freelist cap and initial bucket count. Buckets double
+// when a stripe's population exceeds hmLoadFactor entries per bucket.
+const (
+	hmNodeCap        = 512
+	hmInitialBuckets = 8
+	hmLoadFactor     = 4
+)
+
+// hmNode is one immutable-after-publication chain entry. Nodes are served
+// from the map's EpochPool: key, hash and val are written only before the
+// node is published (a bucket-head or predecessor next store), and never
+// again until the node has been unlinked and a full grace period has passed —
+// so lock-free readers may dereference them with plain loads.
+type hmNode[K comparable, V any] struct {
+	hash uint64
+	key  K
+	val  V
+	next atomic.Pointer[hmNode[K, V]]
+}
+
+// hmTable is one stripe's bucket array; replaced wholesale on resize so
+// readers always traverse an internally consistent table.
+type hmTable[K comparable, V any] struct {
+	buckets []atomic.Pointer[hmNode[K, V]]
 }
 
 type hashStripe[K comparable, V any] struct {
-	mu sync.RWMutex
-	m  map[K]V
+	mu    sync.Mutex // writers only; readers are lock-free
+	table atomic.Pointer[hmTable[K, V]]
+	count atomic.Int64
+}
+
+// HashMap is a thread-safe hash map using lock striping for writers and
+// epoch-protected lock-free reads: the table is split into fixed stripes,
+// each guarded by its own mutex, so mutations on different stripes proceed
+// in parallel, while Get/Contains/Range never take a lock at all.
+//
+// Since PR 10 the stripes are chained-bucket tables over nodes served from a
+// conc.EpochPool (the facility the Ctrie and skiplist already reclaim
+// through): an update replaces the key's node, a remove unlinks it, and the
+// displaced node is retired into the pool's rotating epoch bins — a reader
+// that raced past the unlink is still inside a pinned section, so the node
+// cannot be recycled under it. In steady state (stable key population)
+// mutations allocate nothing: every node comes off the handle's freelist.
+type HashMap[K comparable, V any] struct {
+	hash       Hasher[K]
+	pool       *EpochPool[hmNode[K, V]]
+	stripes    []hashStripe[K, V]
+	stripeBits uint
 }
 
 // NewHashMap creates a HashMap with the given hasher and default striping.
@@ -48,30 +88,67 @@ func NewHashMap[K comparable, V any](hash Hasher[K]) *HashMap[K, V] {
 // of two).
 func NewHashMapStripes[K comparable, V any](hash Hasher[K], n int) *HashMap[K, V] {
 	size := 1
+	bits := uint(0)
 	for size < n {
 		size <<= 1
+		bits++
 	}
 	h := &HashMap[K, V]{
-		hash:    hash,
-		stripes: make([]hashStripe[K, V], size),
+		hash: hash,
+		pool: NewEpochPool(hmNodeCap, func(n *hmNode[K, V]) {
+			// Clear pointerful fields so freelist residency pins neither
+			// displaced chain suffixes nor caller keys/values.
+			var zk K
+			var zv V
+			n.hash = 0
+			n.key = zk
+			n.val = zv
+			n.next.Store(nil)
+		}),
+		stripes:    make([]hashStripe[K, V], size),
+		stripeBits: bits,
 	}
 	for i := range h.stripes {
-		h.stripes[i].m = make(map[K]V)
+		t := &hmTable[K, V]{buckets: make([]atomic.Pointer[hmNode[K, V]], hmInitialBuckets)}
+		h.stripes[i].table.Store(t)
 	}
 	return h
 }
 
-func (h *HashMap[K, V]) stripe(k K) *hashStripe[K, V] {
-	return &h.stripes[h.hash(k)&uint64(len(h.stripes)-1)]
+func (h *HashMap[K, V]) stripe(hash uint64) *hashStripe[K, V] {
+	return &h.stripes[hash&uint64(len(h.stripes)-1)]
 }
 
-// Get returns the value for k and whether it is present.
+// bucketIdx selects a bucket from the hash bits above the stripe selector,
+// so chains stay balanced even when the stripe count and bucket count share
+// low bits.
+func (h *HashMap[K, V]) bucketIdx(hash uint64, nbuckets int) uint64 {
+	return (hash >> h.stripeBits) & uint64(nbuckets-1)
+}
+
+// Get returns the value for k and whether it is present. Lock-free: the
+// traversal runs inside an epoch-pinned section, so nodes unlinked by a
+// concurrent writer remain intact until the read completes.
 func (h *HashMap[K, V]) Get(k K) (V, bool) {
-	s := h.stripe(k)
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	v, ok := s.m[k]
-	return v, ok
+	hv := h.hash(k)
+	s := h.stripe(hv)
+	hd := h.pool.Get()
+	hd.Pin()
+	t := s.table.Load()
+	n := t.buckets[h.bucketIdx(hv, len(t.buckets))].Load()
+	for n != nil {
+		if n.hash == hv && n.key == k {
+			v := n.val
+			hd.Unpin()
+			h.pool.Put(hd)
+			return v, true
+		}
+		n = n.next.Load()
+	}
+	hd.Unpin()
+	h.pool.Put(hd)
+	var zero V
+	return zero, false
 }
 
 // Contains reports whether k is present.
@@ -80,26 +157,124 @@ func (h *HashMap[K, V]) Contains(k K) bool {
 	return ok
 }
 
+// findLocked walks k's chain under the stripe lock, returning the node and
+// the link (bucket head or predecessor next) that publishes it.
+func (h *HashMap[K, V]) findLocked(t *hmTable[K, V], hv uint64, k K) (*atomic.Pointer[hmNode[K, V]], *hmNode[K, V]) {
+	link := &t.buckets[h.bucketIdx(hv, len(t.buckets))]
+	for {
+		n := link.Load()
+		if n == nil {
+			return link, nil
+		}
+		if n.hash == hv && n.key == k {
+			return link, n
+		}
+		link = &n.next
+	}
+}
+
+// insertLocked publishes a fresh node for (k,v) at the head link, replacing
+// old (already found at that link) when non-nil.
+func (h *HashMap[K, V]) insertLocked(hd *EpochHandle[hmNode[K, V]], s *hashStripe[K, V],
+	link *atomic.Pointer[hmNode[K, V]], old *hmNode[K, V], hv uint64, k K, v V) {
+	nn := hd.Alloc()
+	nn.hash = hv
+	nn.key = k
+	nn.val = v
+	if old != nil {
+		// Replace in place: the new node adopts the old node's suffix, so
+		// readers mid-chain see either the old or the new binding.
+		nn.next.Store(old.next.Load())
+		link.Store(nn)
+		hd.Retire(old)
+		return
+	}
+	nn.next.Store(link.Load())
+	link.Store(nn)
+	s.count.Add(1)
+	h.maybeGrowLocked(hd, s)
+}
+
+// removeLocked unlinks n (published at link) and retires it.
+func (h *HashMap[K, V]) removeLocked(hd *EpochHandle[hmNode[K, V]], s *hashStripe[K, V],
+	link *atomic.Pointer[hmNode[K, V]], n *hmNode[K, V]) {
+	link.Store(n.next.Load())
+	hd.Retire(n)
+	s.count.Add(-1)
+}
+
+// maybeGrowLocked doubles the stripe's bucket array when the load factor is
+// exceeded. The new table gets fresh node copies (relinking the live nodes
+// would splice readers of the old table into foreign chains mid-walk); the
+// old cohort is retired wholesale and recycled after the grace period, so
+// resize is churn, not leak.
+func (h *HashMap[K, V]) maybeGrowLocked(hd *EpochHandle[hmNode[K, V]], s *hashStripe[K, V]) {
+	t := s.table.Load()
+	if int(s.count.Load()) <= hmLoadFactor*len(t.buckets) {
+		return
+	}
+	nt := &hmTable[K, V]{buckets: make([]atomic.Pointer[hmNode[K, V]], 2*len(t.buckets))}
+	for i := range t.buckets {
+		for n := t.buckets[i].Load(); n != nil; n = n.next.Load() {
+			nn := hd.Alloc()
+			nn.hash = n.hash
+			nn.key = n.key
+			nn.val = n.val
+			b := &nt.buckets[h.bucketIdx(n.hash, len(nt.buckets))]
+			nn.next.Store(b.Load())
+			b.Store(nn)
+		}
+	}
+	s.table.Store(nt)
+	for i := range t.buckets {
+		for n := t.buckets[i].Load(); n != nil; {
+			next := n.next.Load()
+			hd.Retire(n)
+			n = next
+		}
+	}
+}
+
 // Put stores v under k, returning the previous value if any.
 func (h *HashMap[K, V]) Put(k K, v V) (V, bool) {
-	s := h.stripe(k)
+	hv := h.hash(k)
+	s := h.stripe(hv)
+	hd := h.pool.Get()
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	old, ok := s.m[k]
-	s.m[k] = v
-	return old, ok
+	hd.Pin()
+	link, n := h.findLocked(s.table.Load(), hv, k)
+	var old V
+	had := n != nil
+	if had {
+		old = n.val
+	}
+	h.insertLocked(hd, s, link, n, hv, k, v)
+	hd.Unpin()
+	s.mu.Unlock()
+	h.pool.Put(hd)
+	return old, had
 }
 
 // PutIfAbsent stores v under k only if k is absent. It returns the value now
 // mapped to k and whether the store happened.
 func (h *HashMap[K, V]) PutIfAbsent(k K, v V) (V, bool) {
-	s := h.stripe(k)
+	hv := h.hash(k)
+	s := h.stripe(hv)
+	hd := h.pool.Get()
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if old, ok := s.m[k]; ok {
-		return old, false
+	hd.Pin()
+	link, n := h.findLocked(s.table.Load(), hv, k)
+	if n != nil {
+		v := n.val
+		hd.Unpin()
+		s.mu.Unlock()
+		h.pool.Put(hd)
+		return v, false
 	}
-	s.m[k] = v
+	h.insertLocked(hd, s, link, nil, hv, k, v)
+	hd.Unpin()
+	s.mu.Unlock()
+	h.pool.Put(hd)
 	return v, true
 }
 
@@ -108,57 +283,81 @@ func (h *HashMap[K, V]) PutIfAbsent(k K, v V) (V, bool) {
 // should remain present). Update returns f's outputs. It is the linearizable
 // compute primitive the Proustian multiset builds on.
 func (h *HashMap[K, V]) Update(k K, f func(V, bool) (V, bool)) (V, bool) {
-	s := h.stripe(k)
+	hv := h.hash(k)
+	s := h.stripe(hv)
+	hd := h.pool.Get()
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	old, had := s.m[k]
-	next, keep := f(old, had)
-	if keep {
-		s.m[k] = next
-	} else if had {
-		delete(s.m, k)
+	hd.Pin()
+	link, n := h.findLocked(s.table.Load(), hv, k)
+	var old V
+	had := n != nil
+	if had {
+		old = n.val
 	}
+	next, keep := f(old, had)
+	switch {
+	case keep:
+		h.insertLocked(hd, s, link, n, hv, k, next)
+	case had:
+		h.removeLocked(hd, s, link, n)
+	}
+	hd.Unpin()
+	s.mu.Unlock()
+	h.pool.Put(hd)
 	return next, keep
 }
 
 // Remove deletes k, returning the previous value if any.
 func (h *HashMap[K, V]) Remove(k K) (V, bool) {
-	s := h.stripe(k)
+	hv := h.hash(k)
+	s := h.stripe(hv)
+	hd := h.pool.Get()
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	old, ok := s.m[k]
-	if ok {
-		delete(s.m, k)
+	hd.Pin()
+	link, n := h.findLocked(s.table.Load(), hv, k)
+	var old V
+	had := n != nil
+	if had {
+		old = n.val
+		h.removeLocked(hd, s, link, n)
 	}
-	return old, ok
+	hd.Unpin()
+	s.mu.Unlock()
+	h.pool.Put(hd)
+	return old, had
 }
 
-// Len counts the entries. It locks each stripe in turn, so the result is
-// only quiescently consistent (like ConcurrentHashMap.size()).
+// Len counts the entries. Per-stripe counters are read without stopping
+// writers, so the result is only quiescently consistent (like
+// ConcurrentHashMap.size()).
 func (h *HashMap[K, V]) Len() int {
-	n := 0
+	n := int64(0)
 	for i := range h.stripes {
-		s := &h.stripes[i]
-		s.mu.RLock()
-		n += len(s.m)
-		s.mu.RUnlock()
+		n += h.stripes[i].count.Load()
 	}
-	return n
+	return int(n)
 }
 
 // Range calls f for every entry until f returns false. Entries added or
-// removed concurrently may or may not be observed.
+// removed concurrently may or may not be observed. The walk is lock-free:
+// each stripe's table is traversed inside the same epoch-pinned section that
+// protects Get.
 func (h *HashMap[K, V]) Range(f func(K, V) bool) {
+	hd := h.pool.Get()
+	hd.Pin()
+	defer func() {
+		hd.Unpin()
+		h.pool.Put(hd)
+	}()
 	for i := range h.stripes {
-		s := &h.stripes[i]
-		s.mu.RLock()
-		for k, v := range s.m {
-			if !f(k, v) {
-				s.mu.RUnlock()
-				return
+		t := h.stripes[i].table.Load()
+		for b := range t.buckets {
+			for n := t.buckets[b].Load(); n != nil; n = n.next.Load() {
+				if !f(n.key, n.val) {
+					return
+				}
 			}
 		}
-		s.mu.RUnlock()
 	}
 }
 

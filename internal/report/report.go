@@ -111,6 +111,23 @@ type MVCCSummary struct {
 	WatermarkLag  int64  `json:"watermark_lag"`
 }
 
+// ServerSummary aggregates proust-serve front-end heat from the metrics
+// snapshot (present only when a server registered its families).
+type ServerSummary struct {
+	Connections    int64   `json:"connections"`
+	RequestsOK     uint64  `json:"requests_ok"`
+	RequestsShed   uint64  `json:"requests_shed"`
+	RequestsDeadln uint64  `json:"requests_deadline"`
+	RequestsError  uint64  `json:"requests_error"`
+	ROBatches      uint64  `json:"ro_batches"`
+	ShedRatio      float64 `json:"shed_ratio"`
+	// MeanPipelineDepth is frames per read burst; MeanFlushBytes is reply
+	// bytes per writer syscall — together they say how well the wire is
+	// amortizing syscalls.
+	MeanPipelineDepth float64 `json:"mean_pipeline_depth"`
+	MeanFlushBytes    float64 `json:"mean_flush_bytes"`
+}
+
 // Analysis is the full forensics result.
 type Analysis struct {
 	Events  int `json:"events"`
@@ -131,6 +148,9 @@ type Analysis struct {
 	// MVCCByBackend summarizes multi-version telemetry per backend
 	// (metrics input; empty unless an mvcc instance was scraped).
 	MVCCByBackend map[string]MVCCSummary
+	// Server summarizes proust-serve front-end heat (metrics input; nil
+	// unless proust_server_* families were scraped).
+	Server *ServerSummary `json:"server,omitempty"`
 	// Hints are the rule-based "tune this first" suggestions.
 	Hints []string
 }
@@ -202,6 +222,7 @@ func Analyze(d Dump, fams []obs.FamilySnapshot, topN int) Analysis {
 
 	a.summarizeShards(fams)
 	a.summarizeMVCC(fams)
+	a.summarizeServer(fams)
 	a.hints()
 	return a
 }
@@ -334,6 +355,47 @@ func (a *Analysis) summarizeMVCC(fams []obs.FamilySnapshot) {
 	}
 }
 
+func (a *Analysis) summarizeServer(fams []obs.FamilySnapshot) {
+	reqF := findFamily(fams, "proust_server_requests_total")
+	connF := findFamily(fams, "proust_server_connections")
+	roF := findFamily(fams, "proust_server_ro_batches_total")
+	depthF := findFamily(fams, "proust_server_pipeline_depth")
+	flushF := findFamily(fams, "proust_server_flush_batch_size")
+	if reqF == nil && connF == nil && roF == nil && depthF == nil && flushF == nil {
+		return
+	}
+	s := &ServerSummary{}
+	s.Connections, _ = gaugeBy(connF, nil)
+	s.RequestsOK, _ = counterBy(reqF, map[string]string{"outcome": "ok"})
+	s.RequestsShed, _ = counterBy(reqF, map[string]string{"outcome": "shed"})
+	s.RequestsDeadln, _ = counterBy(reqF, map[string]string{"outcome": "deadline"})
+	s.RequestsError, _ = counterBy(reqF, map[string]string{"outcome": "error"})
+	s.ROBatches, _ = counterBy(roF, nil)
+	total := s.RequestsOK + s.RequestsShed + s.RequestsDeadln + s.RequestsError
+	s.ShedRatio = ratio(s.RequestsShed, total)
+	s.MeanPipelineDepth = histMean(depthF)
+	s.MeanFlushBytes = histMean(flushF)
+	a.Server = s
+}
+
+// histMean averages a histogram family's samples across its children.
+func histMean(f *obs.FamilySnapshot) float64 {
+	if f == nil {
+		return 0
+	}
+	var sum, count uint64
+	for _, m := range f.Metrics {
+		if m.Histogram != nil {
+			sum += m.Histogram.Sum
+			count += m.Histogram.Count
+		}
+	}
+	if count == 0 {
+		return 0
+	}
+	return float64(sum) / float64(count)
+}
+
 // ratio returns part/whole, and 0 when whole is zero. Every percentage or
 // ratio the report emits must come through ratio/pct: a section fed from an
 // empty dump has zero-count denominators, and a bare division would put
@@ -432,6 +494,21 @@ func (a *Analysis) hints() {
 				backend, m.WatermarkLag, m.VersionsLive))
 		}
 	}
+	if s := a.Server; s != nil {
+		if s.ShedRatio > 0.2 {
+			a.Hints = append(a.Hints, fmt.Sprintf(
+				"server: %.0f%% of batches were shed — offered load is far over "+
+					"the admission budget; raise ExecRate/Inflight if the STM has "+
+					"headroom, otherwise add capacity or trim batch sizes",
+				100*s.ShedRatio))
+		}
+		if s.MeanPipelineDepth > 0 && s.MeanPipelineDepth < 2 {
+			a.Hints = append(a.Hints,
+				"server: clients average under 2 frames per read burst — they are "+
+					"not pipelining, so every batch pays a full RTT plus a syscall "+
+					"each way; batch more requests per flush client-side")
+		}
+	}
 	if len(a.Hints) == 0 {
 		a.Hints = append(a.Hints, "nothing stands out: abort rate, shard "+
 			"balance and door merging all look healthy")
@@ -508,6 +585,16 @@ func (a Analysis) WriteText(w io.Writer) error {
 			fmt.Fprintf(bw, "  %s: %d snapshot reads, %d versions live, watermark lag %d\n",
 				b, m.SnapshotReads, m.VersionsLive, m.WatermarkLag)
 		}
+	}
+	if s := a.Server; s != nil {
+		total := s.RequestsOK + s.RequestsShed + s.RequestsDeadln + s.RequestsError
+		fmt.Fprintf(bw, "\nserver front-end:\n")
+		fmt.Fprintf(bw, "  %d open connections, %d batches (%d ok, %d shed, %d deadline, %d error)\n",
+			s.Connections, total, s.RequestsOK, s.RequestsShed, s.RequestsDeadln, s.RequestsError)
+		fmt.Fprintf(bw, "  %d read-only batches snapshot-routed (%.1f%% of ok)\n",
+			s.ROBatches, pct(s.ROBatches, s.RequestsOK))
+		fmt.Fprintf(bw, "  pipelining: %.1f frames/read burst, %.0f reply bytes/flush syscall\n",
+			s.MeanPipelineDepth, s.MeanFlushBytes)
 	}
 	fmt.Fprintf(bw, "\ntune this:\n")
 	for _, h := range a.Hints {

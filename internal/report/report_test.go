@@ -12,6 +12,8 @@ import (
 
 func u(v uint64) *uint64 { return &v }
 
+func i64(v int64) *int64 { return &v }
+
 // encodeDump renders events and samples as the mixed JSONL stream proust-bench
 // writes (events first, then samples).
 func encodeDump(t *testing.T, events []stm.TraceEvent, samples []stm.PhaseSample) string {
@@ -97,6 +99,19 @@ func testFams() []obs.FamilySnapshot {
 			{Labels: map[string]string{"backend": "tl2", "result": "checked"}, Count: u(100)},
 			{Labels: map[string]string{"backend": "tl2", "result": "skipped"}, Count: u(1)},
 		}},
+		{Name: "proust_server_connections", Metrics: []obs.MetricSnapshot{
+			{Value: i64(3)},
+		}},
+		{Name: "proust_server_requests_total", Metrics: []obs.MetricSnapshot{
+			{Labels: map[string]string{"outcome": "ok"}, Count: u(600)},
+			{Labels: map[string]string{"outcome": "shed"}, Count: u(400)},
+		}},
+		{Name: "proust_server_ro_batches_total", Metrics: []obs.MetricSnapshot{
+			{Count: u(150)},
+		}},
+		{Name: "proust_server_pipeline_depth", Metrics: []obs.MetricSnapshot{
+			{Histogram: &obs.HistogramSnapshot{Sum: 64, Count: 2}},
+		}},
 	}
 }
 
@@ -130,6 +145,27 @@ func TestAnalyze(t *testing.T) {
 	}
 	if len(a.TopKeys) == 0 || a.TopKeys[0] != (KeyConflict{Key: 7, Op: "put", Aborts: 4}) {
 		t.Errorf("top keys = %+v", a.TopKeys)
+	}
+	if a.Server == nil {
+		t.Fatal("server families present but Server summary is nil")
+	}
+	if a.Server.Connections != 3 || a.Server.RequestsOK != 600 || a.Server.RequestsShed != 400 {
+		t.Errorf("server summary = %+v", a.Server)
+	}
+	if a.Server.ROBatches != 150 || a.Server.MeanPipelineDepth != 32 {
+		t.Errorf("server ro/pipeline = %+v", a.Server)
+	}
+	if a.Server.ShedRatio != 0.4 {
+		t.Errorf("shed ratio = %v, want 0.4", a.Server.ShedRatio)
+	}
+	found := false
+	for _, h := range a.Hints {
+		if strings.Contains(h, "shed") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("40%% shed produced no server hint: %v", a.Hints)
 	}
 
 	s, ok := a.ShardsByBackend["tl2"]
@@ -219,7 +255,7 @@ func TestParseMetrics(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(fams) != 5 || fams[0].Name != "proust_stm_shard_clock" {
+	if len(fams) != 9 || fams[0].Name != "proust_stm_shard_clock" {
 		t.Errorf("metrics round-trip = %+v", fams)
 	}
 }

@@ -1,0 +1,275 @@
+package server
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+)
+
+// Batch builds one request frame: a MULTI-like sequence of operations the
+// server executes as a single transaction. Reuse with Reset.
+type Batch struct {
+	payload []byte
+	nops    int
+}
+
+// Reset clears the batch for reuse without freeing its buffer.
+func (b *Batch) Reset() {
+	b.payload = b.payload[:0]
+	b.nops = 0
+}
+
+// Len reports the number of operations in the batch.
+func (b *Batch) Len() int { return b.nops }
+
+func (b *Batch) op(code byte, ns string) {
+	if b.nops == 0 {
+		b.payload = append(b.payload[:0], Version, 0, 0)
+	}
+	b.payload = append(b.payload, code, byte(len(ns)))
+	b.payload = append(b.payload, ns...)
+	b.nops++
+}
+
+// Get reads map key ns[key]; replies TagBytes or TagNil.
+func (b *Batch) Get(ns string, key uint64) *Batch {
+	b.op(OpGet, ns)
+	b.payload = binary.BigEndian.AppendUint64(b.payload, key)
+	return b
+}
+
+// Set stores ns[key] = val; replies TagOK.
+func (b *Batch) Set(ns string, key uint64, val []byte) *Batch {
+	b.op(OpSet, ns)
+	b.payload = binary.BigEndian.AppendUint64(b.payload, key)
+	b.payload = binary.BigEndian.AppendUint32(b.payload, uint32(len(val)))
+	b.payload = append(b.payload, val...)
+	return b
+}
+
+// Del removes ns[key]; replies TagInt 1 (removed) or 0 (absent).
+func (b *Batch) Del(ns string, key uint64) *Batch {
+	b.op(OpDel, ns)
+	b.payload = binary.BigEndian.AppendUint64(b.payload, key)
+	return b
+}
+
+// Incr adds delta to the 8-byte counter at ns[key]; replies TagInt with the
+// new value.
+func (b *Batch) Incr(ns string, key uint64, delta int64) *Batch {
+	b.op(OpIncr, ns)
+	b.payload = binary.BigEndian.AppendUint64(b.payload, key)
+	b.payload = binary.BigEndian.AppendUint64(b.payload, uint64(delta))
+	return b
+}
+
+// Size reads the committed size of map ns; replies TagInt.
+func (b *Batch) Size(ns string) *Batch {
+	b.op(OpSize, ns)
+	return b
+}
+
+// QPush enqueues val on queue ns; replies TagOK.
+func (b *Batch) QPush(ns string, val []byte) *Batch {
+	b.op(OpQPush, ns)
+	b.payload = binary.BigEndian.AppendUint32(b.payload, uint32(len(val)))
+	b.payload = append(b.payload, val...)
+	return b
+}
+
+// QPop dequeues from queue ns; replies TagBytes or TagNil when empty.
+func (b *Batch) QPop(ns string) *Batch {
+	b.op(OpQPop, ns)
+	return b
+}
+
+// PQPush inserts val with priority prio on pqueue ns; replies TagOK.
+func (b *Batch) PQPush(ns string, prio uint64, val []byte) *Batch {
+	b.op(OpPQPush, ns)
+	b.payload = binary.BigEndian.AppendUint64(b.payload, prio)
+	b.payload = binary.BigEndian.AppendUint32(b.payload, uint32(len(val)))
+	b.payload = append(b.payload, val...)
+	return b
+}
+
+// PQPop removes the minimum from pqueue ns; replies TagBytes or TagNil.
+func (b *Batch) PQPop(ns string) *Batch {
+	b.op(OpPQPop, ns)
+	return b
+}
+
+// Result is one operation's reply.
+type Result struct {
+	Tag   byte
+	Bytes []byte // TagBytes; aliases the client read buffer until the next ReadReply
+	Int   int64  // TagInt
+}
+
+// Reply is one decoded reply frame. Reuse across ReadReply calls; Results
+// and Msg alias the client's read buffer and are valid until the next read.
+type Reply struct {
+	Status  byte
+	Msg     []byte
+	Results []Result
+}
+
+// OK reports whether the batch committed.
+func (r *Reply) OK() bool { return r.Status == StatusOK }
+
+// Client speaks the proust-serve protocol with explicit pipelining: queue
+// any number of batches with Send, push them in one syscall with Flush, then
+// collect replies in order with ReadReply. Do is the one-shot convenience.
+// A Client is not safe for concurrent use.
+type Client struct {
+	nc   net.Conn
+	wbuf []byte
+	rbuf []byte
+	rlen int // valid bytes in rbuf
+	rpos int // parse cursor
+}
+
+// Dial connects to a proust-serve server.
+func Dial(addr string) (*Client, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := nc.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	return &Client{nc: nc, rbuf: make([]byte, 64<<10)}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.nc.Close() }
+
+// Send appends b as one frame to the outgoing pipeline buffer.
+func (c *Client) Send(b *Batch) {
+	binary.BigEndian.PutUint16(b.payload[1:3], uint16(b.nops))
+	c.wbuf = binary.BigEndian.AppendUint32(c.wbuf, uint32(len(b.payload)))
+	c.wbuf = append(c.wbuf, b.payload...)
+}
+
+// Flush writes every queued frame in a single syscall.
+func (c *Client) Flush() error {
+	if len(c.wbuf) == 0 {
+		return nil
+	}
+	_, err := c.nc.Write(c.wbuf)
+	c.wbuf = c.wbuf[:0]
+	return err
+}
+
+// ReadReply decodes the next reply frame into r (reusing its slices).
+func (c *Client) ReadReply(r *Reply) error {
+	p, err := c.readFrame()
+	if err != nil {
+		return err
+	}
+	return decodeReply(p, r)
+}
+
+// Do is the unpipelined convenience: send one batch, wait for its reply.
+func (c *Client) Do(b *Batch, r *Reply) error {
+	c.Send(b)
+	if err := c.Flush(); err != nil {
+		return err
+	}
+	return c.ReadReply(r)
+}
+
+func (c *Client) readFrame() ([]byte, error) {
+	// Compact when the cursor has consumed the buffer head.
+	if c.rpos > 0 {
+		copy(c.rbuf, c.rbuf[c.rpos:c.rlen])
+		c.rlen -= c.rpos
+		c.rpos = 0
+	}
+	for {
+		if c.rlen >= 4 {
+			n := int(binary.BigEndian.Uint32(c.rbuf))
+			if 4+n <= c.rlen {
+				p := c.rbuf[4 : 4+n]
+				c.rpos = 4 + n
+				return p, nil
+			}
+			if 4+n > len(c.rbuf) {
+				grown := make([]byte, 4+n)
+				copy(grown, c.rbuf[:c.rlen])
+				c.rbuf = grown
+			}
+		}
+		n, err := c.nc.Read(c.rbuf[c.rlen:])
+		if n > 0 {
+			c.rlen += n
+			continue
+		}
+		if err != nil {
+			if errors.Is(err, io.EOF) && c.rlen > 0 {
+				return nil, io.ErrUnexpectedEOF
+			}
+			return nil, err
+		}
+	}
+}
+
+func decodeReply(p []byte, r *Reply) error {
+	r.Results = r.Results[:0]
+	r.Msg = nil
+	if len(p) < 1 {
+		return errors.New("server: empty reply frame")
+	}
+	r.Status = p[0]
+	i := 1
+	if r.Status != StatusOK {
+		if len(p)-i < 2 {
+			return errors.New("server: truncated error reply")
+		}
+		ml := int(binary.BigEndian.Uint16(p[i:]))
+		i += 2
+		if len(p)-i < ml {
+			return errors.New("server: truncated error message")
+		}
+		r.Msg = p[i : i+ml]
+		return nil
+	}
+	if len(p)-i < 2 {
+		return errors.New("server: truncated reply count")
+	}
+	n := int(binary.BigEndian.Uint16(p[i:]))
+	i += 2
+	for k := 0; k < n; k++ {
+		if len(p)-i < 1 {
+			return errors.New("server: truncated result")
+		}
+		tag := p[i]
+		i++
+		res := Result{Tag: tag}
+		switch tag {
+		case TagNil, TagOK:
+		case TagBytes:
+			if len(p)-i < 4 {
+				return errors.New("server: truncated bytes result")
+			}
+			bl := int(binary.BigEndian.Uint32(p[i:]))
+			i += 4
+			if len(p)-i < bl {
+				return errors.New("server: truncated bytes payload")
+			}
+			res.Bytes = p[i : i+bl]
+			i += bl
+		case TagInt:
+			if len(p)-i < 8 {
+				return errors.New("server: truncated int result")
+			}
+			res.Int = int64(binary.BigEndian.Uint64(p[i:]))
+			i += 8
+		default:
+			return fmt.Errorf("server: unknown result tag %d", tag)
+		}
+		r.Results = append(r.Results, res)
+	}
+	return nil
+}

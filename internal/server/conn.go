@@ -1,0 +1,490 @@
+package server
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"io"
+	"net"
+	"runtime"
+	"time"
+
+	"proust/internal/stm"
+)
+
+func numCPU() int { return runtime.GOMAXPROCS(0) }
+
+// deadlineCtx is a reusable context carrying only a deadline (and, through
+// its parent, the read-only hint). Done() returns nil: the STM consults it
+// only inside backoff selects and Retry waits, where a nil channel simply
+// never fires — batch bodies never Retry (Dequeue/RemoveMin are the
+// non-blocking variants), and deadline expiry is still observed at every
+// attempt boundary via Err(). Keeping Done nil is what lets one instance be
+// reused across every batch on the connection with zero allocation, where
+// context.WithDeadline would allocate a timer and a struct per batch.
+type deadlineCtx struct {
+	parent   context.Context
+	deadline time.Time
+}
+
+func (d *deadlineCtx) Deadline() (time.Time, bool) { return d.deadline, true }
+func (d *deadlineCtx) Done() <-chan struct{}       { return nil }
+func (d *deadlineCtx) Value(k any) any             { return d.parent.Value(k) }
+func (d *deadlineCtx) Err() error {
+	if time.Now().After(d.deadline) {
+		return context.DeadlineExceeded
+	}
+	return nil
+}
+
+// conn is one client connection: a reader goroutine that parses pipeline
+// bursts and executes each frame as one transaction, and a writer goroutine
+// that turns each burst's coalesced replies into a single syscall.
+type conn struct {
+	srv *Server
+	nc  net.Conn
+
+	rbuf []byte   // read buffer; frames are parsed in place
+	ops  []wireOp // reusable parsed-batch slice
+
+	wbuf []byte        // reply buffer being built by the reader
+	out  chan []byte   // filled buffers to the writer
+	free chan []byte   // drained buffers back from the writer
+	werr chan struct{} // closed by the writer on write error
+
+	rwCtx *deadlineCtx // reusable deadline ctx (read-write batches)
+	roCtx *deadlineCtx // reusable deadline ctx (read-only batches)
+	roNil context.Context
+	timer *time.Timer // reusable shed-wait timer
+
+	body    func(tx *stm.Txn) error // hoisted batch body (one closure per conn)
+	curOps  []wireOp                // ops the hoisted body executes
+	curMark int                     // wbuf length at batch entry, for abort rewind
+}
+
+func (s *Server) handle(nc net.Conn) {
+	defer s.wg.Done()
+	c := &conn{
+		srv:   s,
+		nc:    nc,
+		rbuf:  make([]byte, 0, 32<<10),
+		wbuf:  make([]byte, 0, 32<<10),
+		out:   make(chan []byte, 1),
+		free:  make(chan []byte, 1),
+		werr:  make(chan struct{}),
+		rwCtx: &deadlineCtx{parent: context.Background()},
+		roCtx: &deadlineCtx{parent: s.roBase},
+		roNil: s.roBase,
+		timer: time.NewTimer(time.Hour),
+	}
+	if !c.timer.Stop() {
+		<-c.timer.C
+	}
+	c.free <- make([]byte, 0, 32<<10)
+	c.body = c.runBatch
+
+	writerDone := make(chan struct{})
+	go c.writer(writerDone)
+
+	c.readLoop()
+
+	close(c.out)
+	<-writerDone
+	s.dropConn(nc)
+}
+
+// writer drains filled reply buffers, one Write syscall per buffer.
+func (c *conn) writer(done chan struct{}) {
+	defer close(done)
+	wrote := false
+	for buf := range c.out {
+		if len(buf) == 0 {
+			c.free <- buf[:0]
+			continue
+		}
+		if !wrote {
+			// First reply: disable Nagle-style coalescing below us; each
+			// buffer is already a full pipeline burst.
+			if tc, ok := c.nc.(*net.TCPConn); ok {
+				tc.SetNoDelay(true)
+			}
+			wrote = true
+		}
+		if c.srv.metrics != nil {
+			c.srv.metrics.flushBatch.Observe(uint64(len(buf)))
+		}
+		if _, err := c.nc.Write(buf); err != nil {
+			close(c.werr)
+			// Keep draining so the reader never blocks on free.
+			for range c.out {
+			}
+			return
+		}
+		c.free <- buf[:0]
+	}
+}
+
+// flush hands the current reply buffer to the writer and takes the drained
+// spare. Blocking on free is the connection's backpressure: a client that
+// won't read its replies eventually stops being read from.
+func (c *conn) flush() bool {
+	if len(c.wbuf) == 0 {
+		return true
+	}
+	select {
+	case <-c.werr:
+		return false
+	case c.out <- c.wbuf:
+	}
+	select {
+	case <-c.werr:
+		return false
+	case spare := <-c.free:
+		c.wbuf = spare
+		return true
+	}
+}
+
+// readLoop reads pipeline bursts: every complete frame currently buffered is
+// parsed and executed, replies coalesce into one buffer, then the buffer is
+// flushed in a single syscall.
+func (c *conn) readLoop() {
+	start := 0 // parse cursor into rbuf
+	for {
+		// Execute every complete frame already buffered.
+		burst := 0
+		for {
+			if c.srv.closed.Load() {
+				c.shutdownReplies(start)
+				return
+			}
+			p, ok, fatal := c.nextFrame(&start)
+			if fatal {
+				c.flush()
+				return
+			}
+			if !ok {
+				break
+			}
+			burst++
+			if !c.serveFrame(p) {
+				c.flush()
+				return
+			}
+			if len(c.wbuf) >= flushThreshold {
+				if !c.flush() {
+					return
+				}
+			}
+		}
+		if burst > 0 {
+			if c.srv.metrics != nil {
+				c.srv.metrics.pipelineDep.Observe(uint64(burst))
+			}
+			if !c.flush() {
+				return
+			}
+		}
+		// Compact consumed bytes and read more, straight into the tail of
+		// the owned buffer (no intermediate copy).
+		if start > 0 {
+			c.rbuf = c.rbuf[:copy(c.rbuf, c.rbuf[start:])]
+			start = 0
+		}
+		if cap(c.rbuf)-len(c.rbuf) < 4<<10 {
+			grown := make([]byte, len(c.rbuf), 2*cap(c.rbuf)+(8<<10))
+			copy(grown, c.rbuf)
+			c.rbuf = grown
+		}
+		n, err := c.nc.Read(c.rbuf[len(c.rbuf):cap(c.rbuf)])
+		c.rbuf = c.rbuf[:len(c.rbuf)+n]
+		if err != nil {
+			if isTimeout(err) && c.srv.closed.Load() {
+				c.shutdownReplies(start)
+				return
+			}
+			if isTimeout(err) {
+				continue // stray deadline; keep serving
+			}
+			if !errors.Is(err, io.EOF) {
+				c.flush()
+			}
+			return
+		}
+	}
+}
+
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// nextFrame returns the next complete frame payload at the parse cursor.
+// fatal is set for protocol-level errors that already queued a terminal
+// reply (oversized frame).
+func (c *conn) nextFrame(start *int) (p []byte, ok, fatal bool) {
+	avail := c.rbuf[*start:]
+	if len(avail) < 4 {
+		return nil, false, false
+	}
+	n := int(binary.BigEndian.Uint32(avail))
+	if n > c.srv.cfg.MaxFrame {
+		c.wbuf = appendFrameHeader(c.wbuf)
+		mark := len(c.wbuf) - 4
+		c.wbuf = appendStatus(c.wbuf, StatusTooLarge, "frame exceeds max size")
+		patchFrameLen(c.wbuf, mark)
+		return nil, false, true
+	}
+	if len(avail) < 4+n {
+		return nil, false, false
+	}
+	*start += 4 + n
+	return avail[4 : 4+n], true, false
+}
+
+// shutdownReplies answers any frames still buffered with StatusClosed, then
+// flushes and returns. In-flight work finished before this point; nothing
+// buffered past it executes.
+func (c *conn) shutdownReplies(start int) {
+	for {
+		_, ok, fatal := c.nextFrame(&start)
+		if fatal || !ok {
+			break
+		}
+		c.wbuf = appendFrameHeader(c.wbuf)
+		mark := len(c.wbuf) - 4
+		c.wbuf = appendStatus(c.wbuf, StatusClosed, "server shutting down")
+		patchFrameLen(c.wbuf, mark)
+	}
+	c.flush()
+}
+
+// serveFrame parses one request frame, compiles the batch into a single
+// transaction, executes it and appends the reply. Returns false when the
+// connection must be torn down (malformed input).
+func (c *conn) serveFrame(p []byte) bool {
+	// Rate admission runs before the frame is even parsed: a doorman that
+	// inspects refused work burns the very capacity shedding is supposed to
+	// free, and under overload the shed path must cost no more than the
+	// frame split plus a one-status reply. (Shed frames therefore skip
+	// protocol validation — the server does not look inside refused work.)
+	if c.srv.cfg.ExecRate > 0 && !c.srv.takeToken() {
+		c.reply(StatusShed, "server overloaded")
+		if c.srv.metrics != nil {
+			c.srv.metrics.shedTotal.Inc()
+			c.srv.metrics.reqShed.Inc()
+		}
+		return true
+	}
+
+	var err error
+	c.ops, err = parseRequest(p, c.ops)
+	if err != nil {
+		c.reply(StatusBadRequest, err.Error())
+		return false
+	}
+	// Resolve namespaces and detect a read-only batch before entering the
+	// transaction; kind mismatches answer without executing anything.
+	allRO := true
+	for i := range c.ops {
+		op := &c.ops[i]
+		ns, kindOK := c.srv.resolve(op.ns, op.code)
+		if !kindOK {
+			c.reply(StatusWrongKind, "opcode does not match namespace kind")
+			if c.srv.metrics != nil {
+				c.srv.metrics.reqError.Inc()
+			}
+			return true
+		}
+		op.nsp = ns
+		if op.code != OpGet && op.code != OpSize {
+			allRO = false
+		}
+	}
+	allRO = allRO && c.srv.roEligible && len(c.ops) > 0
+
+	// Concurrency gate: a batch only runs while holding an in-flight slot,
+	// waiting at most ShedWait for one to free up.
+	if !c.acquireSlot() {
+		c.reply(StatusShed, "server overloaded")
+		if c.srv.metrics != nil {
+			c.srv.metrics.shedTotal.Inc()
+			c.srv.metrics.reqShed.Inc()
+		}
+		return true
+	}
+
+	c.curOps = c.ops
+	c.curMark = len(c.wbuf)
+	// Reserve the frame header + status + count; the body appends results
+	// after them on every attempt (rewinding to curMark on retry).
+	err = c.execute(allRO)
+	<-c.srv.inflight
+
+	m := c.srv.metrics
+	switch {
+	case err == nil:
+		if m != nil {
+			m.reqOK.Inc()
+			if allRO {
+				m.roBatches.Inc()
+			}
+		}
+		if allRO {
+			c.srv.roCount.Add(1)
+		}
+	case errors.Is(err, stm.ErrDeadline) || errors.Is(err, stm.ErrCanceled):
+		c.wbuf = c.wbuf[:c.curMark]
+		c.reply(StatusDeadline, "transaction deadline exceeded")
+		if m != nil {
+			m.reqDeadline.Inc()
+		}
+	case errors.Is(err, stm.ErrClosed):
+		c.wbuf = c.wbuf[:c.curMark]
+		c.reply(StatusClosed, "transactional memory closed")
+		if m != nil {
+			m.reqError.Inc()
+		}
+	default:
+		c.wbuf = c.wbuf[:c.curMark]
+		c.reply(StatusInternal, err.Error())
+		if m != nil {
+			m.reqError.Inc()
+		}
+	}
+	return true
+}
+
+// acquireSlot takes an in-flight slot, waiting at most ShedWait (negative:
+// don't wait at all — under overload a timer park stalls the readLoop for a
+// scheduler wakeup, and the backlog must drain at parse speed to shed fast).
+func (c *conn) acquireSlot() bool {
+	select {
+	case c.srv.inflight <- struct{}{}:
+		return true
+	default:
+	}
+	if c.srv.cfg.ShedWait < 0 {
+		return false
+	}
+	c.timer.Reset(c.srv.cfg.ShedWait)
+	select {
+	case c.srv.inflight <- struct{}{}:
+		if !c.timer.Stop() {
+			<-c.timer.C
+		}
+		return true
+	case <-c.timer.C:
+		return false
+	}
+}
+
+// execute runs the hoisted batch body under the right context: read-only
+// batches ride the prebuilt RO-hinted context (abort-free snapshots under
+// mvcc), everything else runs plain; a configured TxnDeadline reuses the
+// connection's deadlineCtx without allocating.
+func (c *conn) execute(allRO bool) error {
+	s := c.srv.cfg.System
+	d := c.srv.cfg.TxnDeadline
+	switch {
+	case allRO && d > 0:
+		c.roCtx.deadline = time.Now().Add(d)
+		return s.AtomicallyCtx(c.roCtx, c.body)
+	case allRO:
+		return s.AtomicallyCtx(c.roNil, c.body)
+	case d > 0:
+		c.rwCtx.deadline = time.Now().Add(d)
+		return s.AtomicallyCtx(c.rwCtx, c.body)
+	default:
+		return s.Atomically(c.body)
+	}
+}
+
+// runBatch is the transaction body: every op in the batch against its
+// namespace, results appended to the reply buffer. The buffer is rewound to
+// the batch mark at entry so an aborted attempt leaves no partial results.
+func (c *conn) runBatch(tx *stm.Txn) error {
+	c.wbuf = c.wbuf[:c.curMark]
+	c.wbuf = appendFrameHeader(c.wbuf)
+	c.wbuf = appendStatus(c.wbuf, StatusOK, "")
+	c.wbuf = appendNResults(c.wbuf, len(c.curOps))
+	for i := range c.curOps {
+		op := &c.curOps[i]
+		switch op.code {
+		case OpGet:
+			if v, ok := op.nsp.m.Get(tx, op.key); ok {
+				c.wbuf = appendBytes(c.wbuf, v)
+			} else {
+				c.wbuf = appendNil(c.wbuf)
+			}
+		case OpSet:
+			// The parsed value aliases the read buffer; the stored copy
+			// must own its bytes. This is the request path's one
+			// unavoidable steady-state allocation.
+			v := make([]byte, len(op.val))
+			copy(v, op.val)
+			op.nsp.m.Put(tx, op.key, v)
+			c.wbuf = appendOK(c.wbuf)
+		case OpDel:
+			if _, had := op.nsp.m.Remove(tx, op.key); had {
+				c.wbuf = appendInt(c.wbuf, 1)
+			} else {
+				c.wbuf = appendInt(c.wbuf, 0)
+			}
+		case OpIncr:
+			cur, _ := op.nsp.m.Get(tx, op.key)
+			n := decodeInt(cur) + int64(op.arg)
+			op.nsp.m.Put(tx, op.key, encodeInt(n))
+			c.wbuf = appendInt(c.wbuf, n)
+		case OpSize:
+			c.wbuf = appendInt(c.wbuf, int64(op.nsp.m.Size(tx)))
+		case OpQPush:
+			v := make([]byte, len(op.val))
+			copy(v, op.val)
+			op.nsp.q.Enqueue(tx, v)
+			c.wbuf = appendOK(c.wbuf)
+		case OpQPop:
+			if v, ok := op.nsp.q.Dequeue(tx); ok {
+				c.wbuf = appendBytes(c.wbuf, v)
+			} else {
+				c.wbuf = appendNil(c.wbuf)
+			}
+		case OpPQPush:
+			v := make([]byte, len(op.val))
+			copy(v, op.val)
+			op.nsp.pq.Insert(tx, pqItem{prio: op.arg, seq: op.nsp.seq.Add(1), val: v})
+			c.wbuf = appendOK(c.wbuf)
+		case OpPQPop:
+			if it, ok := op.nsp.pq.RemoveMin(tx); ok {
+				c.wbuf = appendBytes(c.wbuf, it.val)
+			} else {
+				c.wbuf = appendNil(c.wbuf)
+			}
+		}
+	}
+	patchFrameLen(c.wbuf, c.curMark)
+	return nil
+}
+
+// reply appends a complete non-OK reply frame.
+func (c *conn) reply(status byte, msg string) {
+	mark := len(c.wbuf)
+	c.wbuf = appendFrameHeader(c.wbuf)
+	c.wbuf = appendStatus(c.wbuf, status, msg)
+	patchFrameLen(c.wbuf, mark)
+}
+
+// decodeInt interprets a map value as a big-endian i64 counter; absent or
+// short values count from zero.
+func decodeInt(v []byte) int64 {
+	if len(v) != 8 {
+		return 0
+	}
+	return int64(binary.BigEndian.Uint64(v))
+}
+
+func encodeInt(n int64) []byte {
+	v := make([]byte, 8)
+	binary.BigEndian.PutUint64(v, uint64(n))
+	return v
+}

@@ -1,0 +1,222 @@
+// Package server is proust-serve: a pipelined, batching network front-end
+// over the repo's Proustian transactional data structures. The wire protocol
+// is length-prefixed binary frames; each request frame carries a MULTI-like
+// batch of operations over named data structures (namespaces), and the
+// server compiles the whole batch into ONE STM transaction — the batch
+// commits or sheds atomically, giving clients multi-key transactions over
+// the network without a txn-handle round trip per operation.
+//
+// Frame layout (all integers big-endian):
+//
+//	frame   := u32 payloadLen, payload
+//	request := u8 version (0x01), u16 nops, op*
+//	op      := u8 opcode, u8 nsLen, ns bytes, operands
+//
+// Operand layouts per opcode are documented on the Op constants below. The
+// reply payload is:
+//
+//	reply   := u8 status,
+//	           status==OK  -> u16 nresults, result*
+//	           status!=OK  -> u16 msgLen, msg bytes
+//	result  := u8 tag, tag==TagBytes -> u32 len, bytes
+//	                   tag==TagInt   -> i64
+//	                   (TagNil, TagOK carry nothing)
+//
+// The request parser is zero-copy: namespace names and values are subslices
+// of the connection's read buffer, valid until the batch's replies have been
+// built (values stored into a map are copied at that point, not before).
+// The steady-state parse path allocates nothing; a gate test enforces it.
+package server
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Version is the only wire version this server speaks.
+const Version = 0x01
+
+// DefaultMaxFrame bounds a single request or reply frame payload.
+const DefaultMaxFrame = 1 << 20
+
+// Opcodes. Operand layouts follow each name.
+const (
+	OpGet    = 1 // u64 key
+	OpSet    = 2 // u64 key, u32 vlen, bytes
+	OpDel    = 3 // u64 key
+	OpIncr   = 4 // u64 key, i64 delta
+	OpSize   = 5 // (none)
+	OpQPush  = 6 // u32 vlen, bytes
+	OpQPop   = 7 // (none)
+	OpPQPush = 8 // u64 prio, u32 vlen, bytes
+	OpPQPop  = 9 // (none)
+)
+
+// Reply statuses.
+const (
+	StatusOK         = 0 // batch committed; results follow
+	StatusShed       = 1 // server overloaded; batch was not executed
+	StatusDeadline   = 2 // per-batch transaction deadline expired
+	StatusBadRequest = 3 // malformed frame; connection is closed after reply
+	StatusWrongKind  = 4 // opcode does not match the namespace's kind
+	StatusClosed     = 5 // server shutting down; batch was not executed
+	StatusTooLarge   = 6 // frame exceeds the server's max frame size
+	StatusInternal   = 7 // unexpected transaction error
+)
+
+// Result tags.
+const (
+	TagNil   = 0 // absent value (GET/QPOP/PQPOP miss)
+	TagBytes = 1 // u32 len + bytes
+	TagInt   = 2 // i64
+	TagOK    = 3 // bare acknowledgement (SET/QPUSH/PQPUSH)
+)
+
+// Parse errors (all surface to the client as StatusBadRequest).
+var (
+	errBadVersion = errors.New("server: unsupported protocol version")
+	errTruncated  = errors.New("server: truncated request")
+	errBadOpcode  = errors.New("server: unknown opcode")
+	errEmptyNS    = errors.New("server: empty namespace name")
+	errValueLen   = errors.New("server: value length exceeds frame")
+)
+
+// wireOp is one parsed operation. ns and val alias the connection read
+// buffer — they are valid only until the batch has been executed and its
+// reply built. nsp is resolved after parsing, before execution.
+type wireOp struct {
+	code byte
+	ns   []byte
+	key  uint64
+	arg  uint64 // OpIncr: delta (two's complement); OpPQPush: priority
+	val  []byte
+	nsp  *namespace
+}
+
+// parseRequest decodes a request payload into ops (reusing its backing
+// array). It returns the filled slice. No allocation occurs once ops has
+// grown to the connection's steady-state batch width.
+func parseRequest(p []byte, ops []wireOp) ([]wireOp, error) {
+	ops = ops[:0]
+	if len(p) < 3 {
+		return ops, errTruncated
+	}
+	if p[0] != Version {
+		return ops, errBadVersion
+	}
+	nops := int(binary.BigEndian.Uint16(p[1:3]))
+	i := 3
+	for n := 0; n < nops; n++ {
+		if len(p)-i < 2 {
+			return ops, errTruncated
+		}
+		code := p[i]
+		nsLen := int(p[i+1])
+		i += 2
+		if nsLen == 0 {
+			return ops, errEmptyNS
+		}
+		if len(p)-i < nsLen {
+			return ops, errTruncated
+		}
+		op := wireOp{code: code, ns: p[i : i+nsLen]}
+		i += nsLen
+		switch code {
+		case OpGet, OpDel:
+			if len(p)-i < 8 {
+				return ops, errTruncated
+			}
+			op.key = binary.BigEndian.Uint64(p[i:])
+			i += 8
+		case OpSet:
+			if len(p)-i < 12 {
+				return ops, errTruncated
+			}
+			op.key = binary.BigEndian.Uint64(p[i:])
+			vlen := int(binary.BigEndian.Uint32(p[i+8:]))
+			i += 12
+			if vlen > len(p)-i {
+				return ops, errValueLen
+			}
+			op.val = p[i : i+vlen]
+			i += vlen
+		case OpIncr:
+			if len(p)-i < 16 {
+				return ops, errTruncated
+			}
+			op.key = binary.BigEndian.Uint64(p[i:])
+			op.arg = binary.BigEndian.Uint64(p[i+8:])
+			i += 16
+		case OpSize, OpQPop, OpPQPop:
+			// no operands
+		case OpQPush:
+			if len(p)-i < 4 {
+				return ops, errTruncated
+			}
+			vlen := int(binary.BigEndian.Uint32(p[i:]))
+			i += 4
+			if vlen > len(p)-i {
+				return ops, errValueLen
+			}
+			op.val = p[i : i+vlen]
+			i += vlen
+		case OpPQPush:
+			if len(p)-i < 12 {
+				return ops, errTruncated
+			}
+			op.arg = binary.BigEndian.Uint64(p[i:])
+			vlen := int(binary.BigEndian.Uint32(p[i+8:]))
+			i += 12
+			if vlen > len(p)-i {
+				return ops, errValueLen
+			}
+			op.val = p[i : i+vlen]
+			i += vlen
+		default:
+			return ops, errBadOpcode
+		}
+		ops = append(ops, op)
+	}
+	if i != len(p) {
+		return ops, fmt.Errorf("server: %d trailing bytes after %d ops", len(p)-i, nops)
+	}
+	return ops, nil
+}
+
+// Reply-building helpers. All append into a caller-owned buffer.
+
+func appendFrameHeader(b []byte) []byte {
+	return append(b, 0, 0, 0, 0) // length patched by patchFrameLen
+}
+
+func patchFrameLen(b []byte, start int) {
+	binary.BigEndian.PutUint32(b[start:], uint32(len(b)-start-4))
+}
+
+func appendStatus(b []byte, status byte, msg string) []byte {
+	b = append(b, status)
+	if status == StatusOK {
+		return b
+	}
+	b = binary.BigEndian.AppendUint16(b, uint16(len(msg)))
+	return append(b, msg...)
+}
+
+func appendNResults(b []byte, n int) []byte {
+	return binary.BigEndian.AppendUint16(b, uint16(n))
+}
+
+func appendNil(b []byte) []byte { return append(b, TagNil) }
+func appendOK(b []byte) []byte  { return append(b, TagOK) }
+
+func appendBytes(b, v []byte) []byte {
+	b = append(b, TagBytes)
+	b = binary.BigEndian.AppendUint32(b, uint32(len(v)))
+	return append(b, v...)
+}
+
+func appendInt(b []byte, v int64) []byte {
+	b = append(b, TagInt)
+	return binary.BigEndian.AppendUint64(b, uint64(v))
+}

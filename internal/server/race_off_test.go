@@ -1,0 +1,8 @@
+//go:build !race
+
+package server
+
+// raceEnabled mirrors the stm package's build-tag pair: allocation gates are
+// meaningless under the race detector's shadow allocations, so they skip
+// when this is true.
+const raceEnabled = false

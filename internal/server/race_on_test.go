@@ -1,0 +1,5 @@
+//go:build race
+
+package server
+
+const raceEnabled = true

@@ -1,0 +1,418 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"proust/internal/baseline"
+	"proust/internal/conc"
+	"proust/internal/core"
+	"proust/internal/obs"
+	"proust/internal/stm"
+)
+
+// Namespace kinds, inferred from the first opcode that touches a name.
+const (
+	kindMap = iota + 1
+	kindQueue
+	kindPQ
+)
+
+// Defaults.
+const (
+	// DefaultDrainTimeout bounds graceful shutdown, mirroring obs.Serve's
+	// 5s drain: Close waits this long for in-flight batches to finish and
+	// their replies to flush before force-closing connections.
+	DefaultDrainTimeout = 5 * time.Second
+	// DefaultShedWait is how long a batch waits for an in-flight slot
+	// before the server sheds it with StatusShed.
+	DefaultShedWait = 2 * time.Millisecond
+	// flushThreshold caps reply-buffer growth inside one pipeline burst:
+	// past this many bytes the buffer is handed to the writer early.
+	flushThreshold = 64 << 10
+)
+
+// Config configures a Server. The zero value of every field has a sensible
+// default except System, which is required.
+type Config struct {
+	System *stm.STM // required: the STM instance namespaces live in
+
+	// Maps selects the transactional map implementation backing map
+	// namespaces: "predication" (default — per-key STM refs, sound on
+	// every backend including mvcc read-only snapshots) or "boosted"
+	// (eager core.Map behind a pessimistic per-key abstract lock).
+	Maps string
+
+	MaxFrame int // max frame payload; default DefaultMaxFrame
+	Inflight int // max concurrent batches; default 4*GOMAXPROCS
+	// ShedWait is how long a batch waits for an in-flight slot before the
+	// server sheds it. 0 means DefaultShedWait; negative means never wait —
+	// shed the instant no slot is free. The negative mode matters under
+	// overload: parking the conn goroutine on even a microsecond timer
+	// stalls its whole readLoop for a scheduler wakeup, so a backlogged
+	// connection cannot drain at parse speed.
+	ShedWait time.Duration
+	// ExecRate caps admitted batch executions per second (0 = unlimited)
+	// with a token bucket; batches over budget are shed instantly with
+	// StatusShed, independent of Inflight/ShedWait. Slot-based admission
+	// only sees concurrency, which short transactions barely produce even
+	// under heavy rate overload — the queueing then hides in socket
+	// buffers where no server-side signal can reach it. A rate budget is
+	// the knob that keeps overload answerable: excess drains at parse
+	// speed instead of accumulating unbounded latency.
+	ExecRate     float64
+	TxnDeadline  time.Duration // per-batch transaction deadline; 0 = none
+	DrainTimeout time.Duration // graceful-shutdown drain; default DefaultDrainTimeout
+
+	Registry *obs.Registry // optional: server metric families are registered here
+}
+
+// serverMetrics holds pre-resolved metric children (one vec lookup at
+// construction, zero per request — same discipline as the STM adapters).
+type serverMetrics struct {
+	connections *obs.Gauge
+	reqOK       *obs.Counter
+	reqShed     *obs.Counter
+	reqDeadline *obs.Counter
+	reqError    *obs.Counter
+	roBatches   *obs.Counter
+	shedTotal   *obs.Counter
+	pipelineDep *obs.Histogram
+	flushBatch  *obs.Histogram
+}
+
+func newServerMetrics(r *obs.Registry) *serverMetrics {
+	if r == nil {
+		return nil
+	}
+	req := r.Counter("proust_server_requests_total",
+		"Batches processed by final outcome.", "outcome")
+	return &serverMetrics{
+		connections: r.Gauge("proust_server_connections",
+			"Currently open client connections.").With(),
+		reqOK:       req.With("ok"),
+		reqShed:     req.With("shed"),
+		reqDeadline: req.With("deadline"),
+		reqError:    req.With("error"),
+		roBatches: r.Counter("proust_server_ro_batches_total",
+			"Batches detected read-only and routed to the snapshot path.").With(),
+		shedTotal: r.Counter("proust_server_shed_total",
+			"Batches shed under overload before execution.").With(),
+		pipelineDep: r.Histogram("proust_server_pipeline_depth",
+			"Request frames parsed per read burst.", obs.UnitCount).With(),
+		flushBatch: r.Histogram("proust_server_flush_batch_size",
+			"Reply bytes coalesced per flush syscall.", obs.UnitCount).With(),
+	}
+}
+
+// pqItem is a priority-queue element: priority, a per-namespace insertion
+// sequence (ties break FIFO and give every element a distinct identity for
+// the heap's eq), and the value.
+type pqItem struct {
+	prio uint64
+	seq  uint64
+	val  []byte
+}
+
+func pqLess(a, b pqItem) bool {
+	if a.prio != b.prio {
+		return a.prio < b.prio
+	}
+	return a.seq < b.seq
+}
+
+func pqEq(a, b pqItem) bool { return a.seq == b.seq }
+
+// namespace is one named transactional structure. kind discriminates which
+// field is live.
+type namespace struct {
+	kind int
+	m    core.TxMap[uint64, []byte]
+	q    *core.Queue[[]byte]
+	pq   *core.PQueue[pqItem]
+	seq  atomic.Uint64
+}
+
+// Server is a proust-serve instance. Create with New, start with Serve (or
+// ListenAndServe), stop with Close.
+type Server struct {
+	cfg     Config
+	metrics *serverMetrics
+
+	// roBase carries the stm.WithReadOnly hint; built once so the
+	// per-batch fast path never re-wraps a context (WithValue allocates).
+	roBase     context.Context
+	roEligible bool
+
+	inflight chan struct{}
+
+	mu         sync.RWMutex
+	namespaces map[string]*namespace
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+
+	ln      net.Listener
+	lnMu    sync.Mutex
+	closed  atomic.Bool
+	wg      sync.WaitGroup // one per connection handler
+	roCount atomic.Uint64  // read-only batches routed to the snapshot path
+
+	// Rate-admission token bucket (ExecRate > 0): rlTokens counts batches
+	// still admitted in the current window, rlLast is the last refill time
+	// in unix nanos. Refills happen lazily on the empty-bucket path.
+	rlTokens atomic.Int64
+	rlLast   atomic.Int64
+}
+
+// New creates a Server over cfg.System. It does not listen yet.
+func New(cfg Config) (*Server, error) {
+	if cfg.System == nil {
+		return nil, errors.New("server: Config.System is required")
+	}
+	switch cfg.Maps {
+	case "", "predication", "boosted":
+	default:
+		return nil, fmt.Errorf("server: unknown Maps implementation %q", cfg.Maps)
+	}
+	if cfg.Maps == "" {
+		cfg.Maps = "predication"
+	}
+	if cfg.MaxFrame <= 0 {
+		cfg.MaxFrame = DefaultMaxFrame
+	}
+	if cfg.Inflight <= 0 {
+		cfg.Inflight = 4 * maxProcs()
+	}
+	if cfg.ShedWait == 0 {
+		cfg.ShedWait = DefaultShedWait
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = DefaultDrainTimeout
+	}
+	srv := &Server{
+		cfg:     cfg,
+		metrics: newServerMetrics(cfg.Registry),
+		roBase:  stm.WithReadOnly(context.Background()),
+		// Predication reads are real per-key Ref reads, so a read-only
+		// batch is sound under stm.WithReadOnly on every backend (and
+		// abort-free under mvcc). The boosted eager map reads its Ctrie
+		// base directly — invisible to mvcc snapshots — so RO routing is
+		// disabled there.
+		roEligible: cfg.Maps == "predication",
+		inflight:   make(chan struct{}, cfg.Inflight),
+		namespaces: make(map[string]*namespace),
+		conns:      make(map[net.Conn]struct{}),
+	}
+	if cfg.ExecRate > 0 {
+		srv.rlTokens.Store(srv.rlBurst())
+		srv.rlLast.Store(time.Now().UnixNano())
+	}
+	return srv, nil
+}
+
+// rlBurst is the token-bucket depth: 10ms worth of budget, floored so tiny
+// rates still admit short pipelines.
+func (s *Server) rlBurst() int64 {
+	b := int64(s.cfg.ExecRate / 100)
+	if b < 32 {
+		b = 32
+	}
+	return b
+}
+
+// takeToken admits one batch against ExecRate. The fast path is a single
+// atomic decrement; the empty-bucket path refills lazily from elapsed wall
+// time. Admission is approximate under races — that is fine, the bucket
+// bounds work over any window much longer than a refill.
+func (s *Server) takeToken() bool {
+	if s.rlTokens.Add(-1) >= 0 {
+		return true
+	}
+	now := time.Now().UnixNano()
+	last := s.rlLast.Load()
+	add := int64(float64(now-last) * s.cfg.ExecRate / 1e9)
+	if add <= 0 || !s.rlLast.CompareAndSwap(last, now) {
+		return false
+	}
+	if b := s.rlBurst(); add > b {
+		add = b
+	}
+	s.rlTokens.Store(add - 1)
+	return true
+}
+
+// ROBatches reports how many read-only batches were routed to the snapshot
+// path (pairs with stm stats' MVCCSnapshotTxns for the zero-abort evidence).
+func (s *Server) ROBatches() uint64 { return s.roCount.Load() }
+
+// lookup resolves a namespace by wire name without allocating: the
+// map[string] index on a []byte key compiles to an allocation-free lookup.
+func (s *Server) lookup(name []byte) *namespace {
+	s.mu.RLock()
+	ns := s.namespaces[string(name)]
+	s.mu.RUnlock()
+	return ns
+}
+
+// resolve returns the namespace for name, creating it with the kind implied
+// by opcode on first use.
+func (s *Server) resolve(name []byte, code byte) (*namespace, bool) {
+	kind := opKind(code)
+	if ns := s.lookup(name); ns != nil {
+		return ns, ns.kind == kind
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ns := s.namespaces[string(name)]; ns != nil {
+		return ns, ns.kind == kind
+	}
+	ns := &namespace{kind: kind}
+	switch kind {
+	case kindMap:
+		if s.cfg.Maps == "boosted" {
+			lap := core.NewPessimisticLAP[uint64](conc.Uint64Hasher, 1024, core.DefaultLockTimeout)
+			ns.m = core.NewMap[uint64, []byte](s.cfg.System, lap, conc.Uint64Hasher)
+		} else {
+			ns.m = baseline.NewPredicationMap[uint64, []byte](s.cfg.System, conc.Uint64Hasher)
+		}
+	case kindQueue:
+		lap := core.NewPessimisticLAP[core.QState](core.QStateHash, 64, core.DefaultLockTimeout)
+		ns.q = core.NewQueue[[]byte](s.cfg.System, lap)
+	case kindPQ:
+		lap := core.NewPessimisticLAP[core.PQState](core.PQStateHash, 64, core.DefaultLockTimeout)
+		ns.pq = core.NewPQueue[pqItem](s.cfg.System, lap, pqLess, pqEq)
+	}
+	s.namespaces[string(name)] = ns
+	return ns, true
+}
+
+func opKind(code byte) int {
+	switch code {
+	case OpGet, OpSet, OpDel, OpIncr, OpSize:
+		return kindMap
+	case OpQPush, OpQPop:
+		return kindQueue
+	case OpPQPush, OpPQPop:
+		return kindPQ
+	}
+	return 0
+}
+
+func maxProcs() int {
+	n := numCPU()
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
+// ListenAndServe listens on addr and serves until Close. It returns the
+// bound address (useful with ":0") through the provided callback before
+// blocking, or use Listen + Serve separately.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := s.Listen(addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Listen binds addr and remembers the listener so Close can unblock Serve.
+func (s *Server) Listen(addr string) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.lnMu.Lock()
+	s.ln = ln
+	s.lnMu.Unlock()
+	return ln, nil
+}
+
+// Serve accepts connections on ln until Close. Always returns a non-nil
+// error; after Close it returns net.ErrClosed.
+func (s *Server) Serve(ln net.Listener) error {
+	s.lnMu.Lock()
+	if s.ln == nil {
+		s.ln = ln
+	}
+	s.lnMu.Unlock()
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		if s.closed.Load() {
+			nc.Close()
+			return net.ErrClosed
+		}
+		s.connMu.Lock()
+		s.conns[nc] = struct{}{}
+		s.connMu.Unlock()
+		if s.metrics != nil {
+			s.metrics.connections.Add(1)
+		}
+		s.wg.Add(1)
+		go s.handle(nc)
+	}
+}
+
+// Close gracefully shuts the server down: it refuses new connections
+// immediately, wakes every connection reader, lets in-flight batches finish
+// and their replies flush, and force-closes whatever remains after the drain
+// deadline. Safe to call more than once. The STM instance is NOT closed —
+// the caller owns it.
+func (s *Server) Close() error {
+	if !s.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	s.lnMu.Lock()
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	s.lnMu.Unlock()
+
+	// Wake blocked readers: an expired read deadline surfaces as a timeout
+	// error, the handler sees closed and drains out.
+	s.connMu.Lock()
+	for nc := range s.conns {
+		nc.SetReadDeadline(time.Now())
+	}
+	s.connMu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-time.After(s.cfg.DrainTimeout):
+	}
+	// Drain deadline passed: force-close stragglers and wait for their
+	// handlers to notice.
+	s.connMu.Lock()
+	for nc := range s.conns {
+		nc.Close()
+	}
+	s.connMu.Unlock()
+	<-done
+	return errors.New("server: drain deadline exceeded; connections force-closed")
+}
+
+func (s *Server) dropConn(nc net.Conn) {
+	s.connMu.Lock()
+	delete(s.conns, nc)
+	s.connMu.Unlock()
+	if s.metrics != nil {
+		s.metrics.connections.Add(-1)
+	}
+	nc.Close()
+}
